@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one figure/table/claim from the paper and
+prints the corresponding rows (visible with ``pytest -s``); shape
+assertions make the reproduction self-checking.  pytest-benchmark
+times the simulation run itself.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Sequence
+
+
+def report(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print one experiment's result table."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    header = tuple(str(cell) for cell in header)
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(header))
+    out = sys.stderr
+    print(f"\n=== {title} ===", file=out)
+    print(line, file=out)
+    print("-" * len(line), file=out)
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)), file=out)

@@ -1,0 +1,83 @@
+"""A2 -- ablation: digipeater hops on a shared frequency.
+
+"The standard amateur packet radio link layer protocol allows the
+specification of up to eight digipeaters through which a packet is to
+pass."  Because every relay re-transmits on the *same* frequency, each
+hop multiplies channel occupancy: a path through n digipeaters costs
+(n+1) transmissions per frame, so end-to-end goodput falls roughly as
+1/(n+1) and latency grows linearly.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ping import Pinger
+from repro.core.topology import build_digipeater_chain
+from repro.sim.clock import SECOND
+
+from benchmarks.conftest import report
+
+HOPS = (0, 1, 2, 4)
+PINGS = 4
+
+
+def run_chain(hops: int, seed: int = 100):
+    chain = build_digipeater_chain(hops=hops, seed=seed + hops)
+    sim = chain.sim
+    pinger = Pinger(chain.source.stack)
+    start = sim.now
+    pinger.send("44.24.0.3", count=PINGS, interval=180 * SECOND)
+    sim.run(until=start + PINGS * 180 * SECOND + 600 * SECOND)
+    elapsed = sim.now - start
+    return {
+        "received": pinger.received,
+        "mean_rtt": pinger.mean_rtt_seconds(),
+        "transmissions": chain.channel.total_transmissions,
+        "busy_share": chain.channel.busy_time() / elapsed,
+        "relays": sum(d.frames_relayed for d in chain.digipeaters),
+    }
+
+
+def test_a2_throughput_vs_hops(benchmark):
+    def run():
+        return {hops: run_chain(hops) for hops in HOPS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for hops, r in results.items():
+        rows.append((
+            hops,
+            f"{r['received']}/{PINGS}",
+            f"{r['mean_rtt']:.1f}" if r["mean_rtt"] else "-",
+            r["transmissions"],
+            r["relays"],
+            f"{100 * r['busy_share']:.1f}%",
+        ))
+    report("A2: ping over n same-frequency digipeaters",
+           ("digipeaters", "pings ok", "mean RTT (s)", "channel transmissions",
+            "relay transmissions", "channel busy"), rows)
+
+    # All chains deliver.
+    assert all(r["received"] == PINGS for r in results.values())
+
+    rtts = [results[h]["mean_rtt"] for h in HOPS]
+    busy = [results[h]["busy_share"] for h in HOPS]
+
+    # Shape 1: latency grows monotonically with hops, roughly linearly:
+    # the 4-hop RTT is at least 3x the direct RTT.
+    assert all(a < b for a, b in zip(rtts, rtts[1:]))
+    assert rtts[-1] > 3 * rtts[0]
+
+    # Shape 2: channel occupancy scales like (hops + 1) for the same
+    # offered load -- the 1/(n+1) capacity ablation.
+    assert busy[-1] > 3.5 * busy[0]
+    ratio_1 = busy[1] / busy[0]
+    assert 1.6 < ratio_1 < 2.6          # ~2x for one digipeater
+
+    # Shape 3: relays account for exactly hops transmissions per frame
+    # crossing (each echo crosses twice: request + reply).
+    for hops in HOPS[1:]:
+        relays = results[hops]["relays"]
+        # Each echo crosses the chain twice (request + reply) and is
+        # relayed once per digipeater; ARP entries are static here.
+        expected = hops * 2 * PINGS
+        assert relays == expected, (hops, relays, expected)

@@ -1,0 +1,81 @@
+"""E1 -- §2.3 setup and testing: the services demonstrated over the gateway.
+
+"After a few rounds of debugging, we were able to telnet from an
+isolated IBM PC to a system that was on our Ethernet by way of the new
+gateway.  Since then we have used the gateway for file transfer,
+electronic mail, and remote login in both directions."
+
+The bench runs all three services, in both directions where the paper
+claims both directions, and reports completion times at 1200 bps.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ftp import FileStore, FtpClient, FtpServer
+from repro.apps.smtp import SmtpClient, SmtpServer
+from repro.apps.telnet import TelnetClient, TelnetServer
+from repro.core.topology import build_gateway_testbed
+from repro.sim.clock import SECOND
+
+from benchmarks.conftest import report
+
+
+def run_all_services(seed: int = 5):
+    results = {}
+
+    # --- telnet: PC (radio) -> Ethernet host -------------------------------
+    tb = build_gateway_testbed(seed=seed)
+    TelnetServer(tb.ether_host)
+    telnet = TelnetClient(tb.pc.stack, "128.95.1.2")
+    telnet.type_lines(["cliff", "echo over the gateway", "logout"])
+    tb.sim.run(until=900 * SECOND)
+    results["telnet pc->ether"] = (
+        "over the gateway" in telnet.transcript_text()
+        and "goodbye" in telnet.transcript_text(),
+        tb.sim.now / SECOND,
+    )
+
+    # --- ftp: both directions over one session -----------------------------
+    tb2 = build_gateway_testbed(seed=seed + 1)
+    store = FileStore({"notes.txt": b"N" * 300})
+    FtpServer(tb2.ether_host, store)
+    ftp = FtpClient(tb2.pc.stack, "128.95.1.2")
+    ftp.get("notes.txt")                       # download (ether -> radio)
+    ftp.put("log.txt", b"L" * 200)             # upload (radio -> ether)
+    ftp.quit()
+    tb2.sim.run(until=1800 * SECOND)
+    results["ftp both ways"] = (
+        ftp.retrieved.get("notes.txt") == b"N" * 300
+        and store.get("log.txt") == b"L" * 200,
+        tb2.sim.now / SECOND,
+    )
+
+    # --- smtp: radio -> ether, then ether -> radio -------------------------
+    tb3 = build_gateway_testbed(seed=seed + 2)
+    ether_smtp = SmtpServer(tb3.ether_host)
+    radio_smtp = SmtpServer(tb3.pc.stack)
+    done = []
+    SmtpClient(tb3.pc.stack, "128.95.1.2", "kb7dz@pc", ["cliff@wally"],
+               "mail from the radio side", on_done=done.append)
+    tb3.sim.run(until=600 * SECOND)
+    SmtpClient(tb3.ether_host, "44.24.0.5", "cliff@wally", ["kb7dz@pc"],
+               "mail back to the radio side", on_done=done.append)
+    tb3.sim.run(until=tb3.sim.now + 600 * SECOND)
+    results["smtp both ways"] = (
+        done == [True, True]
+        and len(ether_smtp.mailbox.inbox("cliff")) == 1
+        and len(radio_smtp.mailbox.inbox("kb7dz")) == 1,
+        tb3.sim.now / SECOND,
+    )
+    return results
+
+
+def test_e1_gateway_services(benchmark):
+    results = benchmark.pedantic(run_all_services, rounds=1, iterations=1)
+    rows = [
+        (name, "ok" if ok else "FAILED", f"{elapsed:.0f}")
+        for name, (ok, elapsed) in results.items()
+    ]
+    report("E1 (§2.3): telnet / FTP / SMTP across the gateway",
+           ("service", "outcome", "sim seconds elapsed"), rows)
+    assert all(ok for ok, _elapsed in results.values())

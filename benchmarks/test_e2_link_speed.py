@@ -1,0 +1,114 @@
+"""E2 -- §3: "the transmission time is the dominant factor".
+
+"Because the link speed is only 1200 bits per second, the transmission
+time is the dominant factor in determining throughput and latency.
+Higher bandwidth links are available..."
+
+The bench sweeps the modem bit rate and decomposes ping RTT into the
+analytically-known serialisation time versus everything else (keyup,
+CSMA, serial line, queueing).  It also measures bulk TCP throughput at
+each rate.  Expected shape: at 1200 bps serialisation dominates RTT and
+throughput tracks the link rate; at higher rates the fixed overheads
+take over.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ping import Pinger
+from repro.core.topology import build_figure1_testbed
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.tcp import AdaptiveRto
+from repro.sim.clock import SECOND
+
+from benchmarks.conftest import report
+
+RATES = (1200, 2400, 9600, 56_000)
+PING_PAYLOAD = 56
+#: on-air bytes for one echo (IP 20 + ICMP 8 + payload) inside AX.25 UI
+#: (16 addr/ctrl/pid) -- one direction.
+ECHO_FRAME_BYTES = 16 + 20 + 8 + PING_PAYLOAD
+
+
+def run_sweep():
+    results = []
+    for rate in RATES:
+        tb = build_figure1_testbed(seed=20, bit_rate=rate)
+        # Warm ARP first so the measured ping is pure echo.
+        warm = Pinger(tb.host.stack)
+        warm.send("44.24.0.5", count=1)
+        tb.sim.run(until=240 * SECOND)
+        pinger = Pinger(tb.host.stack)
+        pinger.send("44.24.0.5", count=3, interval=30 * SECOND)
+        tb.sim.run(until=tb.sim.now + 240 * SECOND)
+        assert pinger.received == 3, f"lost pings at {rate} bps"
+        rtt = min(pinger.rtts_us)
+        serialisation = 2 * ECHO_FRAME_BYTES * 8 * SECOND // rate
+        results.append((rate, rtt, serialisation))
+    return results
+
+
+def test_e2_serialisation_dominates_at_1200(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    shares = {}
+    for rate, rtt, serialisation in results:
+        share = serialisation / rtt
+        shares[rate] = share
+        rows.append((rate, f"{rtt / SECOND:.3f}", f"{serialisation / SECOND:.3f}",
+                     f"{100 * share:.0f}%"))
+    report("E2 (§3): ping RTT decomposition vs link speed",
+           ("bit rate", "RTT (s)", "serialisation (s)", "serialisation share"),
+           rows)
+    # Shape: transmission time dominates at 1200 bps...
+    assert shares[1200] > 0.5
+    # ...and its share falls monotonically as the link gets faster.
+    ordered = [shares[rate] for rate in RATES]
+    assert all(a > b for a, b in zip(ordered, ordered[1:]))
+    # At 56k the fixed overheads (keyup, CSMA slots, serial line) rule.
+    assert shares[56_000] < 0.25
+
+
+def test_e2_tcp_throughput_tracks_link_rate(benchmark):
+    def run():
+        rows = []
+        for rate in RATES:
+            tb = build_figure1_testbed(seed=22, bit_rate=rate)
+            received = []
+            done_time = {}
+
+            def on_accept(sock, received=received, done_time=done_time):
+                def on_data(_d, sock=sock):
+                    received.append(sock.recv())
+                    if sum(map(len, received)) >= 4096:
+                        done_time["t"] = tb.sim.now
+                sock.on_data = on_data
+
+            TcpServerSocket(tb.peer.stack, 9, on_accept)
+            client = TcpSocket.connect(tb.host.stack, "44.24.0.5", 9,
+                                       rto_policy=AdaptiveRto())
+            client.on_connect = lambda client=client: client.send(bytes(4096))
+            tb.sim.run(until=3600 * SECOND)
+            assert "t" in done_time, f"incomplete at {rate}"
+            goodput = 4096 * 8 / (done_time["t"] / SECOND)
+            rows.append((rate, goodput))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [(rate, f"{goodput:.0f}", f"{100 * goodput / rate:.0f}%")
+             for rate, goodput in rows]
+    report("E2 (§3): TCP goodput vs link speed (4 KiB transfer)",
+           ("bit rate (bps)", "goodput (bps)", "efficiency"), table)
+    goodputs = dict(rows)
+    # Shape: faster links carry more; 1200 bps is the clear bottleneck.
+    assert goodputs[1200] < goodputs[9600] < goodputs[56_000]
+    # At 1200 bps the channel is the limit: keyup (TXDELAY), CSMA slots
+    # and ACK traffic eat most of the raw rate, but goodput still lands
+    # within an order of magnitude of it.
+    assert goodputs[1200] > 1200 / 8
+    # Efficiency *falls* with link speed: the fixed per-frame overheads
+    # (keyup, slots) do not shrink as bits get faster -- the flip side
+    # of "transmission time dominates at 1200 bps".
+    efficiencies = [goodput / rate for rate, goodput in rows]
+    assert all(a > b for a, b in zip(efficiencies, efficiencies[1:]))

@@ -1,0 +1,151 @@
+"""E5 -- §4.2: one class-A route for all of AMPRnet.
+
+"Since AMPRnet has been allocated a class 'A' network, most systems
+will maintain only a single route for it.  All packets destined for
+AMPRnet originating from another internet host must pass through a
+single gateway.  This is not desirable since a packet destined for
+44.24.0.5 should be sent to a West Coast gateway ... whereas a packet
+destined for 44.56.0.5 should be sent to an East Coast gateway.  It is
+conceivable that something like this could be handled using the
+Internet Control Message Protocol (ICMP)."
+
+Three configurations of the two-coast topology:
+
+* ``single``   -- the era's reality: everything via the west gateway;
+* ``regional`` -- the wish: host routes per coast at the Internet host;
+* ``redirect`` -- the ICMP idea: the west gateway corrects the host.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ping import Pinger
+from repro.core.topology import build_two_coast_internet
+from repro.sim.clock import SECOND
+
+from benchmarks.conftest import report
+
+PINGS = 4
+
+
+def run_configuration(name: str, seed: int = 50):
+    kwargs = {}
+    if name == "regional":
+        kwargs["regional_routes_at_host"] = True
+    elif name == "redirect":
+        kwargs["send_redirects"] = True
+    tb = build_two_coast_internet(seed=seed, **kwargs)
+    if name == "rip":
+        # replace the static classful route with the era's routed
+        from repro.inet.rip import RipDaemon
+        tb.internet_host.routes.delete_network_route("44.0.0.0")
+        RipDaemon(tb.west_gateway.stack, interfaces=[tb.west_gateway.ether])
+        RipDaemon(tb.east_gateway.stack, interfaces=[tb.east_gateway.ether])
+        RipDaemon(tb.internet_host)
+        tb.sim.run(until=90 * SECOND)   # convergence
+    pinger = Pinger(tb.internet_host)
+    pinger.send(tb.EAST_STATION_IP, count=PINGS, interval=120 * SECOND)
+    tb.sim.run(until=PINGS * 120 * SECOND + 300 * SECOND)
+    return {
+        "received": pinger.received,
+        "first_rtt": pinger.rtts_us[0] / SECOND if pinger.rtts_us else None,
+        "last_rtt": pinger.rtts_us[-1] / SECOND if pinger.rtts_us else None,
+        "west_forwards": tb.west_gateway.stack.counters["ip_forwarded"],
+        "east_forwards": tb.east_gateway.stack.counters["ip_forwarded"],
+        "redirects_sent": tb.west_gateway.stack.counters["redirects_sent"],
+        "redirects_followed": tb.internet_host.counters["redirects_followed"],
+    }
+
+
+def test_e5_single_vs_regional_vs_redirect(benchmark):
+    def run():
+        return {name: run_configuration(name)
+                for name in ("single", "regional", "redirect", "rip")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, r in results.items():
+        rows.append((
+            name,
+            f"{r['received']}/{PINGS}",
+            f"{r['first_rtt']:.1f}" if r["first_rtt"] else "-",
+            f"{r['last_rtt']:.1f}" if r["last_rtt"] else "-",
+            r["west_forwards"],
+            r["east_forwards"],
+            r["redirects_sent"],
+        ))
+    report(f"E5 (§4.2): {PINGS} pings to the east-coast station 44.56.0.5",
+           ("routing", "pings ok", "first RTT (s)", "last RTT (s)",
+            "west gw forwards", "east gw forwards", "redirects"), rows)
+
+    single = results["single"]
+    regional = results["regional"]
+    redirect = results["redirect"]
+    rip = results["rip"]
+
+    # All three configurations deliver the traffic.
+    assert all(r["received"] == PINGS for r in results.values())
+
+    # Shape 1: with the single classful route, every east-bound packet
+    # needlessly transits the west gateway.
+    assert single["west_forwards"] >= PINGS
+    assert single["redirects_sent"] == 0
+
+    # Shape 2: regional routes keep the west gateway completely out.
+    assert regional["west_forwards"] == 0
+
+    # Shape 3: the ICMP mechanism converges -- the first packet(s) dogleg
+    # through the west gateway, later ones go direct.
+    assert redirect["redirects_sent"] >= 1
+    assert redirect["redirects_followed"] >= 1
+    assert 0 < redirect["west_forwards"] < single["west_forwards"]
+
+    # Shape 4: the east gateway always carries its own coast's traffic.
+    assert all(r["east_forwards"] >= PINGS for r in results.values())
+
+    # Shape 5: the era's dynamic routing does NOT fix it (see the
+    # dedicated test below) -- but it does deliver.
+    assert rip["received"] == PINGS
+
+
+def test_e5_rip_is_classful_and_cannot_split_net44(benchmark):
+    """RIPv1 yields ONE route for net 44: whichever coast it points at,
+    the other coast's traffic doglegs -- "no mechanism is in place"."""
+    def run():
+        from repro.inet.rip import RipDaemon
+        tb = build_two_coast_internet(seed=52)
+        tb.internet_host.routes.delete_network_route("44.0.0.0")
+        RipDaemon(tb.west_gateway.stack, interfaces=[tb.west_gateway.ether])
+        RipDaemon(tb.east_gateway.stack, interfaces=[tb.east_gateway.ether])
+        RipDaemon(tb.internet_host)
+        tb.sim.run(until=90 * SECOND)
+        west_ping = Pinger(tb.internet_host)
+        east_ping = Pinger(tb.internet_host)
+        west_ping.send(tb.WEST_STATION_IP, count=2, interval=120 * SECOND)
+        east_ping.send(tb.EAST_STATION_IP, count=2, interval=120 * SECOND)
+        tb.sim.run(until=tb.sim.now + 600 * SECOND)
+        route = tb.internet_host.routes.lookup("44.1.2.3")
+        return {
+            "west_ok": west_ping.received,
+            "east_ok": east_ping.received,
+            "net44_gateway": str(route.gateway) if route else None,
+            "west_forwards": tb.west_gateway.stack.counters["ip_forwarded"],
+            "east_forwards": tb.east_gateway.stack.counters["ip_forwarded"],
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E5 (§4.2): RIPv1 over the backbone -- one classful route for net 44",
+           ("metric", "value"),
+           [("pings to west coast", f"{r['west_ok']}/2"),
+            ("pings to east coast", f"{r['east_ok']}/2"),
+            ("the single net-44 next hop", r["net44_gateway"]),
+            ("west gateway forwards", r["west_forwards"]),
+            ("east gateway forwards", r["east_forwards"])])
+    assert r["west_ok"] == 2 and r["east_ok"] == 2
+    # One gateway carries BOTH coasts' ingress: its forward count covers
+    # its own coast (2 pings x 2 crossings) plus the dogleg relay toward
+    # the other gateway (2 pings x 1 relay) -- at least 12 vs the clean
+    # gateway's 8.
+    heavy = max(r["west_forwards"], r["east_forwards"])
+    light = min(r["west_forwards"], r["east_forwards"])
+    assert heavy >= light + 2
+    assert r["net44_gateway"] in ("192.12.33.10", "192.12.33.20")

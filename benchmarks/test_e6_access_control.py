@@ -1,0 +1,122 @@
+"""E6 -- §4.3: access control at the gateway.
+
+Regenerates the behaviour of the proposed authorisation table as a
+flow matrix plus a table-size timeline:
+
+* unsolicited outside -> amateur traffic is blocked;
+* amateur-initiated traffic opens the reverse path for that pair only;
+* entries expire after the TTL without amateur refreshes;
+* the ICMP extension messages add/revoke entries, with credentials
+  required from the non-amateur side.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ping import Pinger
+from repro.core.topology import build_gateway_testbed
+from repro.inet import icmp
+from repro.inet.ip import IPv4Address
+from repro.sim.clock import SECOND
+
+from benchmarks.conftest import report
+
+TTL = 240 * SECOND
+
+
+def run_scenario(seed: int = 60):
+    tb = build_gateway_testbed(seed=seed)
+    table = tb.gateway.enable_access_control(entry_ttl=TTL)
+    table.add_operator("NT7GW", "hunt-group")
+    timeline = []
+
+    def snapshot(label):
+        timeline.append((tb.sim.now / SECOND, label, table.live_entries()))
+
+    flows = {}
+
+    # Phase 1: outside host tries first -- must be blocked.
+    outside = Pinger(tb.ether_host)
+    outside.send("44.24.0.5", count=2, interval=20 * SECOND)
+    tb.sim.run(until=80 * SECOND)
+    flows["unsolicited outside->amateur"] = outside.received
+    snapshot("after unsolicited attempt")
+
+    # Phase 2: amateur initiates -- table entry appears, reverse opens.
+    amateur = Pinger(tb.pc.stack)
+    amateur.send("128.95.1.2", count=1)
+    tb.sim.run(until=tb.sim.now + 120 * SECOND)
+    flows["amateur->outside"] = amateur.received
+    snapshot("after amateur contact")
+    outside2 = Pinger(tb.ether_host)
+    outside2.send("44.24.0.5", count=2, interval=20 * SECOND)
+    tb.sim.run(until=tb.sim.now + 120 * SECOND)
+    flows["outside->amateur (authorised)"] = outside2.received
+    snapshot("authorised traffic flowing")
+
+    # Phase 3: let the entry expire; outside is blocked again.
+    tb.sim.run(until=tb.sim.now + TTL + 60 * SECOND)
+    snapshot("after TTL idle")
+    outside3 = Pinger(tb.ether_host)
+    outside3.send("44.24.0.5", count=1)
+    tb.sim.run(until=tb.sim.now + 60 * SECOND)
+    flows["outside->amateur (expired)"] = outside3.received
+    snapshot("post-expiry attempt")
+
+    # Phase 4: ICMP authorise from the outside with credentials.
+    request = icmp.AccessControlRequest(
+        amateur=IPv4Address.parse("44.24.0.5"),
+        outside=IPv4Address.parse("128.95.1.2"),
+        ttl_seconds=600, callsign="NT7GW", password="hunt-group",
+    )
+    tb.ether_host.send_icmp(
+        icmp.access_control_message(icmp.AC_AUTHORIZE, request),
+        "128.95.1.1",
+    )
+    tb.sim.run(until=tb.sim.now + 30 * SECOND)
+    snapshot("after ICMP authorise")
+    outside4 = Pinger(tb.ether_host)
+    outside4.send("44.24.0.5", count=1)
+    tb.sim.run(until=tb.sim.now + 120 * SECOND)
+    flows["outside->amateur (ICMP authorised)"] = outside4.received
+
+    # Phase 5: the control operator revokes from the amateur side.
+    revoke = icmp.AccessControlRequest(
+        amateur=IPv4Address.parse("44.24.0.5"),
+        outside=IPv4Address.parse("128.95.1.2"),
+    )
+    tb.pc.stack.send_icmp(
+        icmp.access_control_message(icmp.AC_REVOKE, revoke), "44.24.0.28"
+    )
+    tb.sim.run(until=tb.sim.now + 60 * SECOND)
+    snapshot("after operator revoke")
+    outside5 = Pinger(tb.ether_host)
+    outside5.send("44.24.0.5", count=1)
+    tb.sim.run(until=tb.sim.now + 60 * SECOND)
+    flows["outside->amateur (revoked)"] = outside5.received
+
+    return flows, timeline, table
+
+
+def test_e6_access_control_lifecycle(benchmark):
+    flows, timeline, table = benchmark.pedantic(run_scenario, rounds=1,
+                                                iterations=1)
+    report("E6 (§4.3): flow outcomes",
+           ("flow", "echoes delivered"),
+           [(name, count) for name, count in flows.items()])
+    report("E6 (§4.3): authorisation table size over time",
+           ("sim time (s)", "event", "live entries"),
+           [(f"{t:.0f}", label, entries) for t, label, entries in timeline])
+
+    # The §4.3 state machine, end to end:
+    assert flows["unsolicited outside->amateur"] == 0
+    assert flows["amateur->outside"] == 1
+    assert flows["outside->amateur (authorised)"] == 2
+    assert flows["outside->amateur (expired)"] == 0
+    assert flows["outside->amateur (ICMP authorised)"] == 1
+    assert flows["outside->amateur (revoked)"] == 0
+    assert table.blocked_in >= 2
+    assert table.entries_expired >= 1
+    assert table.entries_revoked >= 1
+    # Table growth/decay shape: empty -> 1 -> 0 -> 1 -> 0.
+    sizes = [entries for _t, _label, entries in timeline]
+    assert sizes[0] == 0 and max(sizes) >= 1 and sizes[3] == 0

@@ -1,0 +1,102 @@
+"""E7 -- §2.4 future work: the application-layer gateway for non-IP users.
+
+"Packets that are received from the TNC that are not of type IP can be
+placed on the input queue for the appropriate tty line.  A user program
+can then read from this line, and maintain the state required to keep
+track of AX.25 level [2] connections.  Data can then be passed to a
+pseudo terminal to support remote login, and to a separate program to
+support electronic mail."
+
+Workload: a terminal-only station (stock ROM TNC, no IP anywhere on its
+side) connects to the gateway's callsign, logs into the Ethernet host
+through the AX.25<->TCP bridge, runs a command, then sends mail via the
+gateway's SMTP submission path.
+"""
+
+from __future__ import annotations
+
+from repro.apps.axgateway import Ax25ApplicationGateway
+from repro.apps.smtp import SmtpServer
+from repro.apps.telnet import TelnetServer
+from repro.core.hosts import TerminalStation
+from repro.core.topology import build_gateway_testbed
+from repro.sim.clock import SECOND
+
+from benchmarks.conftest import report
+
+
+def run_terminal_user(seed: int = 70):
+    tb = build_gateway_testbed(seed=seed)
+    TelnetServer(tb.ether_host)
+    smtp = SmtpServer(tb.ether_host)
+    gateway = Ax25ApplicationGateway(
+        tb.gateway.stack, tb.gateway.radio_interface, mail_relay="128.95.1.2"
+    )
+    term = TerminalStation(tb.sim, tb.channel, "KD7NM")
+    script = [
+        (1, "connect NT7GW"),
+        (50, "T 128.95.1.2"),
+        (160, "kd7nm"),
+        (300, "echo no ip was harmed"),
+        (450, "logout"),
+        (560, "M kd7nm@gw cliff@wally"),
+        (600, "73 de KD7NM"),
+        (630, "/EX"),
+        (800, "B"),
+    ]
+    for t, line in script:
+        tb.sim.at(t * SECOND, term.type_line, line)
+    tb.sim.run(until=1100 * SECOND)
+    return tb, term, smtp, gateway
+
+
+def test_e7_terminal_user_reaches_ip_services(benchmark):
+    tb, term, smtp, gateway = benchmark.pedantic(run_terminal_user, rounds=1,
+                                                 iterations=1)
+    screen = term.screen_text()
+    driver = tb.gateway.radio_interface
+    milestones = [
+        ("AX.25 connect to gateway", "CONNECTED to NT7GW" in screen),
+        ("menu served", "UW packet gateway" in screen),
+        ("telnet bridge login", "login:" in screen),
+        ("remote command output", "no ip was harmed" in screen),
+        ("remote logout", "telnet session closed" in screen),
+        ("mail accepted", "mail sent" in screen),
+        ("mail delivered to mailbox", bool(smtp.mailbox.inbox("cliff"))),
+        ("clean disconnect", "DISCONNECTED" in screen),
+    ]
+    report("E7 (§2.4): terminal user through the application gateway",
+           ("milestone", "reached"),
+           [(name, "yes" if ok else "NO") for name, ok in milestones])
+    report("E7 (§2.4): gateway-side accounting",
+           ("metric", "value"),
+           [("non-IP frames taken by user program", driver.frames_non_ip),
+            ("telnet bridges opened", gateway.telnet_bridges),
+            ("mail submissions", gateway.mail_submissions),
+            ("driver IP frames (PC traffic would be here)", driver.frames_ip_in)])
+
+    assert all(ok for _name, ok in milestones)
+    # The terminal user's frames arrived as non-IP PIDs and were consumed
+    # by the user-space gateway, exactly as §2.4 sketches.
+    assert driver.frames_non_ip > 0
+    assert gateway.telnet_bridges == 1
+    assert gateway.mail_submissions == 1
+    assert smtp.mailbox.inbox("cliff")[0].body == "73 de KD7NM"
+
+
+def test_e7_no_kernel_changes_needed(benchmark):
+    """§2.4: 'such applications do not require kernel support' -- the
+    same driver instance serves IP forwarding at the very same time."""
+    def run():
+        tb, term, smtp, gateway = run_terminal_user(seed=71)
+        # Run an IP ping through the same gateway while reusing the state.
+        from repro.apps.ping import Pinger
+        pinger = Pinger(tb.pc.stack)
+        pinger.send("128.95.1.2", count=1)
+        tb.sim.run(until=tb.sim.now + 180 * SECOND)
+        return tb, pinger
+
+    tb, pinger = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert pinger.received == 1
+    assert tb.gateway.radio_interface.frames_ip_in > 0
+    assert tb.gateway.radio_interface.frames_non_ip > 0

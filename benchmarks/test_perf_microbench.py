@@ -1,0 +1,107 @@
+"""Simulator performance microbenchmarks.
+
+Unlike the experiment benches (which reproduce the paper and run one
+deterministic round), these measure the reproduction itself as
+software: event-loop throughput, codec speed, and end-to-end simulation
+cost.  They exist so a change that makes the simulator 10x slower is
+caught by the same `pytest benchmarks/ --benchmark-only` run that
+checks the science.
+"""
+
+from __future__ import annotations
+
+from repro.ax25.address import AX25Address, AX25Path
+from repro.ax25.defs import PID_ARPA_IP
+from repro.ax25.frames import AX25Frame
+from repro.inet.ip import IPv4Address, IPv4Datagram, PROTO_TCP
+from repro.inet.tcp import FLAG_ACK, TcpSegment
+from repro.kiss.framing import KissDeframer, frame as kiss_frame
+from repro.sim.clock import SECOND
+from repro.sim.engine import Simulator
+
+
+def test_perf_event_loop_throughput(benchmark):
+    """Schedule and dispatch 10k chained events."""
+    def run():
+        sim = Simulator()
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < 10_000:
+                sim.schedule(10, tick)
+
+        sim.schedule(1, tick)
+        sim.run_until_idle()
+        return state["count"]
+
+    assert benchmark(run) == 10_000
+
+
+def test_perf_kiss_deframe_64k_stream(benchmark):
+    """Per-byte deframing of a 64 KiB KISS stream (the driver's hot path)."""
+    payload = bytes(range(256)) * 1
+    record = kiss_frame(0, payload)
+    stream = record * (65536 // len(record) + 1)
+
+    def run():
+        deframer = KissDeframer()
+        for byte in stream:
+            deframer.push_byte(byte)
+        return len(deframer.frames)
+
+    frames = benchmark(run)
+    assert frames > 200
+
+
+def test_perf_ax25_codec(benchmark):
+    """Encode+decode round trips of a digipeated UI frame."""
+    frame = AX25Frame.ui(
+        AX25Address("KB7DZ"), AX25Address("N7AKR", 2), PID_ARPA_IP,
+        bytes(200), AX25Path.of("WB7DIG", "K3MC-7"),
+    )
+
+    def run():
+        total = 0
+        for _ in range(500):
+            decoded = AX25Frame.decode(frame.encode())
+            total += len(decoded.info)
+        return total
+
+    assert benchmark(run) == 500 * 200
+
+
+def test_perf_ip_tcp_codec(benchmark):
+    """Encode+decode of TCP-in-IP (checksums included)."""
+    src = IPv4Address.parse("44.24.0.5")
+    dst = IPv4Address.parse("128.95.1.2")
+    segment = TcpSegment(1024, 23, 1000, 2000, FLAG_ACK, 4096, bytes(512))
+
+    def run():
+        total = 0
+        for _ in range(300):
+            wire = IPv4Datagram(
+                source=src, destination=dst, protocol=PROTO_TCP,
+                payload=segment.encode(src, dst), identification=7,
+            ).encode()
+            datagram = IPv4Datagram.decode(wire)
+            decoded = TcpSegment.decode(datagram.payload, src, dst)
+            total += len(decoded.payload)
+        return total
+
+    assert benchmark(run) == 300 * 512
+
+
+def test_perf_full_gateway_session(benchmark):
+    """Cost of simulating the whole §2.3 ping exchange, end to end."""
+    from repro.apps.ping import Pinger
+    from repro.core.topology import build_gateway_testbed
+
+    def run():
+        tb = build_gateway_testbed(seed=1)
+        pinger = Pinger(tb.pc.stack)
+        pinger.send("128.95.1.2", count=2, interval=30 * SECOND)
+        tb.sim.run(until=200 * SECOND)
+        return pinger.received
+
+    assert benchmark(run) == 2

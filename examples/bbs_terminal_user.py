@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The pre-IP world and its bridge to the Internet.
+
+Recreates the introduction of the paper: a user with a dumb terminal
+and a stock ROM TNC connects to a local BBS, leaves mail, and reads
+messages -- no IP anywhere on their side.  Then the §2.4 application
+gateway lets the same terminal user log into an Internet host and send
+SMTP mail, "without isolating themselves from the existing amateur
+packet radio network".
+
+Run:  python examples/bbs_terminal_user.py
+"""
+
+from repro.apps.axgateway import Ax25ApplicationGateway
+from repro.apps.bbs import BulletinBoard
+from repro.apps.smtp import SmtpServer
+from repro.apps.telnet import TelnetServer
+from repro.core.hosts import TerminalStation
+from repro.core.topology import build_gateway_testbed
+from repro.sim.clock import SECOND
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 64)
+    print(text)
+    print("=" * 64)
+
+
+def main() -> None:
+    testbed = build_gateway_testbed(seed=1988)
+    sim = testbed.sim
+
+    # A BBS and a terminal user share the frequency with the gateway.
+    bbs = BulletinBoard(sim, testbed.channel, "W0RLI")
+    user = TerminalStation(sim, testbed.channel, "KD7NM")
+
+    # Internet services behind the gateway.
+    TelnetServer(testbed.ether_host)
+    mail = SmtpServer(testbed.ether_host)
+    Ax25ApplicationGateway(testbed.gateway.stack,
+                           testbed.gateway.radio_interface,
+                           mail_relay=testbed.ETHER_HOST_IP)
+
+    # ------------------------------------------------------------------
+    banner("act 1: terminal user on the BBS (AX.25 connected mode only)")
+    script = [
+        (1, "connect W0RLI"),
+        (40, "S N7AKR"),
+        (70, "Cliff -- the new gateway is on the air tonight."),
+        (95, "/EX"),
+        (150, "L"),
+        (210, "R 1"),
+        (330, "B"),
+    ]
+    for t, line in script:
+        sim.at(t * SECOND, user.type_line, line)
+    sim.run(until=450 * SECOND)
+    print(user.screen_text())
+    user.screen.clear()
+
+    # ------------------------------------------------------------------
+    banner("act 2: the same terminal, onto the Internet via the gateway")
+    script = [
+        (10, "connect NT7GW"),
+        (60, "T " + testbed.ETHER_HOST_IP),
+        (170, "kd7nm"),
+        (300, "echo a terminal user on the Internet"),
+        (450, "logout"),
+        (560, "M kd7nm@gateway cliff@wally"),
+        (600, "No TCP/IP here, just a TNC -- and it still reached you."),
+        (630, "/EX"),
+        (800, "B"),
+    ]
+    for t, line in script:
+        sim.at(sim.now + t * SECOND, user.type_line, line)
+    sim.run(until=sim.now + 1100 * SECOND)
+    print(user.screen_text())
+
+    # ------------------------------------------------------------------
+    banner("state of the world")
+    print(f"  BBS message base: {len(bbs.messages)} message(s)")
+    for message in bbs.messages:
+        print(f"    #{message.number} to {message.to} fm {message.origin}: "
+              f"{message.body!r}")
+    inbox = mail.mailbox.inbox("cliff")
+    print(f"  cliff@wally inbox: {len(inbox)} message(s)")
+    for message in inbox:
+        print(f"    from {message.sender}: {message.body!r}")
+
+
+if __name__ == "__main__":
+    main()

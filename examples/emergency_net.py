@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""An emergency field network (the paper's §5 motivation).
+
+"Packet radio is also useful for emergency field communications where
+one doesn't have the time to string wires.  Another reason ... is that
+in a large scale emergency, such as an earthquake, land based
+communications will often be disrupted."
+
+Scenario: an earthquake exercise around Puget Sound.  Field stations in
+Tacoma and Everett can only reach the Seattle EOC through a hilltop
+digipeater (hidden-terminal topology); the EOC's MicroVAX gateways
+traffic onto the surviving campus Ethernet where a message hub runs.
+Field stations report in over UDP, the hub acknowledges, and a NET/ROM
+node provides a backup long-haul path.
+
+Run:  python examples/emergency_net.py
+"""
+
+from repro.apps.ping import Pinger
+from repro.ax25.address import AX25Path
+from repro.core.hosts import make_ethernet_host, make_gateway, make_radio_host
+from repro.ethernet.lan import EthernetLan
+from repro.inet.sockets import UdpSocket
+from repro.radio.channel import RadioChannel
+from repro.radio.modem import ModemProfile
+from repro.sim.clock import SECOND
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import Tracer
+from repro.tnc.digipeater import Digipeater
+
+REPORT_PORT = 3694  # "EOC" on a phone pad
+
+
+def main() -> None:
+    sim = Simulator()
+    streams = RandomStreams(seed=2026)
+    tracer = Tracer(sim)
+    modem = ModemProfile(bit_rate=1200)
+
+    # -- the radio side: hidden-terminal topology via a hilltop digi ----
+    channel = RadioChannel(sim, streams, tracer=tracer, name="146.58-simplex")
+    lan = EthernetLan(sim, tracer=tracer)
+
+    eoc_gateway = make_gateway(
+        sim, lan, channel, "eoc-vax", "W7EOC",
+        ether_ip="128.95.10.1", radio_ip="44.24.10.1", mac_index=1,
+        tracer=tracer, modem=modem,
+    )
+    hub = make_ethernet_host(sim, lan, "msg-hub", "128.95.10.2", mac_index=2,
+                             tracer=tracer)
+    hub.routes.add_network_route("44.0.0.0", hub.interfaces[-1],
+                                 gateway="128.95.10.1")
+
+    hilltop = Digipeater(sim, channel, "WR7HIL", modem=modem, tracer=tracer)
+
+    tacoma = make_radio_host(sim, channel, "tacoma-field", "KB7DZ",
+                             "44.24.10.20", tracer=tracer, modem=modem)
+    everett = make_radio_host(sim, channel, "everett-field", "N7AKR",
+                              "44.24.10.30", tracer=tracer, modem=modem)
+
+    # Propagation: field stations hear only the hilltop; the EOC hears
+    # the hilltop and (being in town) Tacoma directly.
+    channel.use_explicit_links()
+    channel.add_link("KB7DZ", "WR7HIL")
+    channel.add_link("N7AKR", "WR7HIL")
+    channel.add_link("W7EOC", "WR7HIL")
+    channel.add_link("W7EOC", "KB7DZ")
+
+    # Routing & link paths: Everett must digipeat via the hilltop.
+    for station in (tacoma, everett):
+        station.stack.routes.set_default(station.interface, "44.24.10.1")
+    everett.interface.add_arp_entry("44.24.10.1", "W7EOC",
+                                    AX25Path.of("WR7HIL"))
+    eoc_gateway.radio.interface.add_arp_entry("44.24.10.30", "N7AKR",
+                                              AX25Path.of("WR7HIL"))
+    tacoma.interface.add_arp_entry("44.24.10.1", "W7EOC")
+    eoc_gateway.radio.interface.add_arp_entry("44.24.10.20", "KB7DZ")
+
+    # -- the message hub: UDP check-in service ------------------------
+    checkins = []
+    hub_socket = UdpSocket(hub, REPORT_PORT)
+
+    def on_report(payload, source, source_port):
+        text = payload.decode("latin-1")
+        checkins.append((sim.now, str(source), text))
+        hub_socket.sendto(f"ACK {len(checkins)}: {text}".encode(),
+                          source, source_port)
+    hub_socket.on_datagram = on_report
+
+    acks = {"tacoma": [], "everett": []}
+    tacoma_socket = UdpSocket(tacoma.stack)
+    everett_socket = UdpSocket(everett.stack)
+    tacoma_socket.on_datagram = lambda p, s, sp: acks["tacoma"].append(p)
+    everett_socket.on_datagram = lambda p, s, sp: acks["everett"].append(p)
+
+    reports = [
+        (20, tacoma_socket, "TACOMA: shelter open, 120 capacity"),
+        (45, everett_socket, "EVERETT: bridge out on highway 2"),
+        (110, tacoma_socket, "TACOMA: medical supplies requested"),
+        (150, everett_socket, "EVERETT: comms normal, generator at 80%"),
+    ]
+    for t, socket, text in reports:
+        sim.schedule(t * SECOND, socket.sendto, text.encode("latin-1"),
+                     "128.95.10.2", REPORT_PORT)
+
+    sim.run(until=600 * SECOND)
+
+    print("Emergency net exercise -- field reports received at the hub:")
+    for when, source, text in checkins:
+        print(f"  [{when / SECOND:7.1f}s] {source:<14} {text}")
+    print()
+    print(f"acks at Tacoma : {len(acks['tacoma'])}")
+    print(f"acks at Everett: {len(acks['everett'])} (digipeated via WR7HIL)")
+    print(f"hilltop digipeater relayed {hilltop.frames_relayed} frames")
+    print(f"gateway forwarded {eoc_gateway.stack.counters['ip_forwarded']} "
+          "datagrams radio<->ether")
+    print(f"channel busy {100 * channel.utilisation():.1f}% of the exercise")
+
+    assert len(checkins) == 4
+    assert len(acks["tacoma"]) == 2 and len(acks["everett"]) == 2
+    assert hilltop.frames_relayed > 0
+    print("\nexercise complete: all stations checked in and were acknowledged")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The sysadmin's view: axdump and netstat on a live gateway.
+
+Runs the §2.3 testbed with a monitor receiver on the frequency (the
+software version of a spare TNC in monitor mode) while a telnet session
+crosses the gateway, then prints what the era's commands would show:
+the decoded off-air trace, ifconfig, netstat -r, arp -a, and protocol
+statistics for every host.
+
+Run:  python examples/network_observatory.py
+"""
+
+from repro.apps.telnet import TelnetClient, TelnetServer
+from repro.core.topology import build_gateway_testbed
+from repro.sim.clock import SECOND
+from repro.tools.axdump import ChannelMonitor
+from repro.tools.netstat import (
+    format_arp_table,
+    format_interfaces,
+    format_netstat,
+    format_routes,
+)
+
+
+def heading(text: str) -> None:
+    print()
+    print(f"==== {text} " + "=" * max(0, 58 - len(text)))
+
+
+def main() -> None:
+    testbed = build_gateway_testbed(seed=88)
+    monitor = ChannelMonitor(testbed.channel)
+
+    TelnetServer(testbed.ether_host)
+    client = TelnetClient(testbed.pc.stack, testbed.ETHER_HOST_IP)
+    client.type_lines(["cliff", "echo watching the watchers", "logout"])
+    testbed.sim.run(until=900 * SECOND)
+    assert "watching the watchers" in client.transcript_text()
+
+    heading("axdump: heard on 145.01 MHz (first 45 lines)")
+    print("\n".join(monitor.render().split("\n")[:45]))
+
+    for stack, label in (
+        (testbed.gateway.stack, "gateway (microvax)"),
+        (testbed.ether_host, "wally"),
+        (testbed.pc.stack, "ibmpc"),
+    ):
+        heading(f"ifconfig -a @ {label}")
+        print(format_interfaces(stack))
+        heading(f"netstat -r @ {label}")
+        print(format_routes(stack))
+        heading(f"arp -a @ {label}")
+        print(format_arp_table(stack))
+
+    heading("netstat (protocol statistics) @ gateway")
+    print(format_netstat(testbed.gateway.stack))
+
+    heading("summary")
+    print(f"frames monitored off the air : {monitor.frames_heard}")
+    print(f"gateway datagrams forwarded  : "
+          f"{testbed.gateway.stack.counters['ip_forwarded']}")
+    print(f"driver character interrupts  : "
+          f"{testbed.gateway.radio_interface.rx_char_interrupts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro -- reproduction of "Adding Packet Radio to the Ultrix Kernel".
+
+Neuman & Yamamoto (USENIX 1988) added the amateur packet radio link
+layer, AX.25, to the Ultrix kernel and used a MicroVAX as an IP gateway
+between an amateur packet radio network and the Internet.  This package
+rebuilds that entire system as a deterministic discrete-event
+simulation:
+
+* :mod:`repro.sim` -- the event engine, clock, tracing, seeded RNG.
+* :mod:`repro.ax25`, :mod:`repro.kiss` -- the link-layer protocols.
+* :mod:`repro.radio`, :mod:`repro.serialio`, :mod:`repro.ethernet` --
+  physical substrates (shared RF channel, RS-232 tty, Ethernet LAN).
+* :mod:`repro.tnc` -- KISS and ROM terminal node controllers.
+* :mod:`repro.netif`, :mod:`repro.inet` -- the 4.3BSD-style kernel
+  interface layer and a full IPv4/ICMP/ARP/UDP/TCP stack.
+* :mod:`repro.core` -- the paper's contribution: the packet radio
+  pseudo-device driver, the gateway, access control, topologies.
+* :mod:`repro.netrom`, :mod:`repro.apps` -- NET/ROM and applications
+  (telnet, FTP, SMTP, ping, BBS, application-layer AX.25 gateway,
+  distributed callbook).
+
+Start with ``examples/quickstart.py`` or
+:func:`repro.core.topology.build_figure1_testbed`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

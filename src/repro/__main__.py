@@ -1,0 +1,90 @@
+"""Command-line front door: ``python -m repro <scenario>``.
+
+Runs the bundled example scenarios without needing the examples/
+directory, so an installed copy of the library can demonstrate itself:
+
+    python -m repro quickstart     # Figure 1 ping
+    python -m repro gateway        # §2.3 telnet session over the gateway
+    python -m repro observatory    # axdump + netstat on a live gateway
+    python -m repro list           # show this list
+
+The fuller scenarios (BBS, emergency net, NET/ROM node network, ...)
+live as scripts in the repository's examples/ directory.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+
+def _quickstart() -> None:
+    from repro.apps.ping import Pinger
+    from repro.core.topology import build_figure1_testbed
+    from repro.sim.clock import SECOND
+
+    testbed = build_figure1_testbed(seed=7)
+    pinger = Pinger(testbed.host.stack)
+    pinger.send("44.24.0.5", count=3, interval=20 * SECOND)
+    testbed.sim.run(until=120 * SECOND)
+    print(f"ping 44.24.0.5: {pinger.received}/{pinger.sent} replies, "
+          f"mean RTT {pinger.mean_rtt_seconds():.2f}s at 1200 bps")
+    for record in testbed.tracer.select(category="radio.tx"):
+        print(" ", record.render())
+
+
+def _gateway() -> None:
+    from repro.apps.telnet import TelnetClient, TelnetServer
+    from repro.core.topology import build_gateway_testbed
+    from repro.sim.clock import SECOND
+
+    testbed = build_gateway_testbed(seed=42)
+    TelnetServer(testbed.ether_host)
+    client = TelnetClient(testbed.pc.stack, testbed.ETHER_HOST_IP)
+    client.type_lines(["cliff", "echo hello from packet radio", "logout"])
+    testbed.sim.run(until=900 * SECOND)
+    print(client.transcript_text())
+    print(f"[gateway forwarded "
+          f"{testbed.gateway.stack.counters['ip_forwarded']} datagrams]")
+
+
+def _observatory() -> None:
+    from repro.apps.ping import Pinger
+    from repro.core.topology import build_gateway_testbed
+    from repro.sim.clock import SECOND
+    from repro.tools.axdump import ChannelMonitor
+    from repro.tools.netstat import format_netstat
+
+    testbed = build_gateway_testbed(seed=88)
+    monitor = ChannelMonitor(testbed.channel)
+    pinger = Pinger(testbed.pc.stack)
+    pinger.send(testbed.ETHER_HOST_IP, count=2, interval=30 * SECOND)
+    testbed.sim.run(until=180 * SECOND)
+    print(monitor.render())
+    print()
+    print(format_netstat(testbed.gateway.stack))
+
+
+SCENARIOS: Dict[str, Callable[[], None]] = {
+    "quickstart": _quickstart,
+    "gateway": _gateway,
+    "observatory": _observatory,
+}
+
+
+def main(argv: list) -> int:
+    """Dispatch to a scenario; returns a process exit code."""
+    name = argv[1] if len(argv) > 1 else "list"
+    if name in SCENARIOS:
+        SCENARIOS[name]()
+        return 0
+    if name not in ("list", "-h", "--help"):
+        print(f"unknown scenario {name!r}", file=sys.stderr)
+    print(__doc__.strip())
+    print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)))
+    print("richer versions live in examples/*.py")
+    return 0 if name in ("list", "-h", "--help") else 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,49 @@
+"""Applications: the services the gateway made reachable.
+
+"Telnet, FTP, and SMTP have all been successfully used across the
+gateway."  Each protocol here is a working, line-based implementation
+over the reproduction's own TCP/UDP -- simplified against its RFC where
+1988 realism does not require the full grammar (documented per module)
+-- plus the packet-radio-native services:
+
+* :mod:`~repro.apps.ping` -- ICMP echo measurement.
+* :mod:`~repro.apps.telnet` -- remote login with a tiny command shell.
+* :mod:`~repro.apps.ftp` -- control + data-connection file transfer.
+* :mod:`~repro.apps.smtp` -- mail with mailboxes.
+* :mod:`~repro.apps.bbs` -- the packet BBS (AX.25 connected mode) with
+  store-and-forward mail, as in the paper's introduction.
+* :mod:`~repro.apps.axgateway` -- §2.4's application-layer gateway:
+  AX.25 terminal users reach telnet/mail without speaking IP.
+* :mod:`~repro.apps.callbook` -- §5's distributed callbook service.
+* :mod:`~repro.apps.traceroute` -- VJ traceroute (UDP probes + ICMP).
+"""
+
+from repro.apps.axgateway import Ax25ApplicationGateway
+from repro.apps.bbs import BbsMessage, BulletinBoard
+from repro.apps.callbook import CallbookClient, CallbookDirectory, CallbookRecord, CallbookServer
+from repro.apps.ftp import FileStore, FtpClient, FtpServer
+from repro.apps.ping import Pinger
+from repro.apps.smtp import Mailbox, SmtpClient, SmtpServer
+from repro.apps.telnet import TelnetClient, TelnetServer
+from repro.apps.traceroute import Hop, Traceroute
+
+__all__ = [
+    "Ax25ApplicationGateway",
+    "BbsMessage",
+    "BulletinBoard",
+    "CallbookClient",
+    "CallbookDirectory",
+    "CallbookRecord",
+    "CallbookServer",
+    "FileStore",
+    "FtpClient",
+    "FtpServer",
+    "Mailbox",
+    "Pinger",
+    "SmtpClient",
+    "SmtpServer",
+    "TelnetClient",
+    "TelnetServer",
+    "Traceroute",
+    "Hop",
+]

@@ -1,0 +1,180 @@
+"""The application-layer AX.25 gateway (§2.4 future work).
+
+"In addition to providing a gateway between the packet radio network
+and the rest of the Internet, we would like our gateway to be able to
+serve as a gateway between applications running on top of other
+protocols.  Such a gateway would be at the application layer, and
+specific to remote login and electronic mail. ... Packets that are
+received from the TNC that are not of type IP can be placed on the
+input queue for the appropriate tty line.  A user program can then read
+from this line, and maintain the state required to keep track of AX.25
+level [2] connections.  Data can then be passed to a pseudo terminal to
+support remote login, and to a separate program to support electronic
+mail."
+
+:class:`Ax25ApplicationGateway` is that user program.  It taps the
+driver's non-IP frame hook, runs an AX.25 level-2 endpoint in "user
+space", and bridges each terminal user's connection to either a telnet
+session (remote login) or an SMTP submission (mail) carried over the
+gateway's own IP stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ax25.frames import AX25Frame
+from repro.ax25.lapb import LapbConnection, LapbEndpoint
+from repro.core.driver import PacketRadioInterface
+from repro.inet.ip import IPError, IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import TcpSocket
+from repro.apps.smtp import SmtpClient
+from repro.sim.clock import SECOND
+
+
+class _UserSession:
+    """One terminal user connected to the gateway's callsign."""
+
+    MENU = "UW packet gateway: T host = telnet, M from to = mail, B = bye"
+
+    def __init__(self, gateway: "Ax25ApplicationGateway",
+                 conn: LapbConnection) -> None:
+        self.gateway = gateway
+        self.conn = conn
+        self.buffer = bytearray()
+        self.telnet: Optional[TcpSocket] = None
+        self.mail_lines: Optional[List[str]] = None
+        self.mail_from = ""
+        self.mail_to: List[str] = []
+        self.send(self.MENU)
+
+    def send(self, text: str) -> None:
+        """Send bytes to the peer."""
+        self.conn.send((text + "\r").encode("latin-1"))
+
+    # -- input ------------------------------------------------------------
+
+    def data(self, chunk: bytes) -> None:
+        """Consume bytes arriving from the remote end."""
+        if self.telnet is not None:
+            # Bridged mode: raw relay into the TCP connection.
+            self.telnet.send(chunk.replace(b"\r", b"\r\n"))
+            return
+        self.buffer += chunk
+        while True:
+            index = min(
+                (i for i in (self.buffer.find(b"\r"), self.buffer.find(b"\n")) if i >= 0),
+                default=-1,
+            )
+            if index < 0:
+                return
+            line = bytes(self.buffer[:index]).decode("latin-1").strip()
+            del self.buffer[: index + 1]
+            self.line(line)
+
+    def line(self, line: str) -> None:
+        """Interpret one complete input line."""
+        if self.mail_lines is not None:
+            if line.upper() == "/EX":
+                self._submit_mail()
+            else:
+                self.mail_lines.append(line)
+            return
+        words = line.split()
+        if not words:
+            return
+        verb = words[0].upper()
+        if verb == "T" and len(words) > 1:
+            self._start_telnet(words[1])
+        elif verb == "M" and len(words) > 2:
+            self.mail_from = words[1]
+            self.mail_to = words[2:]
+            self.mail_lines = []
+            self.send("Enter message, /EX to end")
+        elif verb == "B":
+            self.send("73!")
+            self.conn.disconnect()
+        else:
+            self.send(self.MENU)
+
+    # -- remote login bridge -----------------------------------------------
+
+    def _start_telnet(self, host: str) -> None:
+        try:
+            address = IPv4Address.parse(host)
+        except IPError:
+            self.send(f"bad address {host}")
+            return
+        self.send(f"trying {host}...")
+        self.telnet = TcpSocket.connect(self.gateway.stack, address, 23)
+        self.telnet.on_data = self._telnet_data
+        self.telnet.on_close = self._telnet_closed
+        self.gateway.telnet_bridges += 1
+
+    def _telnet_data(self, _chunk: bytes) -> None:
+        assert self.telnet is not None
+        data = self.telnet.recv()
+        if data:
+            self.conn.send(data.replace(b"\r\n", b"\r"))
+
+    def _telnet_closed(self, _reason: str) -> None:
+        self.telnet = None
+        self.send("*** telnet session closed")
+        self.send(self.MENU)
+
+    # -- mail ---------------------------------------------------------------
+
+    def _submit_mail(self) -> None:
+        body = "\n".join(self.mail_lines or [])
+        self.mail_lines = None
+        relay = self.gateway.mail_relay
+        if relay is None:
+            self.send("no mail relay configured")
+            return
+        self.gateway.mail_submissions += 1
+
+        def done(ok: bool) -> None:
+            self.send("mail sent" if ok else "mail failed")
+        SmtpClient(self.gateway.stack, relay, self.mail_from, self.mail_to,
+                   body, on_done=done)
+        self.send("submitting...")
+
+
+class Ax25ApplicationGateway:
+    """The §2.4 user program bridging AX.25 users to IP services."""
+
+    def __init__(self, stack: NetStack, driver: PacketRadioInterface,
+                 mail_relay: Optional[str] = None) -> None:
+        self.stack = stack
+        self.driver = driver
+        self.mail_relay = mail_relay
+        self.endpoint = LapbEndpoint(
+            stack.sim, driver.callsign,
+            send_frame=driver.send_ax25_frame,
+            t1=5 * SECOND,
+        )
+        self.endpoint.on_connect = self._connected
+        self.endpoint.on_data = self._data
+        self.endpoint.on_disconnect = self._disconnected
+        driver.non_ip_handler = self._non_ip_frame
+        self.sessions: Dict[str, _UserSession] = {}
+        self.telnet_bridges = 0
+        self.mail_submissions = 0
+
+    def _non_ip_frame(self, frame: AX25Frame) -> None:
+        self.endpoint.handle_frame(frame)
+
+    def _connected(self, conn: LapbConnection, initiated: bool) -> None:
+        if not initiated:
+            self.sessions[str(conn.remote)] = _UserSession(self, conn)
+
+    def _data(self, conn: LapbConnection, data: bytes, _pid: int) -> None:
+        session = self.sessions.get(str(conn.remote))
+        if session is not None:
+            session.data(data)
+
+    def _disconnected(self, conn: LapbConnection, _reason: str) -> None:
+        session = self.sessions.pop(str(conn.remote), None)
+        if session is not None and session.telnet is not None:
+            session.telnet.close()

@@ -1,0 +1,184 @@
+"""The distributed callbook (§5 discussion).
+
+"With a distributed callbook server, data for a particular country, or
+part of a country, could be maintained on a system local to that area.
+Given a call sign, an application running on a PC could determine what
+area the call sign is from, and then send off a query to the
+appropriate server."
+
+The area of a US callsign is its district digit (N7AKR -> area 7).  A
+:class:`CallbookDirectory` maps areas to server addresses; the client
+resolves the area locally and queries only the responsible server --
+exactly the partitioning the paper sketches.  Transport is a one-shot
+UDP request/response with retry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import UdpSocket
+from repro.sim.clock import SECOND
+from repro.sim.engine import Event
+
+CALLBOOK_PORT = 8778
+
+_DIGIT_RE = re.compile(r"\d")
+
+
+def call_area(callsign: str) -> Optional[int]:
+    """The district digit of a callsign (None if it has no digit)."""
+    match = _DIGIT_RE.search(callsign.upper().split("-")[0])
+    return int(match.group()) if match else None
+
+
+@dataclass(frozen=True)
+class CallbookRecord:
+    """One callbook entry.
+
+    ``bearing_degrees`` is the user-added geographic extra the paper
+    muses about ("have their antennas automatically rotated to the
+    correct bearing").
+    """
+
+    callsign: str
+    name: str
+    city: str
+    bearing_degrees: Optional[int] = None
+
+    def encode(self) -> str:
+        """Serialise to the wire byte string."""
+        bearing = "" if self.bearing_degrees is None else str(self.bearing_degrees)
+        return f"{self.callsign.upper()}|{self.name}|{self.city}|{bearing}"
+
+    @classmethod
+    def decode(cls, text: str) -> "CallbookRecord":
+        """Parse the wire byte string; raises on malformed input."""
+        callsign, name, city, bearing = (text.split("|") + ["", "", "", ""])[:4]
+        return cls(callsign, name, city,
+                   int(bearing) if bearing.strip() else None)
+
+
+class CallbookServer:
+    """Serves records for one call area over UDP."""
+
+    def __init__(self, stack: NetStack, area: int,
+                 port: int = CALLBOOK_PORT) -> None:
+        self.stack = stack
+        self.area = area
+        self.records: Dict[str, CallbookRecord] = {}
+        self.queries_answered = 0
+        self.queries_missed = 0
+        self.socket = UdpSocket(stack, port)
+        self.socket.on_datagram = self._query
+
+    def add(self, record: CallbookRecord) -> None:
+        """Add one item."""
+        self.records[record.callsign.upper()] = record
+
+    def _query(self, payload: bytes, source: IPv4Address, source_port: int) -> None:
+        text = payload.decode("latin-1").strip()
+        if not text.upper().startswith("QUERY "):
+            return
+        callsign = text[6:].strip().upper()
+        record = self.records.get(callsign)
+        if record is None:
+            self.queries_missed += 1
+            reply = f"NOTFOUND {callsign}"
+        else:
+            self.queries_answered += 1
+            reply = f"FOUND {record.encode()}"
+        self.socket.sendto(reply.encode("latin-1"), source, source_port)
+
+
+class CallbookDirectory:
+    """Which server is responsible for each call area."""
+
+    def __init__(self) -> None:
+        self._servers: Dict[int, IPv4Address] = {}
+
+    def register(self, area: int, address: "IPv4Address | str") -> None:
+        """Register a server address for a call area."""
+        self._servers[area] = IPv4Address.coerce(address)
+
+    def server_for(self, callsign: str) -> Optional[IPv4Address]:
+        """The server responsible for a callsign's area; None if uncovered."""
+        area = call_area(callsign)
+        if area is None:
+            return None
+        return self._servers.get(area)
+
+
+class CallbookClient:
+    """Asynchronous lookup against the distributed servers."""
+
+    RETRY_INTERVAL = 5 * SECOND
+    MAX_TRIES = 3
+
+    def __init__(self, stack: NetStack, directory: CallbookDirectory,
+                 port: int = CALLBOOK_PORT) -> None:
+        self.stack = stack
+        self.directory = directory
+        self.server_port = port
+        self.socket = UdpSocket(stack)
+        self.socket.on_datagram = self._reply
+        self._pending: Dict[str, Callable[[Optional[CallbookRecord]], None]] = {}
+        self._retries: Dict[str, Event] = {}
+        self._tries: Dict[str, int] = {}
+        self.results: Dict[str, Optional[CallbookRecord]] = {}
+
+    def lookup(self, callsign: str,
+               callback: Optional[Callable[[Optional[CallbookRecord]], None]] = None) -> bool:
+        """Start a lookup; returns False when no server covers the area."""
+        callsign = callsign.upper()
+        server = self.directory.server_for(callsign)
+        if server is None:
+            self.results[callsign] = None
+            if callback is not None:
+                callback(None)
+            return False
+        self._pending[callsign] = callback or (lambda _record: None)
+        self._tries[callsign] = 0
+        self._send_query(callsign, server)
+        return True
+
+    def _send_query(self, callsign: str, server: IPv4Address) -> None:
+        self._tries[callsign] += 1
+        self.socket.sendto(f"QUERY {callsign}".encode(), server, self.server_port)
+        self._retries[callsign] = self.stack.sim.schedule(
+            self.RETRY_INTERVAL, self._retry, callsign, server,
+            label=f"callbook retry {callsign}",
+        )
+
+    def _retry(self, callsign: str, server: IPv4Address) -> None:
+        if callsign not in self._pending:
+            return
+        if self._tries[callsign] >= self.MAX_TRIES:
+            callback = self._pending.pop(callsign)
+            self.results[callsign] = None
+            callback(None)
+            return
+        self._send_query(callsign, server)
+
+    def _reply(self, payload: bytes, _source: IPv4Address, _port: int) -> None:
+        text = payload.decode("latin-1").strip()
+        if text.startswith("FOUND "):
+            record = CallbookRecord.decode(text[6:])
+            callsign = record.callsign.upper()
+            result: Optional[CallbookRecord] = record
+        elif text.startswith("NOTFOUND "):
+            callsign = text[9:].strip().upper()
+            result = None
+        else:
+            return
+        callback = self._pending.pop(callsign, None)
+        timer = self._retries.pop(callsign, None)
+        if timer is not None:
+            timer.cancel()
+        if callback is not None:
+            self.results[callsign] = result
+            callback(result)

@@ -1,0 +1,266 @@
+"""File transfer: an FTP with a control and a data connection.
+
+Faithful to the RFC 959 *architecture* -- commands ride a control
+connection, file bytes ride a separate data connection opened by the
+server toward the port the client advertised with PORT -- with a
+reduced grammar: USER, PORT, RETR, STOR, LIST, QUIT, and three-digit
+reply codes.  That is what BBS users did over the gateway: "we have
+used the gateway for file transfer ... in both directions."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.tcp import RtoPolicy
+
+FTP_PORT = 21
+
+
+class FileStore:
+    """The named files a host serves and receives."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None) -> None:
+        self.files: Dict[str, bytes] = dict(files or {})
+
+    def get(self, name: str) -> Optional[bytes]:
+        """Look up an item; None when absent."""
+        return self.files.get(name)
+
+    def put(self, name: str, data: bytes) -> None:
+        """Store an item."""
+        self.files[name] = data
+
+    def listing(self) -> str:
+        """Human-readable listing of the contents."""
+        return "\r\n".join(
+            f"{name} {len(data)}" for name, data in sorted(self.files.items())
+        )
+
+
+class _FtpServerSession:
+    def __init__(self, server: "FtpServer", control: TcpSocket) -> None:
+        self.server = server
+        self.control = control
+        self.username: Optional[str] = None
+        self.data_port: Optional[int] = None
+        self._stor_name: Optional[str] = None
+        control.on_data = lambda _d: self._pump()
+        self._reply(220, f"{server.stack.hostname} FTP ready")
+
+    def _reply(self, code: int, text: str) -> None:
+        self.control.send(f"{code} {text}\r\n".encode())
+
+    def _pump(self) -> None:
+        while True:
+            line = self.control.read_line()
+            if line is None:
+                return
+            self._command(line)
+
+    def _command(self, line: str) -> None:
+        words = line.split(None, 1)
+        if not words:
+            return
+        verb = words[0].upper()
+        arg = words[1] if len(words) > 1 else ""
+        handler = {
+            "USER": self._user, "PORT": self._port, "RETR": self._retr,
+            "STOR": self._stor, "LIST": self._list, "QUIT": self._quit,
+        }.get(verb)
+        if handler is None:
+            self._reply(502, "command not implemented")
+            return
+        handler(arg)
+
+    def _user(self, arg: str) -> None:
+        self.username = arg or "anonymous"
+        self._reply(230, f"user {self.username} logged in")
+
+    def _port(self, arg: str) -> None:
+        try:
+            self.data_port = int(arg)
+        except ValueError:
+            self._reply(501, "bad port")
+            return
+        self._reply(200, "PORT ok")
+
+    def _open_data(self) -> Optional[TcpSocket]:
+        remote_ip = self.control.connection.remote_ip
+        if self.data_port is None or remote_ip is None:
+            self._reply(425, "use PORT first")
+            return None
+        return TcpSocket.connect(self.server.stack, remote_ip, self.data_port)
+
+    def _retr(self, arg: str) -> None:
+        data = self.server.store.get(arg)
+        if data is None:
+            self._reply(550, f"{arg}: no such file")
+            return
+        socket = self._open_data()
+        if socket is None:
+            return
+        self._reply(150, f"opening data connection for {arg} ({len(data)} bytes)")
+
+        def send_all() -> None:
+            socket.send(data)
+            socket.close()
+        socket.on_connect = send_all
+        socket.on_close = lambda _r: self._reply(226, "transfer complete")
+
+    def _stor(self, arg: str) -> None:
+        socket = self._open_data()
+        if socket is None:
+            return
+        self._reply(150, f"ready for {arg}")
+        received = bytearray()
+
+        def on_data(_chunk: bytes) -> None:
+            received.extend(socket.recv())
+
+        def on_close(_reason: str) -> None:
+            self.server.store.put(arg, bytes(received))
+            socket.close()
+            self._reply(226, "transfer complete")
+        socket.on_data = on_data
+        socket.on_close = on_close
+
+    def _list(self, _arg: str) -> None:
+        socket = self._open_data()
+        if socket is None:
+            return
+        self._reply(150, "directory listing")
+        listing = self.server.store.listing().encode() + b"\r\n"
+        socket.on_connect = lambda: (socket.send(listing), socket.close())
+        socket.on_close = lambda _r: self._reply(226, "transfer complete")
+
+    def _quit(self, _arg: str) -> None:
+        self._reply(221, "goodbye")
+        self.control.close()
+
+
+class FtpServer:
+    """ftpd with a per-host :class:`FileStore`."""
+
+    def __init__(self, stack: NetStack, store: Optional[FileStore] = None,
+                 port: int = FTP_PORT) -> None:
+        self.stack = stack
+        self.store = store if store is not None else FileStore()
+        self.sessions: List[_FtpServerSession] = []
+        self.server = TcpServerSocket(stack, port, self._accept)
+
+    def _accept(self, socket: TcpSocket) -> None:
+        self.sessions.append(_FtpServerSession(self, socket))
+
+
+class FtpClient:
+    """Scripted FTP client: log in, then GET or PUT one file at a time.
+
+    Operations are queued; each starts when the previous one completes.
+    Results land in :attr:`retrieved` (name -> bytes) and :attr:`log`.
+    """
+
+    def __init__(self, stack: NetStack, remote: "IPv4Address | str",
+                 port: int = FTP_PORT,
+                 rto_policy: Optional[RtoPolicy] = None,
+                 username: str = "guest") -> None:
+        self.stack = stack
+        self.retrieved: Dict[str, bytes] = {}
+        self.log: List[str] = []
+        self._queue: List[tuple] = []
+        self._busy = True  # until logged in
+        self._data_server: Optional[TcpServerSocket] = None
+        self._data_buffer = bytearray()
+        self._active: Optional[tuple] = None
+        self.transfers_complete = 0
+
+        self.control = TcpSocket.connect(stack, remote, port, rto_policy=rto_policy)
+        self.control.on_data = lambda _d: self._pump()
+        self._username = username
+        self._data_port = stack.tcp.allocate_port()
+
+    # -- public API ------------------------------------------------------
+
+    def get(self, name: str) -> None:
+        """Look up an item; None when absent."""
+        self._queue.append(("RETR", name, None))
+        self._maybe_start()
+
+    def put(self, name: str, data: bytes) -> None:
+        """Store an item."""
+        self._queue.append(("STOR", name, data))
+        self._maybe_start()
+
+    def quit(self) -> None:
+        """Finish and close the session."""
+        self._queue.append(("QUIT", "", None))
+        self._maybe_start()
+
+    # -- control-connection machinery -------------------------------------
+
+    def _pump(self) -> None:
+        while True:
+            line = self.control.read_line()
+            if line is None:
+                return
+            self.log.append(line)
+            self._reply(line)
+
+    def _reply(self, line: str) -> None:
+        code = line[:3]
+        if code == "220":
+            self.control.send_line(f"USER {self._username}")
+        elif code == "230":
+            self._listen_for_data()
+            self.control.send_line(f"PORT {self._data_port}")
+        elif code == "200":
+            self._busy = False
+            self._maybe_start()
+        elif code == "226":
+            self._finish_transfer()
+        elif code in ("550", "425", "501", "502"):
+            self._active = None
+            self._busy = False
+            self._maybe_start()
+
+    def _listen_for_data(self) -> None:
+        if self._data_server is None:
+            self._data_server = TcpServerSocket(
+                self.stack, self._data_port, self._data_accept
+            )
+
+    def _data_accept(self, socket: TcpSocket) -> None:
+        self._data_buffer.clear()
+        if self._active is not None and self._active[0] == "STOR":
+            payload = self._active[2]
+            socket.send(payload)
+            socket.close()
+        else:
+            socket.on_data = lambda _d: self._data_buffer.extend(socket.recv())
+            # Close our half once the sender finishes, so the sender's
+            # FIN handshake (and its "226 transfer complete") completes.
+            socket.on_close = lambda _r: socket.close()
+
+    def _maybe_start(self) -> None:
+        if self._busy or self._active is not None or not self._queue:
+            return
+        self._active = self._queue.pop(0)
+        verb, name, _data = self._active
+        if verb == "QUIT":
+            self.control.send_line("QUIT")
+            self._active = None
+            return
+        self.control.send_line(f"{verb} {name}")
+
+    def _finish_transfer(self) -> None:
+        if self._active is None:
+            return
+        verb, name, _data = self._active
+        if verb == "RETR":
+            self.retrieved[name] = bytes(self._data_buffer)
+        self.transfers_complete += 1
+        self._active = None
+        self._maybe_start()

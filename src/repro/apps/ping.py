@@ -1,0 +1,71 @@
+"""ICMP echo measurement (ping).
+
+Used by the quickstart example and by several benchmarks to measure
+round-trip time through the gateway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.inet import icmp as icmp_mod
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.sim.clock import SECOND
+
+
+class Pinger:
+    """Sends a train of echo requests and records per-reply RTTs."""
+
+    _next_ident = 100
+
+    def __init__(self, stack: NetStack) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        Pinger._next_ident += 1
+        self.ident = Pinger._next_ident
+        self._sent_at: Dict[int, int] = {}
+        self.rtts_us: List[int] = []
+        self.sent = 0
+        self.received = 0
+        stack.icmp_listeners.append(self._icmp)
+
+    def send(self, destination: "IPv4Address | str", count: int = 1,
+             interval: int = 1 * SECOND, payload_size: int = 56) -> None:
+        """Schedule ``count`` echo requests, ``interval`` apart."""
+        destination = IPv4Address.coerce(destination)
+        for index in range(count):
+            self.sim.schedule(
+                index * interval, self._send_one, destination, index,
+                payload_size, label="ping",
+            )
+
+    def _send_one(self, destination: IPv4Address, sequence: int,
+                  payload_size: int) -> None:
+        self._sent_at[sequence] = self.sim.now
+        self.sent += 1
+        message = icmp_mod.echo_request(self.ident, sequence, b"\x2a" * payload_size)
+        self.stack.send_icmp(message, destination)
+
+    def _icmp(self, message: icmp_mod.IcmpMessage, source: IPv4Address) -> None:
+        if message.icmp_type != icmp_mod.ICMP_ECHO_REPLY:
+            return
+        ident, sequence = icmp_mod.echo_fields(message)
+        if ident != self.ident:
+            return
+        sent_at = self._sent_at.pop(sequence, None)
+        if sent_at is None:
+            return
+        self.received += 1
+        self.rtts_us.append(self.sim.now - sent_at)
+
+    @property
+    def lost(self) -> int:
+        """Requests that never got a reply."""
+        return self.sent - self.received
+
+    def mean_rtt_seconds(self) -> Optional[float]:
+        """Mean round-trip time in seconds; None if no replies."""
+        if not self.rtts_us:
+            return None
+        return sum(self.rtts_us) / len(self.rtts_us) / SECOND

@@ -1,0 +1,203 @@
+"""Electronic mail: SMTP (RFC 821 core) with per-host mailboxes.
+
+The grammar is the working subset every 1988 mailer spoke: HELO,
+MAIL FROM, RCPT TO, DATA (terminated by a lone dot), QUIT.  The BBS
+uses :class:`SmtpClient` to forward packet mail into the Internet once
+a gateway exists -- the workflow the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.tcp import RtoPolicy
+
+SMTP_PORT = 25
+
+
+@dataclass
+class MailMessage:
+    """One delivered message."""
+
+    sender: str
+    recipients: List[str]
+    body: str
+
+
+class Mailbox:
+    """Per-host mail spool, keyed by local part."""
+
+    def __init__(self) -> None:
+        self.messages: Dict[str, List[MailMessage]] = {}
+
+    def deliver(self, message: MailMessage) -> None:
+        """Deliver a message to its recipients."""
+        for recipient in message.recipients:
+            local = recipient.split("@")[0].strip().lower()
+            self.messages.setdefault(local, []).append(message)
+
+    def inbox(self, user: str) -> List[MailMessage]:
+        """Messages stored for the given user."""
+        return self.messages.get(user.lower(), [])
+
+
+class _SmtpSession:
+    def __init__(self, server: "SmtpServer", socket: TcpSocket) -> None:
+        self.server = server
+        self.socket = socket
+        self.sender: Optional[str] = None
+        self.recipients: List[str] = []
+        self.in_data = False
+        self.body_lines: List[str] = []
+        socket.on_data = lambda _d: self._pump()
+        self._reply(220, f"{server.stack.hostname} SMTP ready")
+
+    def _reply(self, code: int, text: str) -> None:
+        self.socket.send(f"{code} {text}\r\n".encode())
+
+    def _pump(self) -> None:
+        while True:
+            line = self.socket.read_line()
+            if line is None:
+                return
+            if self.in_data:
+                self._data_line(line)
+            else:
+                self._command(line)
+
+    def _command(self, line: str) -> None:
+        upper = line.upper()
+        if upper.startswith("HELO"):
+            self._reply(250, f"hello {line[4:].strip() or 'you'}")
+        elif upper.startswith("MAIL FROM:"):
+            self.sender = line[10:].strip(" <>")
+            self.recipients = []
+            self._reply(250, "sender ok")
+        elif upper.startswith("RCPT TO:"):
+            if self.sender is None:
+                self._reply(503, "need MAIL first")
+                return
+            self.recipients.append(line[8:].strip(" <>"))
+            self._reply(250, "recipient ok")
+        elif upper.startswith("DATA"):
+            if not self.recipients:
+                self._reply(503, "need RCPT first")
+                return
+            self.in_data = True
+            self.body_lines = []
+            self._reply(354, "end with .")
+        elif upper.startswith("QUIT"):
+            self._reply(221, "bye")
+            self.socket.close()
+        else:
+            self._reply(500, "unrecognized")
+
+    def _data_line(self, line: str) -> None:
+        if line == ".":
+            self.in_data = False
+            message = MailMessage(
+                sender=self.sender or "",
+                recipients=list(self.recipients),
+                body="\n".join(self.body_lines),
+            )
+            self.server.mailbox.deliver(message)
+            self.server.delivered.append(message)
+            self.sender = None
+            self.recipients = []
+            self._reply(250, "message accepted")
+            return
+        if line.startswith(".."):
+            line = line[1:]  # dot-stuffing
+        self.body_lines.append(line)
+
+
+class SmtpServer:
+    """smtpd with a per-host :class:`Mailbox`."""
+
+    def __init__(self, stack: NetStack, mailbox: Optional[Mailbox] = None,
+                 port: int = SMTP_PORT) -> None:
+        self.stack = stack
+        self.mailbox = mailbox if mailbox is not None else Mailbox()
+        self.delivered: List[MailMessage] = []
+        self.sessions: List[_SmtpSession] = []
+        self.server = TcpServerSocket(stack, port, self._accept)
+
+    def _accept(self, socket: TcpSocket) -> None:
+        self.sessions.append(_SmtpSession(self, socket))
+
+
+class SmtpClient:
+    """Sends one message, then quits.  ``on_done(ok)`` reports the result."""
+
+    def __init__(self, stack: NetStack, remote: str, sender: str,
+                 recipients: List[str], body: str,
+                 port: int = SMTP_PORT,
+                 rto_policy: Optional[RtoPolicy] = None,
+                 on_done: Optional[Callable[[bool], None]] = None) -> None:
+        self.ok: Optional[bool] = None
+        self.on_done = on_done
+        self._sender = sender
+        self._recipients = list(recipients)
+        self._body: Optional[str] = body
+        self._body_pending = body
+        self._rcpt_index = 0
+        self.socket = TcpSocket.connect(stack, remote, port, rto_policy=rto_policy)
+        self.socket.on_data = lambda _d: self._pump()
+        self.socket.on_close = self._closed
+
+    def _pump(self) -> None:
+        while True:
+            line = self.socket.read_line()
+            if line is None:
+                return
+            self._reply(line)
+
+    def _reply(self, line: str) -> None:
+        code = line[:3]
+        if code == "220":
+            self.socket.send_line("HELO client")
+        elif code == "250":
+            self._advance()
+        elif code == "354":
+            for body_line in self._body_pending.split("\n"):
+                if body_line.startswith("."):
+                    body_line = "." + body_line
+                self.socket.send_line(body_line)
+            self.socket.send_line(".")
+        elif code == "221":
+            pass
+        else:
+            self._finish(False)
+            self.socket.close()
+
+    def _advance(self) -> None:
+        # 250 sequence: HELO ack -> MAIL -> RCPT* -> (DATA body accepted)
+        if self._sender is not None:
+            self.socket.send_line(f"MAIL FROM:<{self._sender}>")
+            self._sender = None
+        elif self._rcpt_index < len(self._recipients):
+            self.socket.send_line(f"RCPT TO:<{self._recipients[self._rcpt_index]}>")
+            self._rcpt_index += 1
+        elif self._body is not None:
+            self.socket.send_line("DATA")
+            # next 250 (after 354 + body) means accepted
+            self._body_sent = True
+            self._body_pending = self._body
+            self._body = None
+        else:
+            self._finish(True)
+            self.socket.send_line("QUIT")
+            self.socket.close()
+
+    def _finish(self, ok: bool) -> None:
+        if self.ok is None:
+            self.ok = ok
+            if self.on_done is not None:
+                self.on_done(ok)
+
+    def _closed(self, _reason: str) -> None:
+        if self.ok is None:
+            self._finish(False)

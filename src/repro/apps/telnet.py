@@ -1,0 +1,121 @@
+"""Remote login: a line-oriented telnet.
+
+A deliberately small telnet: no option negotiation (the 1988 PC clients
+mostly did NVT-with-no-options anyway), just a login prompt and a tiny
+shell whose commands are pluggable.  It is the service the paper's
+demo exercised first: "we were able to telnet from an isolated IBM PC
+to a system that was on our Ethernet by way of the new gateway."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.tcp import RtoPolicy
+from repro.sim.clock import format_time
+
+TELNET_PORT = 23
+
+
+class TelnetSession:
+    """Server side of one login."""
+
+    def __init__(self, server: "TelnetServer", socket: TcpSocket) -> None:
+        self.server = server
+        self.socket = socket
+        self.username: Optional[str] = None
+        socket.on_data = lambda _data: self._pump()
+        socket.send(f"{server.hostname} Ultrix 2.0\r\nlogin: ".encode())
+
+    def _pump(self) -> None:
+        while True:
+            line = self.socket.read_line()
+            if line is None:
+                return
+            self._handle_line(line)
+
+    def _handle_line(self, line: str) -> None:
+        if self.username is None:
+            self.username = line.strip() or "guest"
+            self.socket.send(f"Welcome {self.username}\r\n% ".encode())
+            return
+        words = line.split()
+        if not words:
+            self.socket.send(b"% ")
+            return
+        command, args = words[0], words[1:]
+        if command == "logout" or command == "exit":
+            self.socket.send(b"goodbye\r\n")
+            self.socket.close()
+            return
+        handler = self.server.commands.get(command)
+        if handler is None:
+            self.socket.send(f"{command}: not found\r\n% ".encode())
+            return
+        output = handler(self, args)
+        self.socket.send(output.encode() + b"\r\n% ")
+
+
+class TelnetServer:
+    """telnetd: listens on port 23, spawns sessions."""
+
+    def __init__(self, stack: NetStack, port: int = TELNET_PORT,
+                 rto_policy_factory: Optional[Callable[[], RtoPolicy]] = None) -> None:
+        self.stack = stack
+        self.hostname = stack.hostname
+        self.sessions: List[TelnetSession] = []
+        #: command name -> f(session, args) -> output string
+        self.commands: Dict[str, Callable[[TelnetSession, List[str]], str]] = {
+            "echo": lambda _session, args: " ".join(args),
+            "hostname": lambda _session, _args: self.hostname,
+            "date": lambda _session, _args: f"simtime {format_time(stack.sim.now)}",
+            "who": self._cmd_who,
+        }
+        rto = rto_policy_factory() if rto_policy_factory is not None else None
+        self.server = TcpServerSocket(stack, port, self._accept, rto_policy=rto)
+
+    def _accept(self, socket: TcpSocket) -> None:
+        self.sessions.append(TelnetSession(self, socket))
+
+    def _cmd_who(self, _session: TelnetSession, _args: List[str]) -> str:
+        users = [s.username or "?" for s in self.sessions if not s.socket.closed]
+        return " ".join(users) if users else "nobody"
+
+
+class TelnetClient:
+    """Scripted telnet client: queue lines, collect everything printed."""
+
+    def __init__(self, stack: NetStack, remote: str, port: int = TELNET_PORT,
+                 rto_policy: Optional[RtoPolicy] = None) -> None:
+        self.stack = stack
+        self.socket = TcpSocket.connect(stack, remote, port, rto_policy=rto_policy)
+        self.transcript = bytearray()
+        self._script: List[str] = []
+        self.socket.on_data = self._on_data
+        self.socket.on_connect = self._maybe_send
+
+    def type_lines(self, lines: List[str]) -> None:
+        """Queue lines; each is sent when the previous output arrives."""
+        self._script.extend(lines)
+        self._maybe_send()
+
+    def _on_data(self, data: bytes) -> None:
+        self.transcript += bytes(self.socket.recv_buffer)
+        self.socket.recv_buffer.clear()
+        self._maybe_send()
+
+    def _maybe_send(self) -> None:
+        # Send the next scripted line whenever the server has prompted.
+        if not self.socket.established or not self._script:
+            return
+        text = self.transcript.decode("latin-1")
+        if text.endswith(": ") or text.endswith("% "):
+            line = self._script.pop(0)
+            self.socket.send_line(line)
+            self.transcript += f"<{line}>\r\n".encode()
+
+    def transcript_text(self) -> str:
+        """The full session transcript as text."""
+        return self.transcript.decode("latin-1")

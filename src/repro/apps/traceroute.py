@@ -1,0 +1,142 @@
+"""Traceroute: mapping the path hop by hop.
+
+Classic Van Jacobson technique, era-appropriate (traceroute shipped in
+1988): send UDP probes to an unlikely high port with increasing TTL;
+each gateway whose TTL check fires answers with ICMP time exceeded,
+revealing itself; the destination answers with ICMP port unreachable,
+ending the trace.  Useful here to *show* the §4.2 dogleg through the
+wrong coast's gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.inet import icmp as icmp_mod
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import UdpSocket
+from repro.sim.clock import SECOND
+from repro.sim.engine import Event
+
+#: The traditional "unlikely" base port.
+PROBE_PORT_BASE = 33434
+
+
+@dataclass
+class Hop:
+    """One row of the trace."""
+
+    ttl: int
+    address: Optional[IPv4Address]
+    rtt_us: Optional[int]
+    reached: bool = False
+
+    def render(self) -> str:
+        """Render as human-readable text."""
+        if self.address is None:
+            return f"{self.ttl:>2}  * (timeout)"
+        rtt = f"{self.rtt_us / 1000:.0f} ms" if self.rtt_us is not None else "?"
+        mark = "  <-- destination" if self.reached else ""
+        return f"{self.ttl:>2}  {self.address}  {rtt}{mark}"
+
+
+class Traceroute:
+    """One trace toward ``destination``.
+
+    Probes run sequentially (one per TTL); ``on_complete(hops)`` fires
+    when the destination answers, the TTL limit is reached, or a probe
+    times out ``max_timeouts`` times in a row.
+    """
+
+    def __init__(self, stack: NetStack, destination: "IPv4Address | str",
+                 max_ttl: int = 12, probe_timeout: int = 30 * SECOND,
+                 on_complete: Optional[Callable[[List[Hop]], None]] = None) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.destination = IPv4Address.coerce(destination)
+        self.max_ttl = max_ttl
+        self.probe_timeout = probe_timeout
+        self.on_complete = on_complete
+        self.hops: List[Hop] = []
+        self.finished = False
+        self._current_ttl = 0
+        self._sent_at = 0
+        self._timer: Optional[Event] = None
+        self._socket = UdpSocket(stack)
+        stack.icmp_listeners.append(self._icmp)
+
+    def start(self) -> None:
+        """Begin the measurement/operation."""
+        self._next_probe()
+
+    # ------------------------------------------------------------------
+
+    def _next_probe(self) -> None:
+        if self.finished:
+            return
+        self._current_ttl += 1
+        if self._current_ttl > self.max_ttl:
+            self._finish()
+            return
+        self._sent_at = self.sim.now
+        from repro.inet.ip import PROTO_UDP
+        from repro.inet.udp import UdpDatagram
+        route = self.stack.routes.lookup(self.destination)
+        if route is None:
+            self._finish()
+            return
+        source = self.stack.source_address_for(route)
+        probe = UdpDatagram(self._socket.port,
+                            PROBE_PORT_BASE + self._current_ttl, b"probe")
+        self.stack.ip_output(
+            self.destination, PROTO_UDP,
+            probe.encode(source, self.destination),
+            source=source, ttl=self._current_ttl,
+        )
+        self._timer = self.sim.schedule(
+            self.probe_timeout, self._probe_timed_out,
+            label=f"traceroute ttl={self._current_ttl}",
+        )
+
+    def _probe_timed_out(self) -> None:
+        self._timer = None
+        self.hops.append(Hop(self._current_ttl, None, None))
+        self._next_probe()
+
+    def _icmp(self, message: icmp_mod.IcmpMessage, source: IPv4Address) -> None:
+        if self.finished or self._timer is None:
+            return
+        quoted = icmp_mod.quoted_destination(message)
+        if quoted is None or quoted.value != self.destination.value:
+            return
+        if message.icmp_type == icmp_mod.ICMP_TIME_EXCEEDED:
+            reached = False
+        elif (message.icmp_type == icmp_mod.ICMP_UNREACHABLE
+              and message.code == icmp_mod.UNREACH_PORT):
+            reached = True
+        else:
+            return
+        self._timer.cancel()
+        self._timer = None
+        self.hops.append(Hop(self._current_ttl, source,
+                             self.sim.now - self._sent_at, reached=reached))
+        if reached:
+            self._finish()
+        else:
+            self._next_probe()
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self._socket.close()
+        if self.on_complete is not None:
+            self.on_complete(self.hops)
+
+    def render(self) -> str:
+        """Render as human-readable text."""
+        lines = [f"traceroute to {self.destination}"]
+        lines.extend(hop.render() for hop in self.hops)
+        return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""AX.25 v2.0 link-layer protocol (Fox, ARRL 1984).
+
+This package implements the amateur packet radio link layer the paper
+ports into the Ultrix kernel:
+
+* :mod:`~repro.ax25.address` -- callsign + 4-bit SSID addresses, the
+  shifted on-air encoding, and digipeater paths (up to 8 repeaters).
+* :mod:`~repro.ax25.frames` -- I/S/U frame encode and decode, control
+  field (modulo-8 sequence numbers), PID byte.
+* :mod:`~repro.ax25.lapb` -- the connected-mode ("level 2") balanced
+  link state machine used by the firmware of a normal TNC and by the
+  application-layer gateway of the paper's §2.4.
+
+IP-over-AX.25 (what the gateway actually forwards) uses UI frames with
+``PID_IP``; the connected mode exists for terminal/BBS users.
+"""
+
+from repro.ax25.address import AX25Address, AX25Path, AddressError
+from repro.ax25.defs import (
+    CONTROL_UI,
+    FrameType,
+    MAX_DIGIPEATERS,
+    PID_ARPA_ARP,
+    PID_ARPA_IP,
+    PID_NETROM,
+    PID_NO_L3,
+)
+from repro.ax25.frames import AX25Frame, FrameError
+from repro.ax25.lapb import LapbConnection, LapbEndpoint, LapbState
+
+__all__ = [
+    "AX25Address",
+    "AX25Frame",
+    "AX25Path",
+    "AddressError",
+    "CONTROL_UI",
+    "FrameError",
+    "FrameType",
+    "LapbConnection",
+    "LapbEndpoint",
+    "LapbState",
+    "MAX_DIGIPEATERS",
+    "PID_ARPA_ARP",
+    "PID_ARPA_IP",
+    "PID_NETROM",
+    "PID_NO_L3",
+]

@@ -1,0 +1,104 @@
+"""AX.25 protocol constants (v2.0).
+
+Values follow Fox, "AX.25 Amateur Packet-Radio Link-Layer Protocol,
+Version 2.0", ARRL 1984 -- reference [3] of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Maximum digipeaters in a source route (the paper: "up to eight").
+MAX_DIGIPEATERS = 8
+
+#: Maximum callsign length (characters, excluding SSID).
+CALLSIGN_MAX = 6
+
+#: Bytes per on-air address block (6 shifted callsign chars + SSID byte).
+ADDRESS_BLOCK_LEN = 7
+
+#: Default maximum I/UI-frame information field length (bytes).
+DEFAULT_PACLEN = 256
+
+#: Modulo for send/receive sequence numbers (AX.25 v2.0 basic mode).
+SEQUENCE_MODULO = 8
+
+#: Default outstanding-frame window (k); v2.0 allows up to 7 modulo 8.
+DEFAULT_WINDOW = 4
+
+#: Default retry limit (N2 in the spec).
+DEFAULT_RETRIES = 10
+
+# ----------------------------------------------------------------------
+# PID (protocol identifier) values -- the layer-3 demultiplexing byte the
+# paper's driver inspects to decide whether a frame carries IP.
+# ----------------------------------------------------------------------
+
+#: ARPA Internet Protocol.
+PID_ARPA_IP = 0xCC
+PID_IP = PID_ARPA_IP
+
+#: ARPA Address Resolution Protocol.
+PID_ARPA_ARP = 0xCD
+PID_ARP = PID_ARPA_ARP
+
+#: NET/ROM network layer.
+PID_NETROM = 0xCF
+
+#: No layer-3 protocol (plain connected-mode text, BBS traffic).
+PID_NO_L3 = 0xF0
+
+# ----------------------------------------------------------------------
+# Control field values
+# ----------------------------------------------------------------------
+
+#: Unnumbered Information frame control byte (UI, poll bit clear).
+CONTROL_UI = 0x03
+
+#: Poll/Final bit within a control byte.
+PF_BIT = 0x10
+
+# Unnumbered frame types (control byte with P/F masked out).
+U_SABM = 0x2F   # connect request (Set Asynchronous Balanced Mode)
+U_DISC = 0x43   # disconnect request
+U_DM = 0x0F     # disconnected mode (connection refused / not connected)
+U_UA = 0x63     # unnumbered acknowledge
+U_UI = 0x03     # unnumbered information
+U_FRMR = 0x87   # frame reject
+
+# Supervisory frame subtypes (bits 2-3 of the control byte).
+S_RR = 0x01     # receive ready
+S_RNR = 0x05    # receive not ready
+S_REJ = 0x09    # reject
+
+
+class FrameType(enum.Enum):
+    """Decoded class of an AX.25 frame."""
+
+    I = "I"          # information (numbered)
+    RR = "RR"        # receive ready
+    RNR = "RNR"      # receive not ready
+    REJ = "REJ"      # reject
+    SABM = "SABM"    # connect
+    DISC = "DISC"    # disconnect
+    DM = "DM"        # disconnected mode
+    UA = "UA"        # unnumbered ack
+    UI = "UI"        # unnumbered information
+    FRMR = "FRMR"    # frame reject
+
+    @property
+    def is_unnumbered(self) -> bool:
+        """True for U-frame types."""
+        return self in (
+            FrameType.SABM,
+            FrameType.DISC,
+            FrameType.DM,
+            FrameType.UA,
+            FrameType.UI,
+            FrameType.FRMR,
+        )
+
+    @property
+    def is_supervisory(self) -> bool:
+        """True for S-frame types (RR/RNR/REJ)."""
+        return self in (FrameType.RR, FrameType.RNR, FrameType.REJ)

@@ -1,0 +1,39 @@
+"""The paper's contribution: packet radio in the (simulated) Ultrix kernel.
+
+* :mod:`~repro.core.driver` -- the pseudo-device driver: per-character
+  tty interrupt handling, on-the-fly KISS unescaping, AX.25 callsign
+  and PID checks, hand-off to the IP input queue.
+* :mod:`~repro.core.access_control` -- the §4.3 gateway authorisation
+  table with TTL expiry and ICMP control messages.
+* :mod:`~repro.core.hosts` -- host builders: the MicroVAX gateway, the
+  isolated PC running Karn-style TCP/IP, terminal stations.
+* :mod:`~repro.core.topology` -- canonical testbeds (Figure 1, the
+  §2.3 demo, the §4.2 two-coast Internet, digipeater chains).
+"""
+
+from repro.core.access_control import AccessControlTable
+from repro.core.driver import PacketRadioInterface
+from repro.core.hosts import GatewayHost, PcHost, TerminalStation, make_radio_host
+from repro.core.topology import (
+    Figure1Testbed,
+    GatewayTestbed,
+    TwoCoastInternet,
+    build_figure1_testbed,
+    build_gateway_testbed,
+    build_two_coast_internet,
+)
+
+__all__ = [
+    "AccessControlTable",
+    "Figure1Testbed",
+    "GatewayHost",
+    "GatewayTestbed",
+    "PacketRadioInterface",
+    "PcHost",
+    "TerminalStation",
+    "TwoCoastInternet",
+    "build_figure1_testbed",
+    "build_gateway_testbed",
+    "build_two_coast_internet",
+    "make_radio_host",
+]

@@ -1,0 +1,260 @@
+"""The packet radio pseudo-device driver.
+
+This is the code the paper is about.  "In adding packet radio support
+to the Ultrix kernel, a pseudo-device driver for the packet radio
+controller was implemented. ... The most difficult routine to write was
+one which handled incoming packets from the TNC.  When a packet is
+received by the TNC, the TNC sends the packet as a stream of bytes to
+the tty line.  For each character in the packet, the tty driver calls
+the packet radio interrupt handler to process the character."
+
+The driver below follows that structure byte for byte:
+
+* it hooks the tty line discipline and receives **one character per
+  interrupt**;
+* escaped KISS frame-end characters are decoded **on the fly** (or, for
+  ablation A1, buffered raw and post-processed when the final FEND
+  arrives -- ``reassembly="buffered"``);
+* when the final frame end is read it checks the AX.25 destination
+  callsign ("either its own, or the broadcast address") and the PID;
+* IP packets go onto the stack's IP input queue via the soft interrupt;
+  ARP packets go to the driver's own AX.25 ARP routines ("a separate
+  routine that deals specifically with AX.25 addresses");
+* non-IP packets are offered to a pluggable handler so a user program
+  can run AX.25 level-2 services on top (§2.4) -- by default they land
+  on a tty-style input queue exactly as the paper proposes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.ax25.address import AX25Address, AX25Path, is_broadcast
+from repro.ax25.defs import PID_ARPA_ARP, PID_ARPA_IP
+from repro.ax25.frames import AX25Frame, FrameError
+from repro.inet.arp import ArpEntry, ArpService, HRD_AX25
+from repro.inet.ip import IPv4Address
+from repro.kiss import commands
+from repro.kiss.framing import FEND, KissDeframer, frame as kiss_frame
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.serialio.tty import Tty
+from repro.sim.clock import SECOND
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+#: Default IP MTU over AX.25 (KA9Q convention: 256-byte paclen).
+AX25_MTU = 256
+
+
+class PacketRadioInterface(NetworkInterface):
+    """pr0: the AX.25/KISS pseudo-device driver (struct if_net instance)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tty: Tty,
+        callsign: "AX25Address | str",
+        name: str = "pr0",
+        mtu: int = AX25_MTU,
+        default_path: AX25Path = AX25Path(),
+        reassembly: str = "per_char",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(sim, name, mtu, flags=InterfaceFlags.UP | InterfaceFlags.BROADCAST)
+        if reassembly not in ("per_char", "buffered"):
+            raise ValueError(f"unknown reassembly mode {reassembly!r}")
+        self.tty = tty
+        self.callsign = (
+            callsign if isinstance(callsign, AX25Address) else AX25Address.parse(callsign)
+        )
+        self.default_path = default_path
+        self.reassembly = reassembly
+        self.tracer = tracer
+
+        #: Handler for non-IP frames (the §2.4 application-gateway hook):
+        #: ``f(frame)``.  When unset, the *encoded* frame is appended to
+        #: :attr:`non_ip_queue` for a user program to read.
+        self.non_ip_handler: Optional[Callable[[AX25Frame], None]] = None
+        self.non_ip_queue: List[AX25Frame] = []
+        self.non_ip_queue_limit = 32
+
+        self.arp = ArpService(
+            sim,
+            hardware_type=HRD_AX25,
+            my_hw=self.callsign.encode(last=True),
+            my_ip_getter=lambda: self.address,
+            send_arp=self._send_arp,
+            send_resolved=self._send_resolved,
+            name=f"{name}.arp",
+            # Radio pacing: a full request/reply round trip takes seconds
+            # at 1200 bps, so retry far more patiently than Ethernet ARP.
+            retry_interval=15 * SECOND,
+        )
+
+        self._deframer = KissDeframer(on_frame=self._kiss_record)
+        self._raw_buffer = bytearray()   # used by the "buffered" ablation mode
+        tty.hook_interrupt(self._rx_char_interrupt)
+
+        # driver statistics (imitating if_data plus driver-specific ones)
+        self.rx_char_interrupts = 0
+        self.processing_ops = 0          # unit work items (ablation A1 metric)
+        self.frames_from_tnc = 0
+        self.frames_not_for_us = 0       # promiscuous TNC overhead (E3 metric)
+        self.frames_bad = 0
+        self.frames_ip_in = 0
+        self.frames_arp_in = 0
+        self.frames_non_ip = 0
+        self.non_ip_drops = 0
+
+    # ------------------------------------------------------------------
+    # receive path: per-character interrupt handling
+    # ------------------------------------------------------------------
+
+    def _rx_char_interrupt(self, byte: int) -> None:
+        """Called by the tty driver once per received character."""
+        self.rx_char_interrupts += 1
+        if self.reassembly == "per_char":
+            # On-the-fly processing: unescape as each character arrives.
+            self.processing_ops += 1
+            self._deframer.push_byte(byte)
+            return
+        # Ablation mode: stash raw bytes, decode the whole packet at the
+        # final frame end.  Costs a second pass over every byte.
+        self.processing_ops += 1
+        self._raw_buffer.append(byte)
+        if byte == FEND and len(self._raw_buffer) > 1:
+            buffered = bytes(self._raw_buffer)
+            self._raw_buffer.clear()
+            self.processing_ops += len(buffered)
+            self._deframer.push(buffered)
+        elif byte == FEND:
+            self._raw_buffer.clear()
+
+    def _kiss_record(self, type_byte: int, payload: bytes) -> None:
+        command, _port = commands.split_type_byte(type_byte)
+        if command != commands.CMD_DATA:
+            return  # a KISS TNC never sends command records up
+        self.frames_from_tnc += 1
+        self._frame_input(payload)
+
+    def _frame_input(self, raw: bytes) -> None:
+        """Header checks + protocol dispatch (the paper's §2.2 list)."""
+        try:
+            frame = AX25Frame.decode(raw)
+        except FrameError:
+            self.frames_bad += 1
+            self.ierrors += 1
+            return
+        # "It verifies that the recipient's amateur radio callsign (which
+        # is used as a link address) is either its own, or the broadcast
+        # address."  A frame still being digipeated is not ours either.
+        if not frame.path.fully_repeated:
+            self.frames_not_for_us += 1
+            return
+        if not (frame.destination.matches(self.callsign) or is_broadcast(frame.destination)):
+            self.frames_not_for_us += 1
+            return
+        # "It also checks the protocol ID field."
+        if frame.pid == PID_ARPA_IP:
+            self.frames_ip_in += 1
+            if self.tracer is not None:
+                self.tracer.log("driver.ip_in", str(self.callsign), str(frame))
+            self.deliver_input(frame.info, "ip")
+        elif frame.pid == PID_ARPA_ARP:
+            self.frames_arp_in += 1
+            self.ipackets += 1
+            # Learn the return digipeater path along with the mapping.
+            self.arp.input(frame.info, link_hint=frame.path.reversed())
+        else:
+            # "Packets that are received from the TNC that are not of type
+            # IP can be placed on the input queue for the appropriate tty
+            # line." (§2.4)
+            self.frames_non_ip += 1
+            if self.non_ip_handler is not None:
+                self.non_ip_handler(frame)
+            elif len(self.non_ip_queue) < self.non_ip_queue_limit:
+                self.non_ip_queue.append(frame)
+            else:
+                self.non_ip_drops += 1
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+
+    def if_output(self, packet: bytes, next_hop: IPv4Address,
+                  protocol: str = "ip") -> bool:
+        """Transmit one layer-3 packet toward the next hop."""
+        if not self.is_up:
+            self.oerrors += 1
+            return False
+        self.count_output(packet)
+        if next_hop.is_broadcast:
+            self._transmit_ui(
+                AX25Address("QST"), PID_ARPA_IP, packet, self.default_path
+            )
+            return True
+        self.arp.resolve_and_send(next_hop, packet)
+        return True
+
+    def send_ax25_frame(self, frame: AX25Frame) -> None:
+        """Send a pre-built AX.25 frame (used by the §2.4 app gateway)."""
+        self._write_kiss(frame.encode())
+
+    def _send_resolved(self, packet: bytes, entry: ArpEntry) -> None:
+        destination, _last, _bit = AX25Address.decode(entry.hw_address)
+        path = entry.link_hint if isinstance(entry.link_hint, AX25Path) else self.default_path
+        self._transmit_ui(destination.base, PID_ARPA_IP, packet, path)
+
+    def _send_arp(self, packet: bytes, broadcast: bool,
+                  entry: Optional[ArpEntry]) -> None:
+        if broadcast or entry is None:
+            self._transmit_ui(AX25Address("QST"), PID_ARPA_ARP, packet, self.default_path)
+            return
+        destination, _last, _bit = AX25Address.decode(entry.hw_address)
+        path = entry.link_hint if isinstance(entry.link_hint, AX25Path) else self.default_path
+        self._transmit_ui(destination.base, PID_ARPA_ARP, packet, path)
+
+    def _transmit_ui(self, destination: AX25Address, pid: int, payload: bytes,
+                     path: AX25Path) -> None:
+        frame = AX25Frame.ui(destination, self.callsign, pid, payload, path)
+        if self.tracer is not None:
+            self.tracer.log("driver.tx", str(self.callsign), str(frame))
+        self._write_kiss(frame.encode())
+
+    def _write_kiss(self, frame_bytes: bytes) -> None:
+        record = kiss_frame(commands.type_byte(commands.CMD_DATA), frame_bytes)
+        self.tty.write(record)
+
+    # ------------------------------------------------------------------
+    # parameter control (if_ioctl extensions)
+    # ------------------------------------------------------------------
+
+    def if_ioctl(self, request: str, value: Any = None) -> Any:
+        """KISS parameter requests ride the serial line as command records."""
+        kiss_commands = {
+            "txdelay": commands.CMD_TXDELAY,
+            "persist": commands.CMD_PERSIST,
+            "slottime": commands.CMD_SLOTTIME,
+            "txtail": commands.CMD_TXTAIL,
+            "fullduplex": commands.CMD_FULLDUP,
+        }
+        command = kiss_commands.get(request)
+        if command is None:
+            return super().if_ioctl(request, value)
+        record = kiss_frame(commands.type_byte(command), bytes((int(value) & 0xFF,)))
+        self.tty.write(record)
+        return None
+
+    @property
+    def output_backlog(self) -> int:
+        """Bytes still serialising toward the TNC (the §4.1 queue)."""
+        return self.tty.tx_backlog_bytes
+
+    def add_arp_entry(self, ip: "IPv4Address | str",
+                      callsign: "AX25Address | str",
+                      path: AX25Path = AX25Path()) -> None:
+        """Static AX.25 ARP entry, optionally with a digipeater path."""
+        callsign = (
+            callsign if isinstance(callsign, AX25Address) else AX25Address.parse(callsign)
+        )
+        self.arp.add_static(ip, callsign.encode(last=True), link_hint=path)

@@ -1,0 +1,28 @@
+"""Ethernet substrate: the fast side of the gateway.
+
+The MicroVAX "was already on our department's Ethernet and part of the
+Internet"; the DEQNA is its Ethernet controller.  The model is a shared
+10 Mb/s segment with serialisation delay and MAC filtering -- fast
+enough relative to 1200 bps radio that the §4.1 latency mismatch
+reproduces without modelling CSMA/CD exponential backoff.
+"""
+
+from repro.ethernet.deqna import Deqna
+from repro.ethernet.frames import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    EtherFrame,
+    EtherFrameError,
+    MacAddress,
+)
+from repro.ethernet.lan import EthernetLan
+
+__all__ = [
+    "Deqna",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IP",
+    "EtherFrame",
+    "EtherFrameError",
+    "EthernetLan",
+    "MacAddress",
+]

@@ -1,0 +1,52 @@
+"""The DEQNA Ethernet controller model.
+
+"This driver supports the same calls as the drivers for other network
+devices such as the DEQNA."  The controller filters received frames by
+destination MAC (own or broadcast), hands matches to the host driver,
+and transmits frames handed down from the host.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.ethernet.frames import EtherFrame, EtherFrameError, MacAddress
+from repro.ethernet.lan import EthernetLan
+
+
+class Deqna:
+    """An Ethernet interface card attached to one segment."""
+
+    def __init__(self, lan: EthernetLan, mac: MacAddress, name: str,
+                 promiscuous: bool = False) -> None:
+        self.lan = lan
+        self.mac = mac
+        self.name = name
+        self.promiscuous = promiscuous
+        self.on_frame: Optional[Callable[[EtherFrame], None]] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+        lan.attach(name, self._from_wire)
+
+    def transmit(self, frame: EtherFrame) -> None:
+        """Send a frame onto the segment."""
+        self.frames_sent += 1
+        self.lan.transmit(self.name, frame.encode())
+
+    def _from_wire(self, data: bytes) -> None:
+        try:
+            frame = EtherFrame.decode(data)
+        except EtherFrameError:
+            self.frames_dropped += 1
+            return
+        wanted = (
+            self.promiscuous
+            or frame.destination.octets == self.mac.octets
+            or frame.destination.is_broadcast
+        )
+        if not wanted:
+            return
+        self.frames_received += 1
+        if self.on_frame is not None:
+            self.on_frame(frame)

@@ -1,0 +1,101 @@
+"""Ethernet II (DIX) frames and MAC addresses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+#: Minimum payload so a frame meets the 64-byte minimum on the wire.
+MIN_PAYLOAD = 46
+#: Maximum payload (the Ethernet MTU).
+MAX_PAYLOAD = 1500
+
+_HEADER_LEN = 14
+
+
+class EtherFrameError(ValueError):
+    """Raised for undecodable Ethernet frames."""
+
+
+@dataclass(frozen=True)
+class MacAddress:
+    """A 48-bit Ethernet address."""
+
+    octets: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.octets) != 6:
+            raise EtherFrameError(f"MAC must be 6 bytes, got {len(self.octets)}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``"aa:00:04:00:12:34"``."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise EtherFrameError(f"bad MAC {text!r}")
+        return cls(bytes(int(part, 16) for part in parts))
+
+    @classmethod
+    def station(cls, index: int) -> "MacAddress":
+        """Deterministic locally-administered address for station ``index``."""
+        return cls(bytes((0xAA, 0x00, 0x04, 0x00, (index >> 8) & 0xFF, index & 0xFF)))
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for the broadcast address."""
+        return self.octets == b"\xff" * 6
+
+    def __str__(self) -> str:
+        return ":".join(f"{octet:02x}" for octet in self.octets)
+
+
+BROADCAST_MAC = MacAddress(b"\xff" * 6)
+
+
+@dataclass(frozen=True)
+class EtherFrame:
+    """One Ethernet II frame."""
+
+    destination: MacAddress
+    source: MacAddress
+    ethertype: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialise; payload is padded up to the 46-byte minimum."""
+        payload = self.payload
+        if len(payload) > MAX_PAYLOAD:
+            raise EtherFrameError(f"payload exceeds MTU: {len(payload)}")
+        if len(payload) < MIN_PAYLOAD:
+            payload = payload + b"\x00" * (MIN_PAYLOAD - len(payload))
+        return (
+            self.destination.octets
+            + self.source.octets
+            + self.ethertype.to_bytes(2, "big")
+            + payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EtherFrame":
+        """Parse a wire frame.  Padding is kept (layer 3 knows its length)."""
+        if len(data) < _HEADER_LEN:
+            raise EtherFrameError("frame shorter than Ethernet header")
+        return cls(
+            destination=MacAddress(data[:6]),
+            source=MacAddress(data[6:12]),
+            ethertype=int.from_bytes(data[12:14], "big"),
+            payload=data[_HEADER_LEN:],
+        )
+
+    @property
+    def wire_length(self) -> int:
+        """Bytes on the wire including padding (excludes preamble/FCS)."""
+        return _HEADER_LEN + max(len(self.payload), MIN_PAYLOAD)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source}>{self.destination} type=0x{self.ethertype:04x} "
+            f"len={len(self.payload)}"
+        )

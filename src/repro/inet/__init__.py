@@ -1,0 +1,35 @@
+"""The Internet protocol suite ("existing Ultrix network support").
+
+Figure 2 of the paper places IP, TCP/UDP and the applications in the
+"Existing Ultrix Network Support" box.  Our reproduction cannot link
+against Ultrix, so this package rebuilds that box: a 4.3BSD-flavoured
+IPv4 stack with classful routing, ARP (Ethernet *and* AX.25 flavours),
+ICMP, UDP, and a TCP whose retransmission-timeout policy is pluggable
+(fixed RSRE-style vs adaptive Jacobson/Karn) because experiment E4
+(§4.1 of the paper) measures exactly that difference.
+
+Entry point: :class:`~repro.inet.netstack.NetStack`, one per host.
+"""
+
+from repro.inet.ip import IPv4Address, IPv4Datagram, IPError, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.inet.netstack import NetStack
+from repro.inet.routing import Route, RoutingTable
+from repro.inet.sockets import TcpSocket, UdpSocket
+from repro.inet.tcp import AdaptiveRto, FixedRto, TcpConnection
+
+__all__ = [
+    "AdaptiveRto",
+    "FixedRto",
+    "IPError",
+    "IPv4Address",
+    "IPv4Datagram",
+    "NetStack",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Route",
+    "RoutingTable",
+    "TcpConnection",
+    "TcpSocket",
+    "UdpSocket",
+]

@@ -1,0 +1,285 @@
+"""Address Resolution Protocol (RFC 826), Ethernet and AX.25 flavours.
+
+"Once the packet radio driver was running, our final task was to
+translate Internet addresses into AX.25 addresses.  This is done using
+the address resolution protocol (ARP) in a manner similar to the way
+that IP addresses are translated into Ethernet addresses. ... Thus, a
+different set of ARP routines is needed for packet radio."
+
+:class:`ArpService` is the shared RFC 826 engine: cache, request
+retransmission, pending-packet queue, request/reply processing.  Each
+interface driver instantiates it with its own hardware-address codec --
+6-byte MACs for the DEQNA, 7-byte shifted callsign blocks for AX.25 --
+so "the ARP lookup occurs inside our code" per driver, and the Ethernet
+side of the gateway is untouched, exactly as the paper wanted.
+
+AX.25 entries may also carry a digipeater path (the complication the
+paper calls out); the path is attached to the cache entry, either
+statically configured or learned from the reversed path of a received
+request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.inet.ip import IPv4Address
+from repro.sim.clock import SECOND
+from repro.sim.engine import Event, Simulator
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+
+HRD_ETHERNET = 1
+HRD_AX25 = 3
+
+ETHERTYPE_IP = 0x0800
+
+
+class ArpError(ValueError):
+    """Raised for undecodable ARP packets."""
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """A generic RFC 826 packet (hardware length is variable)."""
+
+    hardware_type: int
+    operation: int
+    sender_hw: bytes
+    sender_ip: IPv4Address
+    target_hw: bytes
+    target_ip: IPv4Address
+    protocol_type: int = ETHERTYPE_IP
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        hlen = len(self.sender_hw)
+        if len(self.target_hw) != hlen:
+            raise ArpError("sender/target hardware lengths differ")
+        out = bytearray()
+        out += self.hardware_type.to_bytes(2, "big")
+        out += self.protocol_type.to_bytes(2, "big")
+        out.append(hlen)
+        out.append(4)
+        out += self.operation.to_bytes(2, "big")
+        out += self.sender_hw
+        out += self.sender_ip.packed()
+        out += self.target_hw
+        out += self.target_ip.packed()
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ArpPacket":
+        """Parse the wire byte string; raises on malformed input."""
+        if len(data) < 8:
+            raise ArpError("ARP packet too short")
+        hardware_type = int.from_bytes(data[0:2], "big")
+        protocol_type = int.from_bytes(data[2:4], "big")
+        hlen = data[4]
+        plen = data[5]
+        if plen != 4:
+            raise ArpError(f"unsupported protocol address length {plen}")
+        operation = int.from_bytes(data[6:8], "big")
+        need = 8 + 2 * (hlen + 4)
+        if len(data) < need:
+            raise ArpError("ARP packet truncated")
+        offset = 8
+        sender_hw = bytes(data[offset : offset + hlen]); offset += hlen
+        sender_ip = IPv4Address.unpack(data[offset : offset + 4]); offset += 4
+        target_hw = bytes(data[offset : offset + hlen]); offset += hlen
+        target_ip = IPv4Address.unpack(data[offset : offset + 4])
+        return cls(hardware_type, operation, sender_hw, sender_ip,
+                   target_hw, target_ip, protocol_type)
+
+
+@dataclass
+class ArpEntry:
+    """One cache entry; ``link_hint`` carries the AX.25 digipeater path."""
+
+    hw_address: bytes
+    expires_at: int
+    link_hint: Any = None
+    static: bool = False
+
+
+@dataclass
+class _Pending:
+    packets: List[bytes] = field(default_factory=list)
+    retries_left: int = 3
+    timer: Optional[Event] = None
+
+
+class ArpService:
+    """RFC 826 engine bound to one interface.
+
+    The owning driver provides:
+
+    * ``my_hw`` -- this station's hardware address bytes;
+    * ``send_arp(packet_bytes, broadcast, entry_hint)`` -- put an ARP
+      packet on the link (broadcast or unicast to a resolved entry);
+    * ``send_resolved(packet_bytes, entry)`` -- transmit a queued IP
+      packet now that ``entry`` resolves its next hop.
+    """
+
+    ENTRY_TTL = 20 * 60 * SECOND
+    RETRY_INTERVAL = 2 * SECOND
+    MAX_QUEUED_PER_DEST = 10
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hardware_type: int,
+        my_hw: bytes,
+        my_ip_getter: Callable[[], Optional[IPv4Address]],
+        send_arp: Callable[[bytes, bool, Optional[ArpEntry]], None],
+        send_resolved: Callable[[bytes, ArpEntry], None],
+        name: str = "arp",
+        retry_interval: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        #: Per-instance retry pacing: Ethernet ARP can retry quickly, but
+        #: on a 1200 bps channel a 2 s retry fires long before the reply
+        #: can return and only provokes duplicate traffic.
+        self.retry_interval = (
+            retry_interval if retry_interval is not None else self.RETRY_INTERVAL
+        )
+        self.hardware_type = hardware_type
+        self.my_hw = my_hw
+        self._my_ip_getter = my_ip_getter
+        self._send_arp = send_arp
+        self._send_resolved = send_resolved
+        self.name = name
+        self.cache: Dict[int, ArpEntry] = {}
+        self._pending: Dict[int, _Pending] = {}
+
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.resolutions = 0
+        self.failures = 0
+        self.queued_drops = 0
+
+    # ------------------------------------------------------------------
+    # outbound path
+    # ------------------------------------------------------------------
+
+    def resolve_and_send(self, destination: IPv4Address, packet: bytes) -> None:
+        """Send ``packet`` to ``destination``, resolving first if needed."""
+        entry = self.lookup(destination)
+        if entry is not None:
+            self._send_resolved(packet, entry)
+            return
+        pending = self._pending.get(destination.value)
+        if pending is None:
+            pending = _Pending(retries_left=3)
+            self._pending[destination.value] = pending
+            self._issue_request(destination, pending)
+        if len(pending.packets) >= self.MAX_QUEUED_PER_DEST:
+            self.queued_drops += 1
+            return
+        pending.packets.append(packet)
+
+    def lookup(self, destination: IPv4Address) -> Optional[ArpEntry]:
+        """Cache lookup with expiry."""
+        entry = self.cache.get(destination.value)
+        if entry is None:
+            return None
+        if not entry.static and entry.expires_at <= self.sim.now:
+            del self.cache[destination.value]
+            return None
+        return entry
+
+    def add_static(self, destination: "IPv4Address | str", hw_address: bytes,
+                   link_hint: Any = None) -> ArpEntry:
+        """Pre-seed the cache (the ``arp -s`` of the era)."""
+        destination = IPv4Address.coerce(destination)
+        entry = ArpEntry(hw_address, expires_at=0, link_hint=link_hint, static=True)
+        self.cache[destination.value] = entry
+        return entry
+
+    def _issue_request(self, destination: IPv4Address, pending: _Pending) -> None:
+        my_ip = self._my_ip_getter()
+        if my_ip is None:
+            return
+        request = ArpPacket(
+            hardware_type=self.hardware_type,
+            operation=ARP_REQUEST,
+            sender_hw=self.my_hw,
+            sender_ip=my_ip,
+            target_hw=bytes(len(self.my_hw)),
+            target_ip=destination,
+        )
+        self.requests_sent += 1
+        self._send_arp(request.encode(), True, None)
+        pending.timer = self.sim.schedule(
+            self.retry_interval, self._retry, destination, label=f"{self.name} retry"
+        )
+
+    def _retry(self, destination: IPv4Address) -> None:
+        pending = self._pending.get(destination.value)
+        if pending is None:
+            return
+        pending.timer = None
+        if self.lookup(destination) is not None:
+            return
+        pending.retries_left -= 1
+        if pending.retries_left <= 0:
+            self.failures += len(pending.packets)
+            del self._pending[destination.value]
+            return
+        self._issue_request(destination, pending)
+
+    # ------------------------------------------------------------------
+    # inbound path
+    # ------------------------------------------------------------------
+
+    def input(self, data: bytes, link_hint: Any = None) -> None:
+        """Process a received ARP packet.
+
+        ``link_hint`` is link metadata to store with a learned entry --
+        the AX.25 driver passes the reversed digipeater path.
+        """
+        try:
+            packet = ArpPacket.decode(data)
+        except ArpError:
+            return
+        if packet.hardware_type != self.hardware_type:
+            return
+        my_ip = self._my_ip_getter()
+        # RFC 826 merge: refresh an existing mapping unconditionally.
+        merged = False
+        if packet.sender_ip.value in self.cache:
+            self._learn(packet.sender_ip, packet.sender_hw, link_hint)
+            merged = True
+        if my_ip is None or packet.target_ip.value != my_ip.value:
+            return
+        if not merged:
+            self._learn(packet.sender_ip, packet.sender_hw, link_hint)
+        if packet.operation == ARP_REQUEST:
+            reply = ArpPacket(
+                hardware_type=self.hardware_type,
+                operation=ARP_REPLY,
+                sender_hw=self.my_hw,
+                sender_ip=my_ip,
+                target_hw=packet.sender_hw,
+                target_ip=packet.sender_ip,
+            )
+            self.replies_sent += 1
+            entry = self.lookup(packet.sender_ip)
+            self._send_arp(reply.encode(), False, entry)
+
+    def _learn(self, ip: IPv4Address, hw: bytes, link_hint: Any) -> None:
+        existing = self.cache.get(ip.value)
+        if existing is not None and existing.static:
+            return
+        entry = ArpEntry(hw, expires_at=self.sim.now + self.ENTRY_TTL,
+                         link_hint=link_hint)
+        self.cache[ip.value] = entry
+        self.resolutions += 1
+        pending = self._pending.pop(ip.value, None)
+        if pending is not None:
+            if pending.timer is not None:
+                pending.timer.cancel()
+            for packet in pending.packets:
+                self._send_resolved(packet, entry)

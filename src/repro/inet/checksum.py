@@ -1,0 +1,41 @@
+"""The Internet checksum (RFC 1071).
+
+Used by the IPv4 header, ICMP, UDP and TCP.  Implemented over bytes
+with the usual end-around-carry fold; odd-length data is padded with a
+zero byte.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement 16-bit checksum of ``data``.
+
+    >>> internet_checksum(b"\\x00\\x01\\xf2\\x03\\xf4\\xf5\\xf6\\xf7")
+    8712
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (checksum field included) sums to zero."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF
+
+
+def pseudo_header(source: bytes, destination: bytes, protocol: int, length: int) -> bytes:
+    """The TCP/UDP pseudo-header for checksum computation."""
+    return source + destination + bytes((0, protocol)) + length.to_bytes(2, "big")

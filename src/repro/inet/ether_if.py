@@ -1,0 +1,93 @@
+"""The Ethernet interface driver (the "existing" side of the gateway).
+
+Wraps a :class:`~repro.ethernet.deqna.Deqna` controller, runs the
+standard RFC 826 Ethernet ARP, and exposes the BSD ``if_output``
+contract.  The paper deliberately left this code untouched: "Because we
+did not want to modify the code for our system that is used on the
+Ethernet side of the gateway, this code was not taken" -- hence the
+AX.25 driver gets its *own* ARP service and this one stays vanilla.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ethernet.deqna import Deqna
+from repro.ethernet.frames import (
+    BROADCAST_MAC,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    EtherFrame,
+    MacAddress,
+)
+from repro.inet.arp import ArpEntry, ArpService, HRD_ETHERNET
+from repro.inet.ip import IPv4Address
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.sim.engine import Simulator
+
+
+class EthernetInterface(NetworkInterface):
+    """qe0: an IP interface over a DEQNA on a shared segment."""
+
+    def __init__(self, sim: Simulator, deqna: Deqna, name: str = "qe0",
+                 mtu: int = 1500) -> None:
+        super().__init__(sim, name, mtu,
+                         flags=InterfaceFlags.UP | InterfaceFlags.BROADCAST)
+        self.deqna = deqna
+        deqna.on_frame = self._frame_input
+        self.arp = ArpService(
+            sim,
+            hardware_type=HRD_ETHERNET,
+            my_hw=deqna.mac.octets,
+            my_ip_getter=lambda: self.address,
+            send_arp=self._send_arp,
+            send_resolved=self._send_resolved,
+            name=f"{name}.arp",
+        )
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+
+    def if_output(self, packet: bytes, next_hop: IPv4Address,
+                  protocol: str = "ip") -> bool:
+        """Transmit one layer-3 packet toward the next hop."""
+        if not self.is_up:
+            self.oerrors += 1
+            return False
+        self.count_output(packet)
+        if next_hop.is_broadcast:
+            self._put_frame(BROADCAST_MAC, ETHERTYPE_IP, packet)
+            return True
+        self.arp.resolve_and_send(next_hop, packet)
+        return True
+
+    def _send_resolved(self, packet: bytes, entry: ArpEntry) -> None:
+        self._put_frame(MacAddress(entry.hw_address), ETHERTYPE_IP, packet)
+
+    def _send_arp(self, packet: bytes, broadcast: bool,
+                  entry: Optional[ArpEntry]) -> None:
+        if broadcast or entry is None:
+            destination = BROADCAST_MAC
+        else:
+            destination = MacAddress(entry.hw_address)
+        self._put_frame(destination, ETHERTYPE_ARP, packet)
+
+    def _put_frame(self, destination: MacAddress, ethertype: int,
+                   payload: bytes) -> None:
+        self.deqna.transmit(
+            EtherFrame(destination, self.deqna.mac, ethertype, payload)
+        )
+
+    # ------------------------------------------------------------------
+    # input
+    # ------------------------------------------------------------------
+
+    def _frame_input(self, frame: EtherFrame) -> None:
+        if frame.ethertype == ETHERTYPE_IP:
+            self.deliver_input(frame.payload, "ip")
+        elif frame.ethertype == ETHERTYPE_ARP:
+            self.ipackets += 1
+            self.arp.input(frame.payload)
+        else:
+            self.ierrors += 1

@@ -1,0 +1,211 @@
+"""ICMP: echo, unreachable, time exceeded, redirect -- and the paper's
+access-control extension messages.
+
+§4.3 proposes augmenting the gateway's access-control scheme "with a
+few new ICMP messages":  one to force an entry out of the authorisation
+table (the control operator's kill switch) and one to add an authorised
+non-amateur host with a chosen time-to-live, authenticated by callsign
+and password when it comes from the non-amateur side.  No standard type
+ever existed, so we use the RFC 4727 experimental type 253 with two
+codes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.inet.checksum import internet_checksum, verify_checksum
+from repro.inet.ip import IPv4Address, IPv4Datagram
+
+ICMP_ECHO_REPLY = 0
+ICMP_UNREACHABLE = 3
+ICMP_SOURCE_QUENCH = 4
+ICMP_REDIRECT = 5
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+#: RFC 4727 experimental type, carrying the paper's §4.3 messages.
+ICMP_ACCESS_CONTROL = 253
+
+# Unreachable codes
+UNREACH_NET = 0
+UNREACH_HOST = 1
+UNREACH_PROTOCOL = 2
+UNREACH_PORT = 3
+UNREACH_NEEDFRAG = 4
+UNREACH_ADMIN = 13   # communication administratively prohibited
+
+# Redirect codes
+REDIRECT_NET = 0
+REDIRECT_HOST = 1
+
+# Access-control codes (this reproduction's §4.3 extension)
+AC_AUTHORIZE = 0
+AC_REVOKE = 1
+
+
+class IcmpError(ValueError):
+    """Raised for undecodable ICMP messages."""
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """A generic ICMP message: type, code, 4 "rest of header" bytes, body."""
+
+    icmp_type: int
+    code: int
+    rest: bytes = b"\x00\x00\x00\x00"
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        if len(self.rest) != 4:
+            raise IcmpError("rest-of-header must be 4 bytes")
+        head = bytes((self.icmp_type, self.code, 0, 0)) + self.rest + self.body
+        checksum = internet_checksum(head)
+        return (
+            bytes((self.icmp_type, self.code))
+            + checksum.to_bytes(2, "big")
+            + self.rest
+            + self.body
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, verify: bool = True) -> "IcmpMessage":
+        """Parse the wire byte string; raises on malformed input."""
+        if len(data) < 8:
+            raise IcmpError("ICMP message shorter than 8 bytes")
+        if verify and not verify_checksum(data):
+            raise IcmpError("ICMP checksum mismatch")
+        return cls(
+            icmp_type=data[0],
+            code=data[1],
+            rest=bytes(data[4:8]),
+            body=bytes(data[8:]),
+        )
+
+
+# ----------------------------------------------------------------------
+# echo
+# ----------------------------------------------------------------------
+
+def echo_request(ident: int, sequence: int, payload: bytes = b"") -> IcmpMessage:
+    """Build an ICMP echo request."""
+    rest = struct.pack("!HH", ident & 0xFFFF, sequence & 0xFFFF)
+    return IcmpMessage(ICMP_ECHO_REQUEST, 0, rest, payload)
+
+
+def echo_reply(request: IcmpMessage) -> IcmpMessage:
+    """Build the reply to a received echo request (same id/seq/payload)."""
+    return IcmpMessage(ICMP_ECHO_REPLY, 0, request.rest, request.body)
+
+
+def echo_fields(message: IcmpMessage) -> Tuple[int, int]:
+    """Return (identifier, sequence) of an echo message."""
+    ident, sequence = struct.unpack("!HH", message.rest)
+    return ident, sequence
+
+
+# ----------------------------------------------------------------------
+# errors quoting the offending datagram
+# ----------------------------------------------------------------------
+
+def _quoted(original: IPv4Datagram) -> bytes:
+    """IP header + first 8 payload bytes of the datagram that caused the error."""
+    return original.encode()[: 20 + 8]
+
+
+def unreachable(code: int, original: IPv4Datagram) -> IcmpMessage:
+    """Build an ICMP destination-unreachable quoting the datagram."""
+    return IcmpMessage(ICMP_UNREACHABLE, code, b"\x00" * 4, _quoted(original))
+
+
+def time_exceeded(original: IPv4Datagram) -> IcmpMessage:
+    """Build an ICMP time-exceeded quoting the datagram."""
+    return IcmpMessage(ICMP_TIME_EXCEEDED, 0, b"\x00" * 4, _quoted(original))
+
+
+def source_quench(original: IPv4Datagram) -> IcmpMessage:
+    """RFC 792 source quench -- the gateway's "slow down" signal when
+    forwarding queues build up (the §4.1 retransmissions "are queued at
+    the gateway")."""
+    return IcmpMessage(ICMP_SOURCE_QUENCH, 0, b"\x00" * 4, _quoted(original))
+
+
+def redirect(gateway: IPv4Address, original: IPv4Datagram,
+             code: int = REDIRECT_HOST) -> IcmpMessage:
+    """Build an ICMP redirect advertising a better gateway."""
+    return IcmpMessage(ICMP_REDIRECT, code, gateway.packed(), _quoted(original))
+
+
+def quoted_destination(message: IcmpMessage) -> Optional[IPv4Address]:
+    """Extract the original destination from an error's quoted header."""
+    if len(message.body) < 20:
+        return None
+    try:
+        return IPv4Address.unpack(message.body[16:20])
+    except Exception:
+        return None
+
+
+def redirect_gateway(message: IcmpMessage) -> IPv4Address:
+    """The new gateway advertised by a redirect."""
+    return IPv4Address.unpack(message.rest)
+
+
+# ----------------------------------------------------------------------
+# §4.3 access-control extension
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AccessControlRequest:
+    """Payload of an ICMP_ACCESS_CONTROL message.
+
+    ``amateur`` / ``outside`` name the address pair the entry covers;
+    ``ttl_seconds`` applies to AC_AUTHORIZE; ``callsign``/``password``
+    authenticate requests arriving from the non-amateur side ("they
+    must include a call sign and a password for an authorized control
+    operator").
+    """
+
+    amateur: IPv4Address
+    outside: IPv4Address
+    ttl_seconds: int = 0
+    callsign: str = ""
+    password: str = ""
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        callsign = self.callsign.encode("ascii")[:15]
+        password = self.password.encode("ascii")[:31]
+        return (
+            self.amateur.packed()
+            + self.outside.packed()
+            + struct.pack("!I", self.ttl_seconds)
+            + bytes((len(callsign),)) + callsign
+            + bytes((len(password),)) + password
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AccessControlRequest":
+        """Parse the wire byte string; raises on malformed input."""
+        if len(data) < 14:
+            raise IcmpError("access-control payload too short")
+        amateur = IPv4Address.unpack(data[0:4])
+        outside = IPv4Address.unpack(data[4:8])
+        ttl_seconds = struct.unpack("!I", data[8:12])[0]
+        offset = 12
+        call_len = data[offset]
+        callsign = data[offset + 1 : offset + 1 + call_len].decode("ascii", "replace")
+        offset += 1 + call_len
+        if offset >= len(data):
+            raise IcmpError("access-control payload truncated")
+        pass_len = data[offset]
+        password = data[offset + 1 : offset + 1 + pass_len].decode("ascii", "replace")
+        return cls(amateur, outside, ttl_seconds, callsign, password)
+
+
+def access_control_message(code: int, request: AccessControlRequest) -> IcmpMessage:
+    """Build an AC_AUTHORIZE or AC_REVOKE message."""
+    return IcmpMessage(ICMP_ACCESS_CONTROL, code, b"\x00" * 4, request.encode())

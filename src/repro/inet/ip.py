@@ -1,0 +1,328 @@
+"""IPv4: addresses, datagram encode/decode, fragmentation.
+
+The gateway forwards between an Ethernet (MTU 1500) and an AX.25 radio
+link (MTU 256), so fragmentation is not academic here -- a full-size
+Ethernet datagram must be fragmented to cross the radio subnet.  Both
+fragmentation and reassembly are implemented.
+
+Addresses use the 1988 classful interpretation: "Since AMPRnet has been
+allocated a class 'A' network, most systems will maintain only a single
+route for it" (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.inet.checksum import internet_checksum, verify_checksum
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_HEADER_MIN = 20
+DEFAULT_TTL = 30
+
+
+class IPError(ValueError):
+    """Raised for malformed datagrams and bad addresses."""
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """A 32-bit IPv4 address with classful helpers."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise IPError(f"address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted quad, e.g. ``"44.24.0.28"``."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise IPError(f"bad IPv4 address {text!r}")
+        value = 0
+        for part in parts:
+            try:
+                octet = int(part)
+            except ValueError as exc:
+                raise IPError(f"bad IPv4 address {text!r}") from exc
+            if not 0 <= octet <= 255:
+                raise IPError(f"bad IPv4 address {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def coerce(cls, value: "IPv4Address | str | int") -> "IPv4Address":
+        """Accept an instance, string, or raw value."""
+        if isinstance(value, IPv4Address):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        return cls(value)
+
+    def packed(self) -> bytes:
+        """The 4-byte big-endian representation."""
+        return self.value.to_bytes(4, "big")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Address":
+        """Build from the packed byte representation."""
+        if len(data) != 4:
+            raise IPError("IPv4 address must be 4 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    # -- classful structure (the 1988 rules) ----------------------------
+
+    @property
+    def address_class(self) -> str:
+        """The classful address class letter."""
+        top = self.value >> 24
+        if top < 128:
+            return "A"
+        if top < 192:
+            return "B"
+        if top < 224:
+            return "C"
+        return "D"
+
+    @property
+    def network(self) -> "IPv4Address":
+        """The classful network address (host bits zeroed)."""
+        return IPv4Address(self.value & self.network_mask)
+
+    @property
+    def network_mask(self) -> int:
+        """The classful network mask as a 32-bit int."""
+        cls_ = self.address_class
+        if cls_ == "A":
+            return 0xFF000000
+        if cls_ == "B":
+            return 0xFFFF0000
+        return 0xFFFFFF00
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for the broadcast address."""
+        return self.value == 0xFFFFFFFF
+
+    def same_network(self, other: "IPv4Address") -> bool:
+        """Classful same-network test."""
+        return (
+            self.network_mask == other.network_mask
+            and (self.value & self.network_mask) == (other.value & other.network_mask)
+        )
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+#: Limited broadcast.
+BROADCAST_IP = IPv4Address(0xFFFFFFFF)
+
+# IP flag bits (in the flags/fragment-offset word).
+FLAG_DONT_FRAGMENT = 0x4000
+FLAG_MORE_FRAGMENTS = 0x2000
+_OFFSET_MASK = 0x1FFF
+
+
+@dataclass(frozen=True)
+class IPv4Datagram:
+    """A decoded IPv4 datagram (header without options + payload)."""
+
+    source: IPv4Address
+    destination: IPv4Address
+    protocol: int
+    payload: bytes
+    ttl: int = DEFAULT_TTL
+    identification: int = 0
+    dont_fragment: bool = False
+    more_fragments: bool = False
+    fragment_offset: int = 0        # in 8-byte units
+    tos: int = 0
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise with a freshly computed header checksum."""
+        total_length = _HEADER_MIN + len(self.payload)
+        if total_length > 0xFFFF:
+            raise IPError(f"datagram too large: {total_length}")
+        flags_frag = (self.fragment_offset & _OFFSET_MASK)
+        if self.dont_fragment:
+            flags_frag |= FLAG_DONT_FRAGMENT
+        if self.more_fragments:
+            flags_frag |= FLAG_MORE_FRAGMENTS
+        header = bytearray(_HEADER_MIN)
+        header[0] = (4 << 4) | 5                     # version 4, IHL 5
+        header[1] = self.tos
+        header[2:4] = total_length.to_bytes(2, "big")
+        header[4:6] = (self.identification & 0xFFFF).to_bytes(2, "big")
+        header[6:8] = flags_frag.to_bytes(2, "big")
+        header[8] = max(0, min(self.ttl, 255))
+        header[9] = self.protocol
+        # checksum (bytes 10-11) left zero for computation
+        header[12:16] = self.source.packed()
+        header[16:20] = self.destination.packed()
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        return bytes(header) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify: bool = True) -> "IPv4Datagram":
+        """Parse a wire datagram; trailing link padding is trimmed."""
+        if len(data) < _HEADER_MIN:
+            raise IPError("datagram shorter than IPv4 header")
+        version = data[0] >> 4
+        if version != 4:
+            raise IPError(f"not IPv4 (version={version})")
+        ihl = (data[0] & 0x0F) * 4
+        if ihl < _HEADER_MIN or len(data) < ihl:
+            raise IPError(f"bad IHL {ihl}")
+        total_length = int.from_bytes(data[2:4], "big")
+        if total_length < ihl or total_length > len(data):
+            raise IPError(f"bad total length {total_length} (have {len(data)})")
+        if verify and not verify_checksum(data[:ihl]):
+            raise IPError("header checksum mismatch")
+        flags_frag = int.from_bytes(data[6:8], "big")
+        return cls(
+            source=IPv4Address.unpack(data[12:16]),
+            destination=IPv4Address.unpack(data[16:20]),
+            protocol=data[9],
+            payload=data[ihl:total_length],
+            ttl=data[8],
+            identification=int.from_bytes(data[4:6], "big"),
+            dont_fragment=bool(flags_frag & FLAG_DONT_FRAGMENT),
+            more_fragments=bool(flags_frag & FLAG_MORE_FRAGMENTS),
+            fragment_offset=flags_frag & _OFFSET_MASK,
+            tos=data[1],
+        )
+
+    # ------------------------------------------------------------------
+    # forwarding helpers
+    # ------------------------------------------------------------------
+
+    def decremented(self) -> "IPv4Datagram":
+        """Copy with TTL reduced by one (forwarding step)."""
+        return replace(self, ttl=self.ttl - 1)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True when this datagram is a fragment."""
+        return self.more_fragments or self.fragment_offset > 0
+
+    def __str__(self) -> str:
+        frag = ""
+        if self.is_fragment:
+            frag = f" frag(off={self.fragment_offset * 8}, mf={int(self.more_fragments)})"
+        return (
+            f"{self.source}>{self.destination} proto={self.protocol} "
+            f"len={len(self.payload)} ttl={self.ttl}{frag}"
+        )
+
+
+def fragment(datagram: IPv4Datagram, mtu: int) -> List[IPv4Datagram]:
+    """Split a datagram into fragments that fit ``mtu``.
+
+    Raises :class:`IPError` when DF is set and the datagram is too big
+    (the caller turns that into an ICMP "fragmentation needed").
+    """
+    if _HEADER_MIN + len(datagram.payload) <= mtu:
+        return [datagram]
+    if datagram.dont_fragment:
+        raise IPError("fragmentation needed but DF set")
+    chunk = (mtu - _HEADER_MIN) & ~7  # payload per fragment, 8-byte aligned
+    if chunk <= 0:
+        raise IPError(f"MTU {mtu} cannot carry any payload")
+    fragments: List[IPv4Datagram] = []
+    payload = datagram.payload
+    base_offset = datagram.fragment_offset
+    for start in range(0, len(payload), chunk):
+        piece = payload[start : start + chunk]
+        last = start + chunk >= len(payload)
+        fragments.append(
+            replace(
+                datagram,
+                payload=piece,
+                fragment_offset=base_offset + start // 8,
+                more_fragments=datagram.more_fragments or not last,
+            )
+        )
+    return fragments
+
+
+@dataclass
+class _ReassemblyEntry:
+    pieces: Dict[int, bytes] = field(default_factory=dict)
+    total_payload: Optional[int] = None
+    first_header: Optional[IPv4Datagram] = None
+    created_at: int = 0
+
+
+class Reassembler:
+    """Per-host IP fragment reassembly with timeout-based garbage collection."""
+
+    def __init__(self, timeout: int = 30_000_000) -> None:
+        self.timeout = timeout
+        self._entries: Dict[Tuple[int, int, int, int], _ReassemblyEntry] = {}
+        self.reassembled = 0
+        self.timed_out = 0
+
+    def input(self, datagram: IPv4Datagram, now: int) -> Optional[IPv4Datagram]:
+        """Feed a datagram; returns the whole datagram when complete.
+
+        Non-fragments pass straight through.
+        """
+        if not datagram.is_fragment:
+            return datagram
+        self._expire(now)
+        key = (
+            datagram.source.value,
+            datagram.destination.value,
+            datagram.protocol,
+            datagram.identification,
+        )
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _ReassemblyEntry(created_at=now)
+            self._entries[key] = entry
+        entry.pieces[datagram.fragment_offset * 8] = datagram.payload
+        if datagram.fragment_offset == 0:
+            entry.first_header = datagram
+        if not datagram.more_fragments:
+            entry.total_payload = datagram.fragment_offset * 8 + len(datagram.payload)
+        if entry.total_payload is None or entry.first_header is None:
+            return None
+        # Do we have contiguous coverage of [0, total)?
+        assembled = bytearray()
+        cursor = 0
+        while cursor < entry.total_payload:
+            piece = entry.pieces.get(cursor)
+            if piece is None:
+                return None
+            assembled += piece
+            cursor += len(piece)
+        del self._entries[key]
+        self.reassembled += 1
+        return replace(
+            entry.first_header,
+            payload=bytes(assembled[: entry.total_payload]),
+            more_fragments=False,
+            fragment_offset=0,
+        )
+
+    def _expire(self, now: int) -> None:
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if now - entry.created_at > self.timeout
+        ]
+        for key in stale:
+            del self._entries[key]
+            self.timed_out += 1

@@ -1,0 +1,442 @@
+"""Per-host assembly of the IP stack ("Existing Ultrix Network Support").
+
+One :class:`NetStack` per simulated host.  It owns the interface list,
+the classful routing table, the IP input queue drained from a software
+interrupt (exactly where the paper's driver enqueues incoming IP
+packets), the forwarding engine with ICMP error generation, fragment
+reassembly, and the UDP/TCP/ICMP demultiplexers.
+
+Gateway-specific behaviour hooks in rather than subclasses:
+
+* :attr:`NetStack.ip_forwarding` enables datagram forwarding;
+* :attr:`NetStack.forward_filter` lets the §4.3 access-control table
+  veto individual forwards;
+* :attr:`NetStack.send_redirects` emits ICMP redirects when a packet
+  leaves on the interface it arrived on (experiment E5's mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.inet import icmp as icmp_mod
+from repro.inet.ip import (
+    BROADCAST_IP,
+    IPError,
+    IPv4Address,
+    IPv4Datagram,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    Reassembler,
+    fragment,
+)
+from repro.inet.routing import Route, RoutingTable
+from repro.inet.tcp import TcpProtocol, TcpSegment
+from repro.inet.udp import UdpDatagram, UdpError
+from repro.netif.ifnet import NetworkInterface
+from repro.netif.loopback import LoopbackInterface
+from repro.netif.queues import IfQueue, SoftNet
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+class NetStack:
+    """The kernel network stack of one host."""
+
+    def __init__(self, sim: Simulator, hostname: str,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.sim = sim
+        self.hostname = hostname
+        self.tracer = tracer
+        self.interfaces: List[NetworkInterface] = []
+        self.routes = RoutingTable()
+        self.loopback = LoopbackInterface(sim)
+        self._attach_common(self.loopback)
+        self.tcp = TcpProtocol(self)
+        self.reassembler = Reassembler()
+
+        #: IP input queue fed by drivers, drained by soft interrupt.
+        self.ip_input_queue: IfQueue[Tuple[bytes, NetworkInterface]] = IfQueue(
+            name=f"{hostname}.ipintrq"
+        )
+        self._softnet = SoftNet(sim, self._drain_ip_input, name=f"{hostname}.softnet")
+
+        self.ip_forwarding = False
+        self.send_redirects = False
+        #: When set, forwarding onto an interface whose output backlog
+        #: exceeds this many bytes emits an ICMP source quench (RFC 792)
+        #: back to the source.  None disables (the default).
+        self.quench_threshold: Optional[int] = None
+        #: Optional veto for forwarded datagrams:
+        #: ``forward_filter(datagram, in_iface) -> bool`` (False = drop).
+        self.forward_filter: Optional[
+            Callable[[IPv4Datagram, NetworkInterface], bool]
+        ] = None
+        #: Listeners for raw ICMP messages: ``f(message, source)``.
+        self.icmp_listeners: List[
+            Callable[[icmp_mod.IcmpMessage, IPv4Address], None]
+        ] = []
+        self._udp_bindings: Dict[int, Callable[[UdpDatagram, IPv4Address], None]] = {}
+        self._next_ident = 1
+        self._udp_ephemeral = 2048
+
+        self.counters = {
+            "ip_received": 0,
+            "ip_delivered": 0,
+            "ip_forwarded": 0,
+            "ip_forward_filtered": 0,
+            "ip_no_route": 0,
+            "ip_ttl_expired": 0,
+            "ip_bad": 0,
+            "icmp_received": 0,
+            "icmp_echo_replied": 0,
+            "redirects_sent": 0,
+            "redirects_followed": 0,
+            "quench_sent": 0,
+            "udp_received": 0,
+            "udp_no_port": 0,
+            "frags_sent": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # interface management
+    # ------------------------------------------------------------------
+
+    def attach_interface(self, interface: NetworkInterface,
+                         address: "IPv4Address | str",
+                         network_route: bool = True) -> None:
+        """Configure and enable an interface (ifconfig)."""
+        interface.address = IPv4Address.coerce(address)
+        self._attach_common(interface)
+        interface.if_init()
+        if network_route:
+            self.routes.add_network_route(interface.address.network, interface)
+
+    def _attach_common(self, interface: NetworkInterface) -> None:
+        interface.input_handler = self._interface_input
+        if interface not in self.interfaces:
+            self.interfaces.append(interface)
+
+    def interface_addresses(self) -> List[IPv4Address]:
+        """Every configured interface address on this host."""
+        return [iface.address for iface in self.interfaces if iface.address is not None]
+
+    def is_local_address(self, address: IPv4Address) -> bool:
+        """True when the address belongs to this host (or is broadcast)."""
+        if address.is_broadcast:
+            return True
+        return any(
+            iface.address is not None and iface.address.value == address.value
+            for iface in self.interfaces
+        )
+
+    # ------------------------------------------------------------------
+    # input path
+    # ------------------------------------------------------------------
+
+    def _interface_input(self, packet: bytes, interface: NetworkInterface,
+                         protocol: str) -> None:
+        """Driver hand-off in interrupt context: enqueue + soft interrupt."""
+        if protocol != "ip":
+            return
+        if self.ip_input_queue.enqueue((packet, interface)):
+            self._softnet.post()
+
+    def _drain_ip_input(self) -> None:
+        while True:
+            item = self.ip_input_queue.dequeue()
+            if item is None:
+                return
+            packet, interface = item
+            self._ip_input(packet, interface)
+
+    def _ip_input(self, packet: bytes, interface: NetworkInterface) -> None:
+        self.counters["ip_received"] += 1
+        try:
+            datagram = IPv4Datagram.decode(packet)
+        except IPError:
+            self.counters["ip_bad"] += 1
+            return
+        if self.tracer is not None:
+            self.tracer.log("ip.rx", self.hostname, str(datagram),
+                            iface=interface.name)
+        if self.is_local_address(datagram.destination):
+            self._deliver_local(datagram)
+            return
+        if self.ip_forwarding:
+            self._forward(datagram, interface)
+        else:
+            self.counters["ip_no_route"] += 1
+
+    def _deliver_local(self, datagram: IPv4Datagram) -> None:
+        whole = self.reassembler.input(datagram, self.sim.now)
+        if whole is None:
+            return
+        self.counters["ip_delivered"] += 1
+        if whole.protocol == PROTO_ICMP:
+            self._icmp_input(whole)
+        elif whole.protocol == PROTO_UDP:
+            self._udp_input(whole)
+        elif whole.protocol == PROTO_TCP:
+            self.tcp.input(whole.payload, whole.source, whole.destination)
+        # unknown protocols are silently dropped (no raw sockets here)
+
+    # ------------------------------------------------------------------
+    # forwarding (the gateway function)
+    # ------------------------------------------------------------------
+
+    def _forward(self, datagram: IPv4Datagram, in_iface: NetworkInterface) -> None:
+        if self.forward_filter is not None and not self.forward_filter(datagram, in_iface):
+            self.counters["ip_forward_filtered"] += 1
+            return
+        if datagram.ttl <= 1:
+            self.counters["ip_ttl_expired"] += 1
+            self._send_icmp(icmp_mod.time_exceeded(datagram), datagram.source)
+            return
+        route = self.routes.lookup(datagram.destination)
+        if route is None:
+            self.counters["ip_no_route"] += 1
+            self._send_icmp(
+                icmp_mod.unreachable(icmp_mod.UNREACH_NET, datagram), datagram.source
+            )
+            return
+        forwarded = datagram.decremented()
+        self.counters["ip_forwarded"] += 1
+        if (self.quench_threshold is not None
+                and route.interface.output_backlog > self.quench_threshold):
+            self.counters["quench_sent"] += 1
+            self._send_icmp(icmp_mod.source_quench(datagram), datagram.source)
+        if self.tracer is not None:
+            self.tracer.log("ip.forward", self.hostname, str(forwarded),
+                            via=route.interface.name)
+        if (
+            self.send_redirects
+            and route.interface is in_iface
+            and route.gateway is not None
+            and in_iface.address is not None
+            and datagram.source.same_network(in_iface.address)
+        ):
+            # Packet leaves the way it came: the sender has a better first
+            # hop.  Tell it (ICMP redirect), but forward this one anyway.
+            self.counters["redirects_sent"] += 1
+            self._send_icmp(
+                icmp_mod.redirect(route.gateway, datagram), datagram.source
+            )
+        self._transmit(forwarded, route)
+
+    # ------------------------------------------------------------------
+    # output path
+    # ------------------------------------------------------------------
+
+    def allocate_ident(self) -> int:
+        """Next IP identification value."""
+        self._next_ident = (self._next_ident + 1) & 0xFFFF
+        return self._next_ident
+
+    def source_address_for(self, route: Route) -> IPv4Address:
+        """The source address to use for a given route."""
+        if route.interface.address is not None:
+            return route.interface.address
+        addresses = self.interface_addresses()
+        if not addresses:
+            raise IPError(f"{self.hostname} has no configured address")
+        return addresses[0]
+
+    def ip_output(self, destination: "IPv4Address | str", protocol: int,
+                  payload: bytes, source: Optional[IPv4Address] = None,
+                  ttl: int = 30, dont_fragment: bool = False,
+                  interface: Optional[NetworkInterface] = None) -> bool:
+        """Build and route one datagram from this host.
+
+        ``interface`` forces output onto one interface, bypassing the
+        routing table -- required for link broadcasts (RIP, and any
+        other 255.255.255.255 traffic, is per-interface by nature).
+        """
+        destination = IPv4Address.coerce(destination)
+        if interface is not None:
+            datagram = IPv4Datagram(
+                source=source or interface.address,
+                destination=destination,
+                protocol=protocol, payload=payload, ttl=ttl,
+                identification=self.allocate_ident(),
+            )
+            return interface.if_output(datagram.encode(), destination)
+        if self.is_local_address(destination):
+            datagram = IPv4Datagram(
+                source=source or destination, destination=destination,
+                protocol=protocol, payload=payload, ttl=ttl,
+                identification=self.allocate_ident(),
+            )
+            self.loopback.if_output(datagram.encode(), destination)
+            return True
+        route = self.routes.lookup(destination)
+        if route is None:
+            self.counters["ip_no_route"] += 1
+            return False
+        datagram = IPv4Datagram(
+            source=source or self.source_address_for(route),
+            destination=destination,
+            protocol=protocol,
+            payload=payload,
+            ttl=ttl,
+            identification=self.allocate_ident(),
+            dont_fragment=dont_fragment,
+        )
+        if self.tracer is not None:
+            self.tracer.log("ip.tx", self.hostname, str(datagram),
+                            via=route.interface.name)
+        return self._transmit(datagram, route)
+
+    def _transmit(self, datagram: IPv4Datagram, route: Route) -> bool:
+        next_hop = route.gateway if route.gateway is not None else datagram.destination
+        try:
+            pieces = fragment(datagram, route.interface.mtu)
+        except IPError:
+            self._send_icmp(
+                icmp_mod.unreachable(icmp_mod.UNREACH_NEEDFRAG, datagram),
+                datagram.source,
+            )
+            return False
+        if len(pieces) > 1:
+            self.counters["frags_sent"] += len(pieces)
+        ok = True
+        for piece in pieces:
+            if not route.interface.if_output(piece.encode(), next_hop):
+                ok = False
+        return ok
+
+    # ------------------------------------------------------------------
+    # ICMP
+    # ------------------------------------------------------------------
+
+    def _send_icmp(self, message: icmp_mod.IcmpMessage,
+                   destination: IPv4Address) -> None:
+        if destination.is_broadcast:
+            return
+        self.ip_output(destination, PROTO_ICMP, message.encode())
+
+    def send_icmp(self, message: icmp_mod.IcmpMessage,
+                  destination: "IPv4Address | str") -> None:
+        """Public ICMP send (ping, access-control control messages)."""
+        self._send_icmp(message, IPv4Address.coerce(destination))
+
+    def _icmp_input(self, datagram: IPv4Datagram) -> None:
+        self.counters["icmp_received"] += 1
+        try:
+            message = icmp_mod.IcmpMessage.decode(datagram.payload)
+        except icmp_mod.IcmpError:
+            return
+        if message.icmp_type == icmp_mod.ICMP_ECHO_REQUEST:
+            self.counters["icmp_echo_replied"] += 1
+            self._send_icmp(icmp_mod.echo_reply(message), datagram.source)
+        elif message.icmp_type == icmp_mod.ICMP_REDIRECT:
+            self._handle_redirect(message)
+        elif message.icmp_type == icmp_mod.ICMP_SOURCE_QUENCH:
+            target = icmp_mod.quoted_destination(message)
+            if target is not None:
+                self.tcp.handle_source_quench(message.body, target)
+        for listener in self.icmp_listeners:
+            listener(message, datagram.source)
+
+    def _handle_redirect(self, message: icmp_mod.IcmpMessage) -> None:
+        """Install a host route toward the advertised better gateway."""
+        target = icmp_mod.quoted_destination(message)
+        if target is None:
+            return
+        gateway = icmp_mod.redirect_gateway(message)
+        route = self.routes.lookup(gateway)
+        if route is None:
+            return
+        self.counters["redirects_followed"] += 1
+        self.routes.add_host_route(target, route.interface, gateway)
+
+    # ------------------------------------------------------------------
+    # UDP
+    # ------------------------------------------------------------------
+
+    def udp_bind(self, port: int,
+                 handler: Callable[[UdpDatagram, IPv4Address], None]) -> None:
+        """Bind a handler to a UDP port."""
+        if port in self._udp_bindings:
+            raise ValueError(f"UDP port {port} already bound on {self.hostname}")
+        self._udp_bindings[port] = handler
+
+    def udp_unbind(self, port: int) -> None:
+        """Release a UDP port binding."""
+        self._udp_bindings.pop(port, None)
+
+    def udp_allocate_port(self) -> int:
+        """Next ephemeral UDP port."""
+        self._udp_ephemeral += 1
+        return self._udp_ephemeral
+
+    def udp_broadcast(self, interface: NetworkInterface,
+                      destination_port: int, source_port: int,
+                      payload: bytes) -> bool:
+        """Send a UDP datagram to 255.255.255.255 out one interface."""
+        if interface.address is None:
+            return False
+        udp = UdpDatagram(source_port, destination_port, payload)
+        return self.ip_output(
+            BROADCAST_IP, PROTO_UDP,
+            udp.encode(interface.address, BROADCAST_IP),
+            source=interface.address, ttl=1, interface=interface,
+        )
+
+    def udp_send(self, destination: "IPv4Address | str", destination_port: int,
+                 source_port: int, payload: bytes) -> bool:
+        """Send one UDP datagram (routed normally)."""
+        destination = IPv4Address.coerce(destination)
+        route = self.routes.lookup(destination)
+        if route is None and not self.is_local_address(destination):
+            return False
+        source = (
+            destination if self.is_local_address(destination)
+            else self.source_address_for(route)
+        )
+        udp = UdpDatagram(source_port, destination_port, payload)
+        return self.ip_output(
+            destination, PROTO_UDP, udp.encode(source, destination), source=source
+        )
+
+    def _udp_input(self, datagram: IPv4Datagram) -> None:
+        try:
+            udp = UdpDatagram.decode(
+                datagram.payload, datagram.source, datagram.destination
+            )
+        except UdpError:
+            return
+        self.counters["udp_received"] += 1
+        handler = self._udp_bindings.get(udp.destination_port)
+        if handler is None:
+            self.counters["udp_no_port"] += 1
+            self._send_icmp(
+                icmp_mod.unreachable(icmp_mod.UNREACH_PORT, datagram),
+                datagram.source,
+            )
+            return
+        handler(udp, datagram.source)
+
+    # ------------------------------------------------------------------
+    # TCP plumbing
+    # ------------------------------------------------------------------
+
+    def send_tcp_segment(self, segment: TcpSegment,
+                         destination: IPv4Address) -> None:
+        """Encapsulate and route one TCP segment."""
+        source: Optional[IPv4Address]
+        if self.is_local_address(destination):
+            source = destination
+        else:
+            route = self.routes.lookup(destination)
+            if route is None:
+                return
+            source = self.source_address_for(route)
+        self.ip_output(
+            destination, PROTO_TCP, segment.encode(source, destination),
+            source=source,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NetStack {self.hostname} ifaces={[i.name for i in self.interfaces]}>"

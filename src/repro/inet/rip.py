@@ -1,0 +1,263 @@
+"""RIP version 1 (RFC 1058): the era's `routed`.
+
+§4.2 laments that "most systems will maintain only a single route" for
+net 44 and that "no mechanism is in place" to do better.  The mechanism
+that *was* deployed inside campuses in 1988 was RIP -- 4.3BSD's
+``routed`` -- so the reproduction includes it: gateways advertise the
+networks they can reach, hosts and other gateways learn, and the
+two-coast topology can converge on per-coast routes without manual
+host routes.
+
+Implemented: periodic broadcast of the route table (UDP port 520),
+metric arithmetic with 16 as infinity, route installation and
+replacement, expiry (180 s) with deletion, split horizon, request
+handling for fast start-up.  Not implemented (documented): triggered
+updates, poisoned reverse, RIPv2 anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.udp import UdpDatagram
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.sim.clock import SECOND
+
+RIP_PORT = 520
+RIP_REQUEST = 1
+RIP_RESPONSE = 2
+RIP_VERSION = 1
+AF_INET = 2
+INFINITY = 16
+
+#: Timing per RFC 1058 (scaled exactly; these are already simulation-fast).
+UPDATE_INTERVAL = 30 * SECOND
+ROUTE_TIMEOUT = 180 * SECOND
+
+
+class RipError(ValueError):
+    """Raised for undecodable RIP packets."""
+
+
+@dataclass(frozen=True)
+class RipEntry:
+    """One route in a RIP packet."""
+
+    destination: IPv4Address
+    metric: int
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        return (struct.pack("!HH", AF_INET, 0)
+                + self.destination.packed()
+                + bytes(8)
+                + struct.pack("!I", self.metric))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RipEntry":
+        """Parse the wire byte string; raises on malformed input."""
+        if len(data) < 20:
+            raise RipError("RIP entry truncated")
+        family = struct.unpack("!H", data[0:2])[0]
+        if family != AF_INET:
+            raise RipError(f"unsupported address family {family}")
+        destination = IPv4Address.unpack(data[4:8])
+        metric = struct.unpack("!I", data[16:20])[0]
+        return cls(destination, metric)
+
+
+@dataclass(frozen=True)
+class RipPacket:
+    """A full RIP message."""
+
+    command: int
+    entries: Tuple[RipEntry, ...]
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        out = bytearray(struct.pack("!BBH", self.command, RIP_VERSION, 0))
+        for entry in self.entries[:25]:
+            out += entry.encode()
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RipPacket":
+        """Parse the wire byte string; raises on malformed input."""
+        if len(data) < 4:
+            raise RipError("RIP packet shorter than header")
+        command, version, _zero = struct.unpack("!BBH", data[:4])
+        if version != RIP_VERSION:
+            raise RipError(f"unsupported RIP version {version}")
+        entries: List[RipEntry] = []
+        offset = 4
+        while offset + 20 <= len(data):
+            entries.append(RipEntry.decode(data[offset : offset + 20]))
+            offset += 20
+        return cls(command, tuple(entries))
+
+
+@dataclass
+class _LearnedRoute:
+    network: IPv4Address
+    gateway: IPv4Address
+    metric: int
+    interface: NetworkInterface
+    expires_at: int
+
+
+class RipDaemon:
+    """routed: advertises and learns classful network routes."""
+
+    def __init__(self, stack: NetStack,
+                 interfaces: Optional[List[NetworkInterface]] = None) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.interfaces = interfaces if interfaces is not None else [
+            iface for iface in stack.interfaces
+            if iface.address is not None
+            and not iface.flags & InterfaceFlags.LOOPBACK
+        ]
+        self._learned: Dict[int, _LearnedRoute] = {}
+        self.updates_sent = 0
+        self.updates_received = 0
+        self.routes_learned = 0
+        self.routes_expired = 0
+        stack.udp_bind(RIP_PORT, self._input)
+        # Ask the neighbourhood for tables immediately (fast start-up),
+        # then settle into the periodic broadcast.
+        self.sim.call_soon(self._send_request, label=f"rip-req {stack.hostname}")
+        self.sim.schedule(self._stagger(), self._update_tick,
+                          label=f"rip {stack.hostname}")
+
+    def _stagger(self) -> int:
+        # deterministic per-host offset so gateways do not synchronise
+        digest = hashlib.sha256(self.stack.hostname.encode()).digest()
+        return (int.from_bytes(digest[:2], "big") % 7 + 1) * SECOND
+
+    # ------------------------------------------------------------------
+    # advertising
+    # ------------------------------------------------------------------
+
+    def _update_tick(self) -> None:
+        self._expire()
+        for interface in self.interfaces:
+            self._broadcast_response(interface)
+        self.sim.schedule(UPDATE_INTERVAL, self._update_tick,
+                          label=f"rip {self.stack.hostname}")
+
+    def _send_request(self) -> None:
+        request = RipPacket(RIP_REQUEST, (RipEntry(IPv4Address(0), INFINITY),))
+        for interface in self.interfaces:
+            self.stack.udp_broadcast(interface, RIP_PORT, RIP_PORT,
+                                     request.encode())
+
+    def _broadcast_response(self, interface: NetworkInterface) -> None:
+        entries = self._entries_for(interface)
+        if not entries:
+            return
+        packet = RipPacket(RIP_RESPONSE, tuple(entries))
+        self.updates_sent += 1
+        self.stack.udp_broadcast(interface, RIP_PORT, RIP_PORT, packet.encode())
+
+    def _connected_interfaces(self) -> List[NetworkInterface]:
+        """Every configured non-loopback interface on the host.
+
+        Routes are advertised for all of them even when RIP itself only
+        speaks on a subset (e.g. a gateway broadcasts on the Ethernet
+        but still advertises the radio subnet it fronts).
+        """
+        return [
+            iface for iface in self.stack.interfaces
+            if iface.address is not None
+            and not iface.flags & InterfaceFlags.LOOPBACK
+        ]
+
+    def _entries_for(self, out_iface: NetworkInterface) -> List[RipEntry]:
+        entries: List[RipEntry] = []
+        # directly-connected networks, metric 1
+        for iface in self._connected_interfaces():
+            entries.append(RipEntry(iface.address.network, 1))
+        # learned routes, honouring split horizon
+        for learned in self._learned.values():
+            if learned.interface is out_iface:
+                continue
+            entries.append(RipEntry(learned.network,
+                                    min(learned.metric, INFINITY)))
+        return entries
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+
+    def _input(self, udp: UdpDatagram, source: IPv4Address) -> None:
+        try:
+            packet = RipPacket.decode(udp.payload)
+        except RipError:
+            return
+        if self.stack.is_local_address(source):
+            return  # our own broadcast echoed back
+        interface = self._interface_toward(source)
+        if interface is None:
+            return
+        if packet.command == RIP_REQUEST:
+            self._broadcast_response(interface)
+            return
+        if packet.command != RIP_RESPONSE:
+            return
+        self.updates_received += 1
+        now = self.sim.now
+        for entry in packet.entries:
+            self._consider(entry, source, interface, now)
+        self._expire()
+
+    def _interface_toward(self, source: IPv4Address) -> Optional[NetworkInterface]:
+        for iface in self.interfaces:
+            if iface.address is not None and iface.address.same_network(source):
+                return iface
+        return None
+
+    def _consider(self, entry: RipEntry, gateway: IPv4Address,
+                  interface: NetworkInterface, now: int) -> None:
+        network = entry.destination.network
+        metric = min(entry.metric + 1, INFINITY)
+        # never replace a directly-connected network
+        for iface in self._connected_interfaces():
+            if iface.address.network.value == network.value:
+                return
+        existing = self._learned.get(network.value)
+        if metric >= INFINITY:
+            if existing is not None and existing.gateway.value == gateway.value:
+                self._delete(existing)
+            return
+        if (existing is None or metric < existing.metric
+                or existing.gateway.value == gateway.value):
+            if existing is None:
+                self.routes_learned += 1
+            self._learned[network.value] = _LearnedRoute(
+                network=network, gateway=gateway, metric=metric,
+                interface=interface, expires_at=now + ROUTE_TIMEOUT,
+            )
+            self.stack.routes.add_network_route(network, interface,
+                                                gateway=gateway)
+
+    def _expire(self) -> None:
+        now = self.sim.now
+        for learned in [l for l in self._learned.values()
+                        if l.expires_at <= now]:
+            self._delete(learned)
+
+    def _delete(self, learned: _LearnedRoute) -> None:
+        self._learned.pop(learned.network.value, None)
+        self.stack.routes.delete_network_route(learned.network)
+        self.routes_expired += 1
+
+    # ------------------------------------------------------------------
+
+    def route_count(self) -> int:
+        """Number of currently learned routes."""
+        return len(self._learned)

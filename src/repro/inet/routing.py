@@ -1,0 +1,125 @@
+"""The classful routing table (4.3BSD rtalloc semantics, 1988 rules).
+
+Lookup order: exact host route, then classful network route, then the
+default route.  §4.2 of the paper turns on exactly this behaviour:
+AMPRnet is one class 'A' network, so a distant Internet host holds a
+*single* route for all of net 44 -- there is no way to say "44.24 goes
+west, 44.56 goes east" without host routes or subnet hacks, and that is
+the routing problem the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.inet.ip import IPv4Address
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netif.ifnet import NetworkInterface
+
+
+@dataclass
+class Route:
+    """One routing table entry.
+
+    ``gateway`` of None means the destination is directly reachable on
+    ``interface`` (deliver by link-layer address resolution); otherwise
+    packets are sent to the gateway's link address.
+    """
+
+    destination: IPv4Address       # host address or classful network address
+    interface: "NetworkInterface"
+    gateway: Optional[IPv4Address] = None
+    is_host_route: bool = False
+    metric: int = 0
+    uses: int = 0
+
+    def __str__(self) -> str:
+        kind = "host" if self.is_host_route else "net"
+        via = f" via {self.gateway}" if self.gateway else ""
+        return f"{kind} {self.destination}{via} dev {self.interface.name}"
+
+
+class RoutingTable:
+    """Host/network/default route lookup."""
+
+    def __init__(self) -> None:
+        self._host_routes: Dict[int, Route] = {}
+        self._net_routes: Dict[int, Route] = {}
+        self._default: Optional[Route] = None
+        self.lookups = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+
+    def add_host_route(self, destination: "IPv4Address | str",
+                       interface: "NetworkInterface",
+                       gateway: "IPv4Address | str | None" = None) -> Route:
+        """Install a host route."""
+        destination = IPv4Address.coerce(destination)
+        route = Route(destination, interface,
+                      _coerce_optional(gateway), is_host_route=True)
+        self._host_routes[destination.value] = route
+        return route
+
+    def add_network_route(self, network: "IPv4Address | str",
+                          interface: "NetworkInterface",
+                          gateway: "IPv4Address | str | None" = None) -> Route:
+        """Install a classful network route."""
+        network = IPv4Address.coerce(network).network
+        route = Route(network, interface, _coerce_optional(gateway))
+        self._net_routes[network.value] = route
+        return route
+
+    def set_default(self, interface: "NetworkInterface",
+                    gateway: "IPv4Address | str") -> Route:
+        """Install the default route."""
+        route = Route(IPv4Address(0), interface, IPv4Address.coerce(gateway))
+        self._default = route
+        return route
+
+    def delete_host_route(self, destination: "IPv4Address | str") -> bool:
+        """Remove a host route; False if absent."""
+        return self._host_routes.pop(IPv4Address.coerce(destination).value, None) is not None
+
+    def delete_network_route(self, network: "IPv4Address | str") -> bool:
+        """Remove a network route; False if absent."""
+        network = IPv4Address.coerce(network).network
+        return self._net_routes.pop(network.value, None) is not None
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, destination: "IPv4Address | str") -> Optional[Route]:
+        """Resolve a destination; None when unroutable."""
+        destination = IPv4Address.coerce(destination)
+        self.lookups += 1
+        route = self._host_routes.get(destination.value)
+        if route is None:
+            route = self._net_routes.get(destination.network.value)
+        if route is None:
+            route = self._default
+        if route is None:
+            self.misses += 1
+            return None
+        route.uses += 1
+        return route
+
+    def routes(self) -> List[Route]:
+        """All entries, host routes first (netstat -r order, roughly)."""
+        entries = list(self._host_routes.values()) + list(self._net_routes.values())
+        if self._default is not None:
+            entries.append(self._default)
+        return entries
+
+    def render(self) -> str:
+        """A netstat-style table for humans."""
+        return "\n".join(str(route) for route in self.routes())
+
+
+def _coerce_optional(value: "IPv4Address | str | None") -> Optional[IPv4Address]:
+    return None if value is None else IPv4Address.coerce(value)

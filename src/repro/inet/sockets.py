@@ -1,0 +1,153 @@
+"""A small socket-style API over the stack.
+
+Applications in :mod:`repro.apps` are event-driven (the simulator has
+no blocking), so sockets expose callbacks plus a pull-style receive
+buffer.  The shape intentionally mirrors what a 4.3BSD daemon does with
+``accept``/``read``/``write``, just inverted for events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.tcp import RtoPolicy, TcpConnection, TcpListener
+from repro.inet.udp import UdpDatagram
+
+
+class UdpSocket:
+    """A bound UDP endpoint."""
+
+    def __init__(self, stack: NetStack, port: Optional[int] = None) -> None:
+        self.stack = stack
+        self.port = port if port is not None else stack.udp_allocate_port()
+        self.received: List[Tuple[bytes, IPv4Address, int]] = []
+        self.on_datagram: Optional[Callable[[bytes, IPv4Address, int], None]] = None
+        stack.udp_bind(self.port, self._input)
+
+    def sendto(self, payload: bytes, destination: "IPv4Address | str",
+               destination_port: int) -> bool:
+        """Send one datagram to the given address and port."""
+        return self.stack.udp_send(destination, destination_port, self.port, payload)
+
+    def close(self) -> None:
+        """Close this end."""
+        self.stack.udp_unbind(self.port)
+
+    def _input(self, datagram: UdpDatagram, source: IPv4Address) -> None:
+        record = (datagram.payload, source, datagram.source_port)
+        self.received.append(record)
+        if self.on_datagram is not None:
+            self.on_datagram(*record)
+
+
+class TcpSocket:
+    """A TCP endpoint wrapping a :class:`TcpConnection`.
+
+    Received bytes accumulate in :attr:`recv_buffer`; ``on_data`` fires
+    as they arrive.  ``recv()`` drains the buffer (poll style, useful in
+    tests); ``read_line()`` pops one CRLF/LF-terminated line, which is
+    what the text protocols (SMTP, FTP, telnet) want.
+    """
+
+    def __init__(self, connection: TcpConnection) -> None:
+        self.connection = connection
+        self.recv_buffer = bytearray()
+        self.closed = False
+        self.close_reason = ""
+        self.on_connect: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[str], None]] = None
+        connection.on_connect = self._connected
+        connection.on_data = self._data
+        connection.on_close = self._closed
+
+    # -- factory helpers -------------------------------------------------
+
+    @classmethod
+    def connect(cls, stack: NetStack, remote: "IPv4Address | str", port: int,
+                rto_policy: Optional[RtoPolicy] = None) -> "TcpSocket":
+        """Initiate a connection."""
+        return cls(stack.tcp.connect(remote, port, rto_policy=rto_policy))
+
+    # -- I/O -------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Send bytes to the peer."""
+        self.connection.send(data)
+
+    def send_line(self, text: str) -> None:
+        """Send one CRLF-terminated text line."""
+        self.connection.send(text.encode("latin-1") + b"\r\n")
+
+    def recv(self, max_bytes: Optional[int] = None) -> bytes:
+        """Drain and return buffered received bytes."""
+        if max_bytes is None:
+            max_bytes = len(self.recv_buffer)
+        data = bytes(self.recv_buffer[:max_bytes])
+        del self.recv_buffer[:max_bytes]
+        return data
+
+    def read_line(self) -> Optional[str]:
+        """Pop one LF-terminated line (CR stripped); None if incomplete."""
+        index = self.recv_buffer.find(b"\n")
+        if index < 0:
+            return None
+        raw = bytes(self.recv_buffer[: index + 1])
+        del self.recv_buffer[: index + 1]
+        return raw.decode("latin-1").rstrip("\r\n")
+
+    def close(self) -> None:
+        """Close this end."""
+        self.connection.close()
+
+    def abort(self) -> None:
+        """Abort immediately (no graceful teardown)."""
+        self.connection.abort()
+
+    @property
+    def established(self) -> bool:
+        """True once the connection/circuit is established."""
+        return self.connection.established
+
+    # -- callbacks --------------------------------------------------------
+
+    def _connected(self) -> None:
+        if self.on_connect is not None:
+            self.on_connect()
+
+    def _data(self, data: bytes) -> None:
+        self.recv_buffer += data
+        if self.on_data is not None:
+            self.on_data(data)
+
+    def _closed(self, reason: str) -> None:
+        self.closed = True
+        self.close_reason = reason
+        if self.on_close is not None:
+            self.on_close(reason)
+
+
+class TcpServerSocket:
+    """A listening socket that wraps accepted connections in TcpSockets."""
+
+    def __init__(self, stack: NetStack, port: int,
+                 on_accept: Callable[[TcpSocket], None],
+                 rto_policy: Optional[RtoPolicy] = None) -> None:
+        self.stack = stack
+        self.port = port
+        self._on_accept = on_accept
+        self.listener: TcpListener = stack.tcp.listen(
+            port, rto_policy=rto_policy, on_accept=self._accept
+        )
+        self.sockets: List[TcpSocket] = []
+
+    def _accept(self, connection: TcpConnection) -> None:
+        socket = TcpSocket(connection)
+        self.sockets.append(socket)
+        self._on_accept(socket)
+
+    def close(self) -> None:
+        """Close this end."""
+        self.listener.close()

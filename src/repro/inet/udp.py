@@ -1,0 +1,61 @@
+"""UDP (RFC 768)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.inet.checksum import internet_checksum, pseudo_header
+from repro.inet.ip import IPv4Address
+
+_HEADER_LEN = 8
+
+
+class UdpError(ValueError):
+    """Raised for malformed UDP segments."""
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """One UDP datagram (ports + payload)."""
+
+    source_port: int
+    destination_port: int
+    payload: bytes
+
+    def encode(self, source: IPv4Address, destination: IPv4Address) -> bytes:
+        """Serialise to the wire byte string."""
+        length = _HEADER_LEN + len(self.payload)
+        header = struct.pack(
+            "!HHHH", self.source_port, self.destination_port, length, 0
+        )
+        pseudo = pseudo_header(source.packed(), destination.packed(), 17, length)
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: zero is "no checksum"
+        header = struct.pack(
+            "!HHHH", self.source_port, self.destination_port, length, checksum
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, source: IPv4Address, destination: IPv4Address,
+               verify: bool = True) -> "UdpDatagram":
+        """Parse the wire byte string; raises on malformed input."""
+        if len(data) < _HEADER_LEN:
+            raise UdpError("UDP datagram shorter than header")
+        source_port, destination_port, length, checksum = struct.unpack(
+            "!HHHH", data[:_HEADER_LEN]
+        )
+        if length < _HEADER_LEN or length > len(data):
+            raise UdpError(f"bad UDP length {length}")
+        payload = bytes(data[_HEADER_LEN:length])
+        if verify and checksum != 0:
+            pseudo = pseudo_header(source.packed(), destination.packed(), 17, length)
+            zeroed = data[:6] + b"\x00\x00" + payload
+            expected = internet_checksum(pseudo + zeroed)
+            if expected == 0:
+                expected = 0xFFFF
+            if expected != checksum:
+                raise UdpError("UDP checksum mismatch")
+        return cls(source_port, destination_port, payload)

@@ -1,0 +1,49 @@
+"""Named counters with snapshot/delta support.
+
+Benchmarks often need "how many X happened during the measurement
+window"; :class:`CounterSet` wraps a dict of counters with snapshotting
+so warm-up traffic can be excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+
+class CounterSet:
+    """A dict of integer counters with snapshot arithmetic."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Look up an item; None when absent."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy the current counter values."""
+        return dict(self._counts)
+
+    def delta(self, baseline: Mapping[str, int]) -> Dict[str, int]:
+        """Counts accumulated since ``baseline`` (a prior snapshot)."""
+        keys = set(self._counts) | set(baseline)
+        return {
+            key: self._counts.get(key, 0) - baseline.get(key, 0) for key in keys
+        }
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"CounterSet({inner})"
+
+
+def delta(current: Mapping[str, int], baseline: Mapping[str, int]) -> Dict[str, int]:
+    """Difference of two plain counter dicts (e.g. NetStack.counters)."""
+    keys = set(current) | set(baseline)
+    return {key: current.get(key, 0) - baseline.get(key, 0) for key in keys}

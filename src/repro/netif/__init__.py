@@ -1,0 +1,26 @@
+"""The kernel network-interface layer (4.3BSD style).
+
+"In order to get the kernel to recognize the packet radio interface, we
+had to create and initialize a structure of the type if_net.  The
+if_net structure contains pointers to the procedures used to initialize
+the interface, send packets, change parameters, and perform other
+operations."
+
+:class:`~repro.netif.ifnet.NetworkInterface` is that structure;
+:class:`~repro.netif.queues.IfQueue` is the bounded input/output queue
+(`IF_ENQUEUE` with drops), and :class:`~repro.netif.queues.SoftNet`
+models the software-interrupt hand-off between interrupt context and
+protocol processing (`schednetisr`).
+"""
+
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.netif.loopback import LoopbackInterface
+from repro.netif.queues import IfQueue, SoftNet
+
+__all__ = [
+    "IfQueue",
+    "InterfaceFlags",
+    "LoopbackInterface",
+    "NetworkInterface",
+    "SoftNet",
+]

@@ -1,0 +1,133 @@
+"""The ``if_net`` structure: the kernel's view of a network interface.
+
+"Kernel procedures to perform each of these operations were created."
+-- the paper lists initialise, send packets, change parameters.  Here
+those are :meth:`NetworkInterface.if_init`, :meth:`if_output` and
+:meth:`if_ioctl`, implemented by each driver subclass (the DEQNA-backed
+Ethernet interface, the loopback, and -- the paper's contribution --
+the packet radio pseudo-device driver in :mod:`repro.core.driver`).
+
+The netif layer is deliberately address-family-agnostic, like BSD's
+``if.c``: interface addresses and next hops are opaque here and
+interpreted by the protocol modules.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.netif.queues import IfQueue
+from repro.sim.engine import Simulator
+
+
+class InterfaceFlags(enum.IntFlag):
+    """Subset of BSD IFF_* flags the model uses."""
+
+    UP = 0x1
+    BROADCAST = 0x2
+    LOOPBACK = 0x4
+    POINTOPOINT = 0x8
+    RUNNING = 0x40
+    NOARP = 0x80
+
+
+class NetworkInterface:
+    """Base class for all interface drivers (struct ifnet analogue).
+
+    A protocol stack attaches itself by assigning :attr:`input_handler`
+    -- the function the driver calls (from soft-interrupt context) with
+    each received layer-3 packet: ``input_handler(packet_bytes, self,
+    protocol_tag)``.  ``protocol_tag`` distinguishes IP from ARP and
+    friends; its values are interface-family-specific but the stack
+    normalises them.
+    """
+
+    def __init__(self, sim: Simulator, name: str, mtu: int,
+                 flags: InterfaceFlags = InterfaceFlags.UP) -> None:
+        self.sim = sim
+        self.name = name
+        self.mtu = mtu
+        self.flags = flags
+        #: Protocol address (an IPv4Address once the stack configures it).
+        self.address: Any = None
+        #: Bounded output queue (struct ifqueue if_snd).
+        self.send_queue: IfQueue = IfQueue(name=f"{name}.snd")
+        self.input_handler: Optional[Callable[[bytes, "NetworkInterface", str], None]] = None
+
+        # BSD if_data counters
+        self.ipackets = 0
+        self.opackets = 0
+        self.ierrors = 0
+        self.oerrors = 0
+        self.ibytes = 0
+        self.obytes = 0
+
+    # ------------------------------------------------------------------
+    # the three procedure pointers of the paper's if_net
+    # ------------------------------------------------------------------
+
+    def if_init(self) -> None:
+        """Initialise the hardware and mark the interface running."""
+        self.flags |= InterfaceFlags.UP | InterfaceFlags.RUNNING
+
+    def if_output(self, packet: bytes, next_hop: Any, protocol: str = "ip") -> bool:
+        """Transmit one layer-3 packet toward ``next_hop``.
+
+        Returns False if the packet could not be queued (queue full,
+        interface down).  Subclasses do the link-specific work:
+        encapsulation, address resolution, hardware hand-off.
+        """
+        raise NotImplementedError
+
+    def if_ioctl(self, request: str, value: Any = None) -> Any:
+        """Change interface parameters.
+
+        The base implementation understands ``"up"``, ``"down"``, and
+        ``"mtu"``; drivers extend it (the packet radio driver adds KISS
+        parameter requests, for instance).
+        """
+        if request == "up":
+            self.flags |= InterfaceFlags.UP
+        elif request == "down":
+            self.flags &= ~InterfaceFlags.UP
+        elif request == "mtu":
+            self.mtu = int(value)
+        else:
+            raise ValueError(f"{self.name}: unknown ioctl {request!r}")
+        return None
+
+    # ------------------------------------------------------------------
+    # helpers for drivers
+    # ------------------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        """True when the interface is administratively up."""
+        return bool(self.flags & InterfaceFlags.UP)
+
+    @property
+    def output_backlog(self) -> int:
+        """Bytes queued toward the hardware and not yet on the wire.
+
+        Drivers with a real transmit bottleneck (the packet radio
+        driver's serial line) override this; the gateway uses it to
+        decide when to emit ICMP source quench.
+        """
+        return 0
+
+    def deliver_input(self, packet: bytes, protocol: str) -> None:
+        """Hand a received packet to the attached protocol stack."""
+        self.ipackets += 1
+        self.ibytes += len(packet)
+        if self.input_handler is not None:
+            self.input_handler(packet, self, protocol)
+
+    def count_output(self, packet: bytes) -> None:
+        """Account one transmitted packet."""
+        self.opackets += 1
+        self.obytes += len(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.is_up else "down"
+        return f"<{type(self).__name__} {self.name} {state} mtu={self.mtu} addr={self.address}>"

@@ -1,0 +1,32 @@
+"""The loopback interface (lo0)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.sim.engine import Simulator
+
+
+class LoopbackInterface(NetworkInterface):
+    """lo0: output immediately becomes input on the same host.
+
+    Delivery is deferred by one zero-delay event so the call stack
+    unwinds first, matching the looutput/splnet dance in BSD and
+    keeping re-entrancy out of the protocol code.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "lo0", mtu: int = 1536) -> None:
+        super().__init__(
+            sim, name, mtu,
+            flags=InterfaceFlags.UP | InterfaceFlags.LOOPBACK | InterfaceFlags.RUNNING,
+        )
+
+    def if_output(self, packet: bytes, next_hop: Any, protocol: str = "ip") -> bool:
+        """Transmit one layer-3 packet toward the next hop."""
+        if not self.is_up:
+            self.oerrors += 1
+            return False
+        self.count_output(packet)
+        self.sim.call_soon(self.deliver_input, packet, protocol, label=f"{self.name} loop")
+        return True

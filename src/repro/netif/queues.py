@@ -1,0 +1,90 @@
+"""Bounded interface queues and the softnet hand-off.
+
+4.3BSD drivers enqueue received packets onto a protocol input queue at
+interrupt priority and post a software interrupt; the protocol layer
+drains the queue later at lower priority.  The paper's driver does
+exactly this: "the driver then adds the encapsulated IP packet to the
+queue of incoming IP packets so that it can be dealt with by the
+existing Ultrix software."
+
+Queue overflow silently drops (and counts) -- the behaviour behind the
+gateway congestion in experiments E3/E4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Generic, Optional, TypeVar
+
+from repro.sim.engine import Event, Simulator
+
+T = TypeVar("T")
+
+#: 4.3BSD's IFQ_MAXLEN.
+DEFAULT_IFQ_MAXLEN = 50
+
+
+class IfQueue(Generic[T]):
+    """A bounded FIFO with drop accounting (struct ifqueue)."""
+
+    def __init__(self, limit: int = DEFAULT_IFQ_MAXLEN, name: str = "ifq") -> None:
+        self.limit = limit
+        self.name = name
+        self._queue: Deque[T] = deque()
+        self.drops = 0
+        self.enqueued = 0
+        self.high_watermark = 0
+
+    def enqueue(self, item: T) -> bool:
+        """IF_ENQUEUE: returns False (and counts a drop) when full."""
+        if len(self._queue) >= self.limit:
+            self.drops += 1
+            return False
+        self._queue.append(item)
+        self.enqueued += 1
+        if len(self._queue) > self.high_watermark:
+            self.high_watermark = len(self._queue)
+        return True
+
+    def dequeue(self) -> Optional[T]:
+        """IF_DEQUEUE: returns None when empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+
+class SoftNet:
+    """The software-interrupt dispatcher (schednetisr/dosoftint).
+
+    A driver calls :meth:`post` after enqueueing input; the handler runs
+    "soon" (same simulated instant, after the interrupt returns) and
+    drains whatever is queued.  Multiple posts coalesce into one run,
+    as real soft interrupts do.
+    """
+
+    def __init__(self, sim: Simulator, handler: Callable[[], None],
+                 name: str = "softnet") -> None:
+        self.sim = sim
+        self.handler = handler
+        self.name = name
+        self._pending: Optional[Event] = None
+        self.posts = 0
+        self.runs = 0
+
+    def post(self) -> None:
+        """Request a soft-interrupt run; coalesces with a pending one."""
+        self.posts += 1
+        if self._pending is not None:
+            return
+        self._pending = self.sim.call_soon(self._run, label=self.name)
+
+    def _run(self) -> None:
+        self._pending = None
+        self.runs += 1
+        self.handler()

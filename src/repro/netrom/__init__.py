@@ -1,0 +1,37 @@
+"""NET/ROM: the node-network layer 3 of the late-1980s packet world.
+
+"Work is also proceeding on using another layer three protocol known as
+NET/ROM to pass IP traffic between gateways.  Doing this would allow
+the use of an existing, and growing, point-to-point backbone in the
+same way Internet subnets are connected via the ARPANET." (§2.4)
+
+* :mod:`~repro.netrom.protocol` -- NET/ROM packet format and the NODES
+  routing-broadcast format.
+* :mod:`~repro.netrom.routing` -- :class:`NetRomNode`: a node with one
+  radio port per backbone link, quality-based route learning from
+  NODES broadcasts, and TTL-checked forwarding.
+* :mod:`~repro.netrom.backbone` -- :class:`NetRomIpInterface`: an IP
+  interface that tunnels datagrams through the node network, letting
+  two gateways reach each other across the backbone.
+"""
+
+from repro.netrom.backbone import NetRomIpInterface
+from repro.netrom.protocol import NODES_SIGNATURE, NetRomError, NetRomPacket, NodesBroadcast, NodesEntry
+from repro.netrom.nodeshell import NodeShell
+from repro.netrom.routing import NetRomNode, NetRomRoute
+from repro.netrom.transport import Circuit, NetRomTransport, TransportFrame
+
+__all__ = [
+    "Circuit",
+    "NODES_SIGNATURE",
+    "NetRomTransport",
+    "NodeShell",
+    "TransportFrame",
+    "NetRomError",
+    "NetRomIpInterface",
+    "NetRomNode",
+    "NetRomPacket",
+    "NetRomRoute",
+    "NodesBroadcast",
+    "NodesEntry",
+]

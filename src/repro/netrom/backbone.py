@@ -1,0 +1,65 @@
+"""IP over the NET/ROM backbone (§2.4 future work).
+
+:class:`NetRomIpInterface` is a BSD interface whose link layer is the
+node network: ``if_output`` wraps each IP datagram in a NET/ROM
+datagram addressed to the node co-located with the next-hop gateway,
+and datagrams arriving for this node with the IP protocol byte are fed
+to the stack's input queue.  Address resolution is a static IP-to-node
+mapping (the backbone's node set was hand-configured in practice --
+there was no ARP over NET/ROM).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ax25.address import AX25Address
+from repro.inet.ip import IPv4Address
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.netrom.protocol import NETROM_PROTO_IP
+from repro.netrom.routing import NetRomNode
+from repro.sim.engine import Simulator
+
+#: Conservative MTU: NET/ROM nodes relay AX.25 frames with 256-byte
+#: info fields; the 16-byte NET/ROM header comes out of that budget.
+NETROM_IP_MTU = 236
+
+
+class NetRomIpInterface(NetworkInterface):
+    """nr0: an IP interface tunnelling through a NET/ROM node."""
+
+    def __init__(self, sim: Simulator, node: NetRomNode, name: str = "nr0",
+                 mtu: int = NETROM_IP_MTU) -> None:
+        super().__init__(sim, name, mtu,
+                         flags=InterfaceFlags.UP | InterfaceFlags.POINTOPOINT)
+        self.node = node
+        #: next-hop IP -> destination node callsign
+        self._ip_to_node: Dict[int, AX25Address] = {}
+        node.bind_protocol(NETROM_PROTO_IP, self._ip_from_netrom)
+        self.unresolved_drops = 0
+
+    def map_ip(self, ip: "IPv4Address | str", node_callsign: "AX25Address | str") -> None:
+        """Declare that ``ip`` is reached via the node ``node_callsign``."""
+        ip = IPv4Address.coerce(ip)
+        callsign = (
+            node_callsign if isinstance(node_callsign, AX25Address)
+            else AX25Address.parse(node_callsign)
+        )
+        self._ip_to_node[ip.value] = callsign
+
+    def if_output(self, packet: bytes, next_hop: IPv4Address,
+                  protocol: str = "ip") -> bool:
+        """Transmit one layer-3 packet toward the next hop."""
+        if not self.is_up:
+            self.oerrors += 1
+            return False
+        target = self._ip_to_node.get(next_hop.value)
+        if target is None:
+            self.unresolved_drops += 1
+            self.oerrors += 1
+            return False
+        self.count_output(packet)
+        return self.node.send(target, NETROM_PROTO_IP, packet)
+
+    def _ip_from_netrom(self, payload: bytes, origin: AX25Address) -> None:
+        self.deliver_input(payload, "ip")

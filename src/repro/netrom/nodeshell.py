@@ -1,0 +1,319 @@
+"""The NET/ROM node's user shell -- the three-connect workflow.
+
+"With NET/ROM, users would connect to a node on the network.  They
+would then connect to the NET/ROM node nearest their destination.
+Finally, they would connect to their destination.  ... Users still had
+to know the name of their local node and the name of the node closest
+to their destination."  (Paper, introduction.)
+
+:class:`NodeShell` gives a :class:`~repro.netrom.routing.NetRomNode`
+exactly that user interface:
+
+* terminal users connect to the node's callsign over plain AX.25;
+* the shell offers ``NODES`` (the route table), ``CONNECT <node>``
+  (opens a NET/ROM circuit and bridges the session to the remote
+  node's shell), ``CONNECT <station>`` at the far node (bridges to a
+  local AX.25 connection), ``INFO`` and ``BYE``;
+* incoming circuits get a shell session of their own, so the chain
+  user → nodeA → nodeB → destination composes.
+
+The session abstraction is a byte pipe; LAPB connections and NET/ROM
+circuits both implement it, which is what lets sessions chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ax25.address import AX25Address, AddressError
+from repro.ax25.frames import AX25Frame, FrameType
+from repro.ax25.lapb import LapbConnection, LapbEndpoint
+from repro.netrom.routing import NetRomNode
+from repro.netrom.transport import Circuit, NetRomTransport
+from repro.sim.clock import SECOND
+
+
+class _Pipe:
+    """A byte pipe a shell session runs over (LAPB link or circuit)."""
+
+    def send(self, data: bytes) -> None:
+        """Send bytes to the peer."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Close this end."""
+        raise NotImplementedError
+
+    @property
+    def remote_label(self) -> str:
+        """Display name of the remote end."""
+        raise NotImplementedError
+
+
+class _LapbPipe(_Pipe):
+    def __init__(self, conn: LapbConnection) -> None:
+        self.conn = conn
+
+    def send(self, data: bytes) -> None:
+        """Send bytes to the peer."""
+        if self.conn.connected:
+            self.conn.send(data)
+
+    def close(self) -> None:
+        """Close this end."""
+        self.conn.disconnect()
+
+    @property
+    def remote_label(self) -> str:
+        """Display name of the remote end."""
+        return str(self.conn.remote)
+
+
+class _CircuitPipe(_Pipe):
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+
+    def send(self, data: bytes) -> None:
+        """Send bytes to the peer."""
+        if self.circuit.state.value in ("connecting", "established"):
+            self.circuit.send(data)
+
+    def close(self) -> None:
+        """Close this end."""
+        self.circuit.close()
+
+    @property
+    def remote_label(self) -> str:
+        """Display name of the remote end."""
+        return str(self.circuit.remote)
+
+
+class _Session:
+    """One user session at a node: a command loop plus optional bridge."""
+
+    def __init__(self, shell: "NodeShell", pipe: _Pipe) -> None:
+        self.shell = shell
+        self.pipe = pipe
+        self.buffer = bytearray()
+        self.bridge: Optional[_Pipe] = None
+        self._bridge_pending = False
+        self.pipe.send(
+            f"{shell.node.alias}:{shell.node.callsign}> NET/ROM node. "
+            f"NODES CONNECT INFO BYE\r".encode("latin-1")
+        )
+
+    # -- data in from the user side --------------------------------------
+
+    def data(self, chunk: bytes) -> None:
+        """Consume bytes arriving from the remote end."""
+        if self.bridge is not None:
+            self.bridge.send(chunk)
+            return
+        self.buffer += chunk
+        while True:
+            index = min((i for i in (self.buffer.find(b"\r"),
+                                     self.buffer.find(b"\n")) if i >= 0),
+                        default=-1)
+            if index < 0:
+                return
+            line = bytes(self.buffer[:index]).decode("latin-1").strip()
+            del self.buffer[: index + 1]
+            if line:
+                self.command(line)
+
+    # -- data back from the bridged side ----------------------------------
+
+    def bridge_data(self, chunk: bytes) -> None:
+        """Relay bytes from the bridged side to the user."""
+        self.pipe.send(chunk)
+
+    def bridge_closed(self, reason: str) -> None:
+        """The bridged side went away; notify the user."""
+        self.bridge = None
+        self._bridge_pending = False
+        self.pipe.send(f"*** bridge closed ({reason})\r".encode("latin-1"))
+
+    # -- commands ----------------------------------------------------------
+
+    def command(self, line: str) -> None:
+        """Execute one command line."""
+        words = line.split()
+        verb = words[0].upper()
+        if verb == "NODES":
+            self.cmd_nodes()
+        elif verb in ("CONNECT", "C") and len(words) > 1:
+            self.cmd_connect(words[1])
+        elif verb == "INFO":
+            self.pipe.send(
+                f"{self.shell.node.alias}: NET/ROM node, "
+                f"{len(self.shell.node.routes)} routes known\r".encode()
+            )
+        elif verb in ("BYE", "B", "QUIT"):
+            self.pipe.send(b"73\r")
+            self.pipe.close()
+        else:
+            self.pipe.send(b"NODES CONNECT INFO BYE\r")
+
+    def cmd_nodes(self) -> None:
+        """The NODES command: print the route table."""
+        node = self.shell.node
+        if not node.routes:
+            self.pipe.send(b"no routes\r")
+            return
+        for route in sorted(node.routes.values(), key=lambda r: str(r.destination)):
+            self.pipe.send(
+                f"{route.alias:<6} {str(route.destination):<9} "
+                f"via {route.neighbour} q={route.quality}\r".encode("latin-1")
+            )
+
+    def cmd_connect(self, target_text: str) -> None:
+        """The CONNECT command: bridge to a node or local station."""
+        if self._bridge_pending or self.bridge is not None:
+            self.pipe.send(b"*** already connected\r")
+            return
+        node = self.shell.node
+        # Resolution order mirrors real node firmware: a known alias or
+        # node callsign goes across the network; anything else is tried
+        # as a station on the local frequency.
+        alias_target = self.shell.resolve_alias(target_text)
+        if alias_target is not None:
+            self._connect_circuit(alias_target)
+            return
+        try:
+            target = AX25Address.parse(target_text)
+        except AddressError:
+            self.pipe.send(f"*** unknown {target_text}\r".encode())
+            return
+        if str(target) in node.routes:
+            self._connect_circuit(target)
+        else:
+            self._connect_local(target)
+
+    def _connect_circuit(self, target: AX25Address) -> None:
+        self.pipe.send(f"*** trying node {target} via NET/ROM...\r".encode())
+        self._bridge_pending = True
+        circuit = self.shell.transport.connect(target)
+        pipe = _CircuitPipe(circuit)
+
+        def on_connect() -> None:
+            self._bridge_pending = False
+            self.bridge = pipe
+        circuit.on_connect = on_connect
+        circuit.on_data = self.bridge_data
+        circuit.on_close = self.bridge_closed
+
+    def _connect_local(self, target: AX25Address) -> None:
+        self.pipe.send(f"*** trying station {target} on the air...\r".encode())
+        self._bridge_pending = True
+        conn = self.shell.endpoint.connect(target)
+        pipe = _LapbPipe(conn)
+        self.shell.register_outgoing(conn, self, pipe)
+
+    def attach_local_bridge(self, pipe: _Pipe) -> None:
+        """Wire an established final-hop AX.25 link into the session."""
+        self._bridge_pending = False
+        self.bridge = pipe
+
+    def closed(self) -> None:
+        """The user side went away: tear down any bridge."""
+        if self.bridge is not None:
+            bridge, self.bridge = self.bridge, None
+            bridge.close()
+
+
+class NodeShell:
+    """User access for a NET/ROM node: AX.25 in, circuits across."""
+
+    def __init__(self, node: NetRomNode, transport: Optional[NetRomTransport] = None,
+                 user_port: int = 0) -> None:
+        self.node = node
+        self.transport = transport if transport is not None else NetRomTransport(node)
+        self.transport.on_circuit = self._incoming_circuit
+        station = node._ports[user_port].station
+        self.endpoint = LapbEndpoint(
+            node.sim, node.callsign,
+            send_frame=lambda frame: station.send_frame(frame.encode()),
+            t1=5 * SECOND,
+        )
+        self.endpoint.on_connect = self._lapb_connect
+        self.endpoint.on_data = self._lapb_data
+        self.endpoint.on_disconnect = self._lapb_disconnect
+        node.on_user_frame = self._user_frame
+        self._sessions: Dict[int, _Session] = {}
+        #: outgoing LAPB bridges: conn -> (owning session, pipe)
+        self._outgoing: Dict[int, tuple] = {}
+        self.sessions_started = 0
+
+    # ------------------------------------------------------------------
+    # alias resolution
+    # ------------------------------------------------------------------
+
+    def resolve_alias(self, text: str) -> Optional[AX25Address]:
+        """Resolve a node alias to its callsign; None if unknown."""
+        wanted = text.upper()
+        for route in self.node.routes.values():
+            if route.alias.upper() == wanted:
+                return route.destination
+        return None
+
+    # ------------------------------------------------------------------
+    # AX.25 side (terminal users and final-hop bridges)
+    # ------------------------------------------------------------------
+
+    def _user_frame(self, frame: AX25Frame) -> None:
+        if frame.frame_type is FrameType.UI:
+            return
+        if frame.destination.matches(self.node.callsign):
+            self.endpoint.handle_frame(frame)
+
+    def _lapb_connect(self, conn: LapbConnection, initiated: bool) -> None:
+        if initiated:
+            # an outgoing final-hop bridge came up
+            entry = self._outgoing.get(id(conn))
+            if entry is not None:
+                session, pipe = entry
+                session.attach_local_bridge(pipe)
+            return
+        session = _Session(self, _LapbPipe(conn))
+        self._sessions[id(conn)] = session
+        self.sessions_started += 1
+
+    def _lapb_data(self, conn: LapbConnection, data: bytes, _pid: int) -> None:
+        session = self._sessions.get(id(conn))
+        if session is not None:
+            session.data(data)
+            return
+        entry = self._outgoing.get(id(conn))
+        if entry is not None:
+            entry[0].bridge_data(data)
+
+    def _lapb_disconnect(self, conn: LapbConnection, reason: str) -> None:
+        session = self._sessions.pop(id(conn), None)
+        if session is not None:
+            session.closed()
+            return
+        entry = self._outgoing.pop(id(conn), None)
+        if entry is not None:
+            entry[0].bridge_closed(reason or "disconnected")
+
+    def register_outgoing(self, conn: LapbConnection, session: _Session,
+                          pipe: _Pipe) -> None:
+        """Track an outgoing final-hop link for a session."""
+        self._outgoing[id(conn)] = (session, pipe)
+
+    # ------------------------------------------------------------------
+    # circuit side (sessions arriving from other nodes)
+    # ------------------------------------------------------------------
+
+    def _incoming_circuit(self, circuit: Circuit) -> bool:
+        session = _Session(self, _CircuitPipe(circuit))
+        self._sessions[id(circuit)] = session
+        self.sessions_started += 1
+        circuit.on_data = session.data
+        circuit.on_close = lambda _reason: self._circuit_closed(circuit)
+        return True
+
+    def _circuit_closed(self, circuit: Circuit) -> None:
+        session = self._sessions.pop(id(circuit), None)
+        if session is not None:
+            session.closed()

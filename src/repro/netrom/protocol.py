@@ -1,0 +1,147 @@
+"""NET/ROM wire formats.
+
+Two kinds of payload ride AX.25 frames with PID ``0xCF``:
+
+* **network datagrams**: origin callsign (7 bytes, AX.25 encoding),
+  destination callsign (7), TTL (1) -- followed here by a protocol
+  byte and payload.  (Real NET/ROM follows the TTL with its circuit
+  transport header; we carry a protocol discriminator instead so IP
+  datagrams can be tunnelled without the full circuit layer.  This is
+  the same simplification KA9Q-era IP-over-NET/ROM effectively made
+  and is documented in DESIGN.md.)
+* **NODES broadcasts**: a 0xFF signature, the sending node's 6-char
+  mnemonic, then (destination, alias, best-neighbour, quality)
+  records -- the routing gossip that builds every node's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.ax25.address import AX25Address
+
+NODES_SIGNATURE = 0xFF
+
+#: protocol discriminators for the datagram payload
+NETROM_PROTO_TEXT = 0x00
+NETROM_PROTO_IP = 0x0C
+
+_ADDR_LEN = 7
+_MNEMONIC_LEN = 6
+_ENTRY_LEN = _ADDR_LEN + _MNEMONIC_LEN + _ADDR_LEN + 1
+
+
+class NetRomError(ValueError):
+    """Raised for undecodable NET/ROM payloads."""
+
+
+@dataclass(frozen=True)
+class NetRomPacket:
+    """A NET/ROM network-layer datagram."""
+
+    origin: AX25Address
+    destination: AX25Address
+    ttl: int
+    protocol: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        return (
+            self.origin.encode(last=True)
+            + self.destination.encode(last=True)
+            + bytes((self.ttl & 0xFF, self.protocol & 0xFF))
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NetRomPacket":
+        """Parse the wire byte string; raises on malformed input."""
+        if len(data) < 2 * _ADDR_LEN + 2:
+            raise NetRomError("NET/ROM packet too short")
+        if data[0] == NODES_SIGNATURE:
+            raise NetRomError("NODES broadcast, not a datagram")
+        try:
+            origin, _last, _bit = AX25Address.decode(data[:_ADDR_LEN])
+            destination, _last, _bit = AX25Address.decode(data[_ADDR_LEN : 2 * _ADDR_LEN])
+        except ValueError as exc:
+            raise NetRomError(str(exc)) from exc
+        ttl = data[2 * _ADDR_LEN]
+        protocol = data[2 * _ADDR_LEN + 1]
+        return cls(origin.base, destination.base, ttl, protocol,
+                   bytes(data[2 * _ADDR_LEN + 2 :]))
+
+    def decremented(self) -> "NetRomPacket":
+        """Copy with TTL reduced by one."""
+        return NetRomPacket(self.origin, self.destination, self.ttl - 1,
+                            self.protocol, self.payload)
+
+    def __str__(self) -> str:
+        return (
+            f"NET/ROM {self.origin}>{self.destination} ttl={self.ttl} "
+            f"proto=0x{self.protocol:02x} len={len(self.payload)}"
+        )
+
+
+@dataclass(frozen=True)
+class NodesEntry:
+    """One destination record in a NODES broadcast."""
+
+    destination: AX25Address
+    alias: str
+    best_neighbour: AX25Address
+    quality: int
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        alias = self.alias.upper().ljust(_MNEMONIC_LEN)[:_MNEMONIC_LEN]
+        return (
+            self.destination.encode(last=True)
+            + alias.encode("ascii")
+            + self.best_neighbour.encode(last=True)
+            + bytes((self.quality & 0xFF,))
+        )
+
+
+@dataclass(frozen=True)
+class NodesBroadcast:
+    """A full NODES routing broadcast."""
+
+    sender_alias: str
+    entries: Tuple[NodesEntry, ...]
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        alias = self.sender_alias.upper().ljust(_MNEMONIC_LEN)[:_MNEMONIC_LEN]
+        out = bytearray((NODES_SIGNATURE,))
+        out += alias.encode("ascii")
+        for entry in self.entries:
+            out += entry.encode()
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NodesBroadcast":
+        """Parse the wire byte string; raises on malformed input."""
+        if not data or data[0] != NODES_SIGNATURE:
+            raise NetRomError("not a NODES broadcast")
+        if len(data) < 1 + _MNEMONIC_LEN:
+            raise NetRomError("NODES broadcast truncated")
+        alias = data[1 : 1 + _MNEMONIC_LEN].decode("ascii", "replace").rstrip()
+        entries: List[NodesEntry] = []
+        offset = 1 + _MNEMONIC_LEN
+        while offset + _ENTRY_LEN <= len(data):
+            block = data[offset : offset + _ENTRY_LEN]
+            destination, _l, _b = AX25Address.decode(block[:_ADDR_LEN])
+            entry_alias = block[_ADDR_LEN : _ADDR_LEN + _MNEMONIC_LEN].decode(
+                "ascii", "replace"
+            ).rstrip()
+            neighbour, _l, _b = AX25Address.decode(
+                block[_ADDR_LEN + _MNEMONIC_LEN : 2 * _ADDR_LEN + _MNEMONIC_LEN]
+            )
+            quality = block[-1]
+            entries.append(
+                NodesEntry(destination.base, entry_alias, neighbour.base, quality)
+            )
+            offset += _ENTRY_LEN
+        return cls(alias, tuple(entries))

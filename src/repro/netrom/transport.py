@@ -1,0 +1,375 @@
+"""NET/ROM transport: circuits over the node network (level 4).
+
+"With NET/ROM, users would connect to a node on the network.  They
+would then connect to the NET/ROM node nearest their destination.
+Finally, they would connect to their destination."  The middle step
+rides *circuits*: reliable byte pipes between two nodes, multiplexed by
+circuit index/id over the datagram network layer.
+
+Faithful to the Software 2000 protocol in structure -- five-byte
+transport header (circuit index, circuit id, tx-seq, rx-seq, opcode),
+the five opcodes (connect request/ack, disconnect request/ack,
+information, information ack) -- with a stop-and-wait window (the
+protocol's window negotiation collapses to w=1 here; documented
+simplification) and timer-based retransmission.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.ax25.address import AX25Address
+from repro.netrom.routing import NetRomNode
+from repro.sim.clock import SECOND
+from repro.sim.engine import Event
+
+#: network-layer protocol byte carrying transport frames
+NETROM_PROTO_TRANSPORT = 0x01
+
+OP_CONNECT_REQUEST = 1
+OP_CONNECT_ACK = 2
+OP_DISCONNECT_REQUEST = 3
+OP_DISCONNECT_ACK = 4
+OP_INFORMATION = 5
+OP_INFORMATION_ACK = 6
+
+#: "connection refused" is a CONNECT_ACK with the refusal flag set.
+FLAG_REFUSED = 0x80
+
+
+class TransportError(ValueError):
+    """Raised for undecodable transport frames."""
+
+
+@dataclass(frozen=True)
+class TransportFrame:
+    """The five-byte NET/ROM transport header plus payload."""
+
+    circuit_index: int
+    circuit_id: int
+    tx_seq: int
+    rx_seq: int
+    opcode: int
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialise to the wire byte string."""
+        return bytes((
+            self.circuit_index & 0xFF,
+            self.circuit_id & 0xFF,
+            self.tx_seq & 0xFF,
+            self.rx_seq & 0xFF,
+            self.opcode & 0xFF,
+        )) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TransportFrame":
+        """Parse the wire byte string; raises on malformed input."""
+        if len(data) < 5:
+            raise TransportError("transport frame shorter than header")
+        return cls(data[0], data[1], data[2], data[3], data[4], bytes(data[5:]))
+
+    @property
+    def base_opcode(self) -> int:
+        """Opcode with the flag bits masked off."""
+        return self.opcode & 0x0F
+
+    @property
+    def refused(self) -> bool:
+        """True when the refusal flag is set."""
+        return bool(self.opcode & FLAG_REFUSED)
+
+
+class CircuitState(enum.Enum):
+    """Circuit lifecycle states."""
+
+    CONNECTING = "connecting"
+    ESTABLISHED = "established"
+    CLOSING = "closing"
+    CLOSED = "closed"
+
+
+class Circuit:
+    """One reliable byte pipe between two nodes.
+
+    Applications attach ``on_connect`` / ``on_data`` / ``on_close``
+    callbacks and call :meth:`send` / :meth:`close`.
+    """
+
+    RETRY_INTERVAL = 20 * SECOND
+    MAX_RETRIES = 5
+    MAX_INFO = 200   # payload per INFO frame
+
+    def __init__(self, transport: "NetRomTransport", remote: AX25Address,
+                 local_index: int, local_id: int) -> None:
+        self.transport = transport
+        self.sim = transport.node.sim
+        self.remote = remote
+        self.local_index = local_index
+        self.local_id = local_id
+        self.remote_index: Optional[int] = None
+        self.remote_id: Optional[int] = None
+        self.state = CircuitState.CONNECTING
+        self.vs = 0
+        self.vr = 0
+        self._send_queue: Deque[bytes] = deque()
+        self._in_flight: Optional[bytes] = None
+        self._timer: Optional[Event] = None
+        self._retries = 0
+
+        self.on_connect: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[str], None]] = None
+        self.stats = {"info_sent": 0, "info_rexmit": 0, "info_received": 0}
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Send bytes to the peer."""
+        if self.state not in (CircuitState.CONNECTING, CircuitState.ESTABLISHED):
+            raise TransportError(f"circuit to {self.remote} is {self.state.value}")
+        for start in range(0, len(data), self.MAX_INFO):
+            self._send_queue.append(data[start : start + self.MAX_INFO])
+        self._pump()
+
+    def close(self) -> None:
+        """Close this end."""
+        if self.state in (CircuitState.CLOSED, CircuitState.CLOSING):
+            return
+        self.state = CircuitState.CLOSING
+        self._cancel_timer()
+        self._retries = 0
+        self._emit(OP_DISCONNECT_REQUEST)
+        self._arm_timer()
+
+    @property
+    def established(self) -> bool:
+        """True once the connection/circuit is established."""
+        return self.state is CircuitState.ESTABLISHED
+
+    # ------------------------------------------------------------------
+    # outbound machinery
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        if (self.state is not CircuitState.ESTABLISHED
+                or self._in_flight is not None or not self._send_queue):
+            return
+        self._in_flight = self._send_queue.popleft()
+        self.stats["info_sent"] += 1
+        self._emit(OP_INFORMATION, self._in_flight)
+        self._retries = 0
+        self._arm_timer()
+
+    def _emit(self, opcode: int, payload: bytes = b"") -> None:
+        frame = TransportFrame(
+            circuit_index=self.remote_index if self.remote_index is not None else 0,
+            circuit_id=self.remote_id if self.remote_id is not None else 0,
+            tx_seq=self.vs,
+            rx_seq=self.vr,
+            opcode=opcode,
+            payload=payload,
+        )
+        if opcode == OP_CONNECT_REQUEST:
+            # connect request carries *our* index/id in the payload head
+            frame = TransportFrame(0, 0, self.local_index, self.local_id,
+                                   opcode, payload)
+        self.transport.output(self.remote, frame)
+
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        self._timer = self.sim.schedule(
+            self.RETRY_INTERVAL, self._timer_fired,
+            label=f"netrom-circuit {self.remote}",
+        )
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _timer_fired(self) -> None:
+        self._timer = None
+        self._retries += 1
+        if self._retries > self.MAX_RETRIES:
+            self._enter_closed("retry limit")
+            return
+        if self.state is CircuitState.CONNECTING:
+            self._emit(OP_CONNECT_REQUEST, self._connect_payload())
+            self._arm_timer()
+        elif self.state is CircuitState.CLOSING:
+            self._emit(OP_DISCONNECT_REQUEST)
+            self._arm_timer()
+        elif self.state is CircuitState.ESTABLISHED and self._in_flight is not None:
+            self.stats["info_rexmit"] += 1
+            self._emit(OP_INFORMATION, self._in_flight)
+            self._arm_timer()
+
+    def _connect_payload(self) -> bytes:
+        # window proposal (1) + originating user + originating node
+        return bytes((1,)) + self.transport.node.callsign.encode(last=True) * 2
+
+    # ------------------------------------------------------------------
+    # inbound machinery (driven by NetRomTransport)
+    # ------------------------------------------------------------------
+
+    def handle(self, frame: TransportFrame) -> None:
+        """Process one received frame."""
+        opcode = frame.base_opcode
+        if opcode == OP_CONNECT_ACK:
+            self._on_connect_ack(frame)
+        elif opcode == OP_INFORMATION:
+            self._on_information(frame)
+        elif opcode == OP_INFORMATION_ACK:
+            self._on_information_ack(frame)
+        elif opcode == OP_DISCONNECT_REQUEST:
+            self._emit(OP_DISCONNECT_ACK)
+            self._enter_closed("remote closed")
+        elif opcode == OP_DISCONNECT_ACK:
+            if self.state is CircuitState.CLOSING:
+                self._enter_closed("closed")
+
+    def _on_connect_ack(self, frame: TransportFrame) -> None:
+        if self.state is not CircuitState.CONNECTING:
+            return
+        if frame.refused:
+            self._enter_closed("refused")
+            return
+        # ack carries the acceptor's index/id in tx_seq/rx_seq
+        self.remote_index = frame.tx_seq
+        self.remote_id = frame.rx_seq
+        self.state = CircuitState.ESTABLISHED
+        self._cancel_timer()
+        self._retries = 0
+        if self.on_connect is not None:
+            self.on_connect()
+        self._pump()
+
+    def _on_information(self, frame: TransportFrame) -> None:
+        if self.state is not CircuitState.ESTABLISHED:
+            return
+        if frame.tx_seq == self.vr:
+            self.vr = (self.vr + 1) & 0xFF
+            self.stats["info_received"] += 1
+            if self.on_data is not None:
+                self.on_data(frame.payload)
+        # ack whatever we now expect (duplicate INFO re-acked)
+        self._emit(OP_INFORMATION_ACK)
+
+    def _on_information_ack(self, frame: TransportFrame) -> None:
+        if self._in_flight is None:
+            return
+        expected = (self.vs + 1) & 0xFF
+        if frame.rx_seq == expected:
+            self.vs = expected
+            self._in_flight = None
+            self._cancel_timer()
+            self._retries = 0
+            self._pump()
+
+    def _enter_closed(self, reason: str) -> None:
+        if self.state is CircuitState.CLOSED:
+            return
+        self.state = CircuitState.CLOSED
+        self._cancel_timer()
+        self.transport.forget(self)
+        if self.on_close is not None:
+            self.on_close(reason)
+
+
+class NetRomTransport:
+    """Circuit multiplexer bound to one :class:`NetRomNode`."""
+
+    def __init__(self, node: NetRomNode) -> None:
+        self.node = node
+        self._next_index = 0
+        #: circuits keyed by (our index, our id)
+        self._circuits: Dict[Tuple[int, int], Circuit] = {}
+        #: accept callback for incoming circuits: ``f(circuit)`` returning
+        #: False refuses the connection.
+        self.on_circuit: Optional[Callable[[Circuit], bool]] = None
+        node.bind_protocol(NETROM_PROTO_TRANSPORT, self._input)
+        self.circuits_opened = 0
+        self.circuits_accepted = 0
+        self.circuits_refused = 0
+
+    # ------------------------------------------------------------------
+
+    def connect(self, remote: "AX25Address | str") -> Circuit:
+        """Open a circuit to the node ``remote``."""
+        remote = (
+            remote if isinstance(remote, AX25Address) else AX25Address.parse(remote)
+        )
+        circuit = self._allocate(remote)
+        self.circuits_opened += 1
+        circuit._emit(OP_CONNECT_REQUEST, circuit._connect_payload())
+        circuit._arm_timer()
+        return circuit
+
+    def _allocate(self, remote: AX25Address) -> Circuit:
+        self._next_index = (self._next_index + 1) & 0xFF
+        local_id = (self._next_index * 7 + 1) & 0xFF
+        circuit = Circuit(self, remote, self._next_index, local_id)
+        self._circuits[(circuit.local_index, circuit.local_id)] = circuit
+        return circuit
+
+    def forget(self, circuit: Circuit) -> None:
+        """Drop internal state for the given object."""
+        self._circuits.pop((circuit.local_index, circuit.local_id), None)
+
+    def output(self, remote: AX25Address, frame: TransportFrame) -> None:
+        """Hand a frame/packet to the layer below."""
+        self.node.send(remote, NETROM_PROTO_TRANSPORT, frame.encode())
+
+    # ------------------------------------------------------------------
+
+    def _input(self, payload: bytes, origin: AX25Address) -> None:
+        try:
+            frame = TransportFrame.decode(payload)
+        except TransportError:
+            return
+        if frame.base_opcode == OP_CONNECT_REQUEST:
+            self._accept(frame, origin)
+            return
+        circuit = self._circuits.get((frame.circuit_index, frame.circuit_id))
+        if circuit is None:
+            return
+        circuit.handle(frame)
+
+    def _accept(self, frame: TransportFrame, origin: AX25Address) -> None:
+        # the requester's index/id arrive in tx_seq/rx_seq
+        their_index, their_id = frame.tx_seq, frame.rx_seq
+        # Duplicate CONNECT (our ack was lost): re-ack the existing circuit.
+        for circuit in self._circuits.values():
+            if (circuit.remote_index == their_index
+                    and circuit.remote_id == their_id
+                    and circuit.remote.matches(origin)):
+                circuit._emit(OP_CONNECT_ACK)
+                return
+        circuit = self._allocate(origin)
+        circuit.remote_index = their_index
+        circuit.remote_id = their_id
+        accepted = True
+        if self.on_circuit is not None:
+            accepted = self.on_circuit(circuit)
+        if not accepted:
+            self.circuits_refused += 1
+            refusal = TransportFrame(their_index, their_id, 0, 0,
+                                     OP_CONNECT_ACK | FLAG_REFUSED)
+            self.output(origin, refusal)
+            self.forget(circuit)
+            return
+        self.circuits_accepted += 1
+        circuit.state = CircuitState.ESTABLISHED
+        # our index/id ride back in tx_seq/rx_seq of the ack
+        ack = TransportFrame(their_index, their_id,
+                             circuit.local_index, circuit.local_id,
+                             OP_CONNECT_ACK)
+        self.output(origin, ack)
+        if circuit.on_connect is not None:
+            circuit.on_connect()

@@ -1,0 +1,29 @@
+"""Radio substrate: the shared 1200 bps half-duplex channel.
+
+"The radio corresponds to an Ethernet transceiver" -- but unlike
+Ethernet the amateur 2-metre channel is slow (1200 bps), half duplex,
+and every station on the frequency hears (and contends with) every
+other station it is in range of.  Digipeaters relay on the *same*
+frequency, halving capacity per hop.
+
+* :class:`~repro.radio.channel.RadioChannel` -- the shared medium with
+  carrier sense, collisions and a configurable propagation map.
+* :class:`~repro.radio.modem.ModemProfile` -- bit rate, TXDELAY keyup,
+  TXTAIL, optional bit-error rate.
+* :class:`~repro.radio.csma.CsmaParameters` / p-persistent access.
+* :class:`~repro.radio.station.RadioStation` -- a transceiver endpoint
+  with a transmit queue, used by TNCs and digipeaters.
+"""
+
+from repro.radio.channel import RadioChannel, Transmission
+from repro.radio.csma import CsmaParameters
+from repro.radio.modem import ModemProfile
+from repro.radio.station import RadioStation
+
+__all__ = [
+    "CsmaParameters",
+    "ModemProfile",
+    "RadioChannel",
+    "RadioStation",
+    "Transmission",
+]

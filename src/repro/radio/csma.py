@@ -1,0 +1,58 @@
+"""p-persistent CSMA parameters.
+
+The KISS TNC uses p-persistence for channel access: when the channel
+goes idle the TNC rolls a die each slot; with probability ``p`` it
+keys the transmitter, otherwise it waits one slot time and senses
+again.  PERSIST and SLOTTIME are host-settable KISS commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.clock import MS
+
+
+@dataclass(frozen=True)
+class CsmaParameters:
+    """Channel-access parameters (KISS PERSIST/SLOTTIME semantics)."""
+
+    #: Probability of transmitting in an idle slot, 0 < p <= 1.
+    persistence: float = 0.25
+    #: Slot duration between persistence trials.
+    slot_time: int = 100 * MS
+    #: Full duplex disables carrier sense entirely (KISS FULLDUP).
+    full_duplex: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.persistence <= 1.0:
+            raise ValueError("persistence must be in (0, 1]")
+        if self.slot_time < 0:
+            raise ValueError("slot_time must be non-negative")
+
+    @classmethod
+    def from_kiss(cls, persist_byte: int, slottime_units: int,
+                  full_duplex: bool = False) -> "CsmaParameters":
+        """Build from raw KISS parameter bytes.
+
+        KISS defines P = (PERSIST + 1) / 256 and SLOTTIME in 10 ms units.
+        """
+        if not 0 <= persist_byte <= 255:
+            raise ValueError("PERSIST byte out of range")
+        return cls(
+            persistence=(persist_byte + 1) / 256,
+            slot_time=slottime_units * 10 * MS,
+            full_duplex=full_duplex,
+        )
+
+    def with_persist_byte(self, persist_byte: int) -> "CsmaParameters":
+        """Copy with PERSIST set from the raw KISS byte."""
+        return replace(self, persistence=(persist_byte + 1) / 256)
+
+    def with_slottime_units(self, units: int) -> "CsmaParameters":
+        """Copy with SLOTTIME set from 10 ms units."""
+        return replace(self, slot_time=units * 10 * MS)
+
+    def with_full_duplex(self, enabled: bool) -> "CsmaParameters":
+        """Copy with full-duplex set."""
+        return replace(self, full_duplex=enabled)

@@ -1,0 +1,53 @@
+"""Modem timing model (Bell-202-style AFSK at 1200 bps by default).
+
+"Because the link speed is only 1200 bits per second, the transmission
+time is the dominant factor in determining throughput and latency."
+The modem profile is where that 1200 enters the model, together with
+the transmitter keyup delay (TXDELAY) and hold time (TXTAIL) that KISS
+lets the host tune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.clock import MS, SECOND
+
+
+@dataclass(frozen=True)
+class ModemProfile:
+    """Physical-layer timing parameters for one station's modem.
+
+    ``txdelay``/``txtail`` default to the customary TNC values (30 and
+    5 in 10 ms KISS units).  ``bit_error_rate`` is per-bit; 0 disables
+    corruption.
+    """
+
+    bit_rate: int = 1200
+    txdelay: int = 300 * MS
+    txtail: int = 50 * MS
+    bit_error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bit_rate <= 0:
+            raise ValueError("bit_rate must be positive")
+        if self.txdelay < 0 or self.txtail < 0:
+            raise ValueError("txdelay/txtail must be non-negative")
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise ValueError("bit_error_rate must be in [0, 1)")
+
+    def data_airtime(self, num_bytes: int) -> int:
+        """Microseconds to clock ``num_bytes`` of payload onto the air."""
+        return round(num_bytes * 8 * SECOND / self.bit_rate)
+
+    def frame_airtime(self, num_bytes: int) -> int:
+        """Total channel occupancy for one frame: keyup + data + tail."""
+        return self.txdelay + self.data_airtime(num_bytes) + self.txtail
+
+    def with_kiss_txdelay(self, units: int) -> "ModemProfile":
+        """Apply a KISS TXDELAY command (units of 10 ms)."""
+        return replace(self, txdelay=units * 10 * MS)
+
+    def with_kiss_txtail(self, units: int) -> "ModemProfile":
+        """Apply a KISS TXTAIL command (units of 10 ms)."""
+        return replace(self, txtail=units * 10 * MS)

@@ -1,0 +1,120 @@
+"""A radio station: transceiver + p-persistent CSMA transmit queue.
+
+This is the piece of "TNC firmware" that arbitrates channel access.
+Frames handed to :meth:`RadioStation.send_frame` queue FIFO; the
+station runs the p-persistence algorithm (sense, roll, key up) and
+transmits each frame with the modem's TXDELAY keyup.  Received frames
+are delivered to ``on_frame``.
+
+Both the KISS TNC and the standalone digipeater are built on this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.radio.channel import ChannelPort, RadioChannel
+from repro.radio.csma import CsmaParameters
+from repro.radio.modem import ModemProfile
+from repro.sim.engine import Event, Simulator
+
+
+class RadioStation:
+    """One transceiver on a shared channel with CSMA access control."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: RadioChannel,
+        name: str,
+        modem: Optional[ModemProfile] = None,
+        csma: Optional[CsmaParameters] = None,
+        on_frame: Optional[Callable[[bytes], None]] = None,
+        queue_limit: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.name = name
+        self.modem = modem or ModemProfile()
+        self.csma = csma or CsmaParameters()
+        self.on_frame = on_frame
+        self.queue_limit = queue_limit
+        self._queue: Deque[bytes] = deque()
+        self._access_event: Optional[Event] = None
+        self.port: ChannelPort = channel.attach(name, self._deliver)
+        # Expose the modem's BER to the channel's corruption model.
+        self.port.bit_error_rate = self.modem.bit_error_rate
+        self.queue_drops = 0
+        self.frames_queued = 0
+        self._rng = channel.streams.stream(f"csma/{name}")
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+
+    def send_frame(self, payload: bytes) -> bool:
+        """Queue a frame for transmission; False if the queue is full."""
+        if len(self._queue) >= self.queue_limit:
+            self.queue_drops += 1
+            return False
+        self._queue.append(payload)
+        self.frames_queued += 1
+        self._schedule_access()
+        return True
+
+    @property
+    def backlog(self) -> int:
+        """Frames waiting (not counting one in flight)."""
+        return len(self._queue)
+
+    def _schedule_access(self) -> None:
+        if self._access_event is not None or not self._queue:
+            return
+        self._access_event = self.sim.call_soon(
+            self._try_channel, label=f"csma {self.name}"
+        )
+
+    def _try_channel(self) -> None:
+        self._access_event = None
+        if not self._queue:
+            return
+        if self.port.transmitting:
+            # Our own transmitter is keyed; try again when it frees.
+            self._retry_at(self.port.tx_until)
+            return
+        if not self.csma.full_duplex and self.port.carrier_sensed():
+            # Busy: wait one slot and sense again.
+            self._retry_after(self.csma.slot_time)
+            return
+        # Idle: p-persistence roll.
+        if self._rng.random() <= self.csma.persistence:
+            self._transmit_next()
+        else:
+            self._retry_after(self.csma.slot_time)
+
+    def _retry_after(self, delay: int) -> None:
+        self._access_event = self.sim.schedule(
+            max(delay, 1), self._try_channel, label=f"csma {self.name}"
+        )
+
+    def _retry_at(self, when: int) -> None:
+        self._access_event = self.sim.at(
+            max(when, self.sim.now + 1), self._try_channel, label=f"csma {self.name}"
+        )
+
+    def _transmit_next(self) -> None:
+        payload = self._queue.popleft()
+        airtime = self.modem.frame_airtime(len(payload))
+        self.port.transmit(payload, airtime)
+        if self._queue:
+            # Next access attempt when this transmission completes.
+            self._retry_at(self.port.tx_until)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def _deliver(self, payload: bytes) -> None:
+        if self.on_frame is not None:
+            self.on_frame(payload)

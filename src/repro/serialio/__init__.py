@@ -1,0 +1,14 @@
+"""Serial-line substrate: the RS-232 link between host and TNC.
+
+"One difference, though, is that the TNC does not sit on the bus.
+Instead, one communicates with it through a serial line."  The DZ
+serial interface of Figure 1 delivers received characters to the host
+one interrupt at a time; :class:`~repro.serialio.line.SerialLine` models
+the byte-timed wire and :class:`~repro.serialio.tty.Tty` models the tty
+device the driver hangs its per-character interrupt handler on.
+"""
+
+from repro.serialio.line import SerialEndpoint, SerialLine
+from repro.serialio.tty import Tty, TtyInputQueue
+
+__all__ = ["SerialEndpoint", "SerialLine", "Tty", "TtyInputQueue"]

@@ -1,0 +1,100 @@
+"""A byte-timed, full-duplex RS-232 line.
+
+Each direction serialises independently: a byte takes ``bits_per_char /
+baud`` seconds on the wire (8N1 framing: start + 8 data + stop = 10
+bits).  Writes queue behind in-flight bytes, so a burst written at one
+instant arrives spread out in time exactly as a UART would deliver it
+-- this is what makes the driver's per-character interrupt handling a
+meaningful thing to model, and what makes the serial line a real
+bottleneck in experiment E3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.clock import SECOND
+from repro.sim.engine import Simulator
+
+
+class SerialEndpoint:
+    """One end of a serial line.
+
+    Components attach a byte-receive handler with :meth:`on_receive`
+    and transmit with :meth:`write`.
+    """
+
+    def __init__(self, line: "SerialLine", name: str) -> None:
+        self.line = line
+        self.name = name
+        self.peer: Optional["SerialEndpoint"] = None
+        self._receive_handler: Optional[Callable[[int], None]] = None
+        # Time at which the transmitter in this direction becomes free.
+        self._tx_free_at = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def on_receive(self, handler: Callable[[int], None]) -> None:
+        """Install the per-byte receive interrupt handler."""
+        self._receive_handler = handler
+
+    def write(self, data: bytes) -> int:
+        """Queue ``data`` for transmission; returns completion time.
+
+        Bytes are delivered to the peer one at a time as they finish
+        serialising.  Returns the absolute time the last byte lands.
+        """
+        sim = self.line.sim
+        start = max(sim.now, self._tx_free_at)
+        for index, byte in enumerate(data):
+            arrival = start + (index + 1) * self.line.byte_time
+            sim.at(arrival, self._deliver, byte, label=f"serial {self.name}")
+        self._tx_free_at = start + len(data) * self.line.byte_time
+        self.bytes_sent += len(data)
+        return self._tx_free_at
+
+    @property
+    def tx_busy(self) -> bool:
+        """True while previously written bytes are still serialising."""
+        return self._tx_free_at > self.line.sim.now
+
+    @property
+    def tx_backlog_bytes(self) -> int:
+        """Bytes still on the wire in this direction (rounded up)."""
+        remaining = self._tx_free_at - self.line.sim.now
+        if remaining <= 0:
+            return 0
+        return -(-remaining // self.line.byte_time)
+
+    def _deliver(self, byte: int) -> None:
+        assert self.peer is not None
+        self.peer.bytes_received += 1
+        if self.peer._receive_handler is not None:
+            self.peer._receive_handler(byte)
+
+
+class SerialLine:
+    """Full-duplex serial line joining two endpoints.
+
+    >>> line = SerialLine(sim, baud=9600)
+    >>> line.a.write(b"hello")   # arrives at line.b, one byte per ~1.04 ms
+    """
+
+    def __init__(self, sim: Simulator, baud: int = 9600, bits_per_char: int = 10,
+                 name: str = "serial") -> None:
+        if baud <= 0:
+            raise ValueError("baud must be positive")
+        self.sim = sim
+        self.baud = baud
+        self.bits_per_char = bits_per_char
+        self.name = name
+        #: Microseconds to serialise one character.
+        self.byte_time = max(1, round(bits_per_char * SECOND / baud))
+        self.a = SerialEndpoint(self, f"{name}.a")
+        self.b = SerialEndpoint(self, f"{name}.b")
+        self.a.peer = self.b
+        self.b.peer = self.a
+
+    def throughput_bytes_per_second(self) -> float:
+        """Raw one-direction capacity in bytes/second."""
+        return self.baud / self.bits_per_char

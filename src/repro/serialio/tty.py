@@ -1,0 +1,104 @@
+"""The tty device layer.
+
+In the paper's system "the tty driver calls the packet radio interrupt
+handler to process the character" for each received byte.  Our
+:class:`Tty` wraps a :class:`~repro.serialio.line.SerialEndpoint` and
+dispatches every incoming byte either to a hooked *line discipline*
+interrupt handler (the packet radio driver installs one) or, when no
+handler is hooked, into a canonical input queue that user programs read
+-- which is exactly where §2.4 proposes parking non-IP AX.25 traffic:
+"Packets that are received from the TNC that are not of type IP can be
+placed on the input queue for the appropriate tty line.  A user program
+can then read from this line."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.serialio.line import SerialEndpoint
+
+
+class TtyInputQueue:
+    """Bounded byte queue a user program reads from.
+
+    Overflow drops newest bytes and counts them -- the classic tty
+    behaviour under receive overrun.
+    """
+
+    def __init__(self, limit: int = 8192) -> None:
+        self.limit = limit
+        self._queue: Deque[int] = deque()
+        self.dropped = 0
+        self.on_readable: Optional[Callable[[], None]] = None
+
+    def put(self, byte: int) -> None:
+        """Store an item."""
+        if len(self._queue) >= self.limit:
+            self.dropped += 1
+            return
+        self._queue.append(byte)
+        if self.on_readable is not None:
+            self.on_readable()
+
+    def put_bytes(self, data: bytes) -> None:
+        """Queue several bytes."""
+        for byte in data:
+            self.put(byte)
+
+    def read(self, max_bytes: int = 4096) -> bytes:
+        """Non-blocking read of up to ``max_bytes``."""
+        out = bytearray()
+        while self._queue and len(out) < max_bytes:
+            out.append(self._queue.popleft())
+        return bytes(out)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class Tty:
+    """A tty line: serial endpoint + optional line-discipline hook.
+
+    The packet radio driver calls :meth:`hook_interrupt` to receive
+    every character in "interrupt context"; programs write with
+    :meth:`write`.
+    """
+
+    def __init__(self, endpoint: SerialEndpoint, name: str = "tty0") -> None:
+        self.endpoint = endpoint
+        self.name = name
+        self.input_queue = TtyInputQueue()
+        self._interrupt_handler: Optional[Callable[[int], None]] = None
+        self.rx_interrupts = 0
+        endpoint.on_receive(self._rx_interrupt)
+
+    def hook_interrupt(self, handler: Callable[[int], None]) -> None:
+        """Install a per-character receive handler (line discipline)."""
+        self._interrupt_handler = handler
+
+    def unhook_interrupt(self) -> None:
+        """Remove the line discipline; bytes go to the input queue again."""
+        self._interrupt_handler = None
+
+    def write(self, data: bytes) -> int:
+        """Transmit bytes out the serial line; returns completion time."""
+        return self.endpoint.write(data)
+
+    @property
+    def tx_busy(self) -> bool:
+        """True while bytes are still serialising out."""
+        return self.endpoint.tx_busy
+
+    @property
+    def tx_backlog_bytes(self) -> int:
+        """Bytes queued toward the wire, not yet sent."""
+        return self.endpoint.tx_backlog_bytes
+
+    def _rx_interrupt(self, byte: int) -> None:
+        self.rx_interrupts += 1
+        if self._interrupt_handler is not None:
+            self._interrupt_handler(byte)
+        else:
+            self.input_queue.put(byte)

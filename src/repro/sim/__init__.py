@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+Everything in this reproduction runs on a single-threaded, deterministic
+discrete-event simulator.  Simulated time is kept in integer
+microseconds so that identical seeds produce byte-identical traces on
+any platform.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop.
+* :class:`~repro.sim.engine.Event` -- a scheduled, cancellable callback.
+* :mod:`~repro.sim.clock` -- time unit helpers (``SECOND``, ``MS``, ...).
+* :class:`~repro.sim.rand.RandomStreams` -- named, seeded RNG streams.
+* :class:`~repro.sim.trace.Tracer` -- structured event capture.
+"""
+
+from repro.sim.clock import MICROSECOND, MILLISECOND, MS, SECOND, US, format_time, seconds, us_to_seconds
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "MICROSECOND",
+    "MILLISECOND",
+    "MS",
+    "RandomStreams",
+    "SECOND",
+    "SimulationError",
+    "Simulator",
+    "TraceRecord",
+    "Tracer",
+    "US",
+    "format_time",
+    "seconds",
+    "us_to_seconds",
+]

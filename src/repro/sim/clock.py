@@ -1,0 +1,58 @@
+"""Time units for the simulator.
+
+The simulator clock is an integer count of microseconds.  These
+constants let call sites say ``3 * SECOND`` or ``250 * MS`` instead of
+sprinkling raw conversion factors around, and the helpers convert
+between float seconds (convenient for humans and for rate arithmetic)
+and integer microseconds (what the engine schedules with).
+"""
+
+from __future__ import annotations
+
+#: One microsecond -- the base tick of the simulation clock.
+MICROSECOND = 1
+US = MICROSECOND
+
+#: One millisecond in clock ticks.
+MILLISECOND = 1000
+MS = MILLISECOND
+
+#: One second in clock ticks.
+SECOND = 1_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert float seconds to integer microseconds (rounded).
+
+    >>> seconds(1.5)
+    1500000
+    """
+    return int(round(value * SECOND))
+
+
+def us_to_seconds(ticks: int) -> float:
+    """Convert integer microseconds back to float seconds.
+
+    >>> us_to_seconds(1500000)
+    1.5
+    """
+    return ticks / SECOND
+
+
+def format_time(ticks: int) -> str:
+    """Render a clock value for log/trace output.
+
+    Chooses a unit so short intervals stay readable:
+
+    >>> format_time(250)
+    '250us'
+    >>> format_time(2500)
+    '2.500ms'
+    >>> format_time(2500000)
+    '2.500000s'
+    """
+    if ticks < MILLISECOND:
+        return f"{ticks}us"
+    if ticks < SECOND:
+        return f"{ticks / MILLISECOND:.3f}ms"
+    return f"{ticks / SECOND:.6f}s"

@@ -1,0 +1,112 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects timestamped records from any layer of the
+stack -- radio transmissions, driver interrupts, IP forwards, TCP
+retransmissions -- into one ordered log.  Benchmarks and tests query it
+instead of scraping printed output; examples print it for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.clock import format_time
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    ``category`` is a dotted topic like ``"radio.tx"`` or ``"tcp.rexmit"``;
+    ``source`` identifies the emitting component (hostname, callsign);
+    ``detail`` carries free-form structured fields.
+    """
+
+    time: int
+    category: str
+    source: str
+    message: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable single line."""
+        extras = " ".join(f"{key}={value}" for key, value in self.detail.items())
+        text = f"[{format_time(self.time)}] {self.category:<16} {self.source:<12} {self.message}"
+        return f"{text} {extras}".rstrip()
+
+
+class Tracer:
+    """Append-only trace log bound to a simulator clock."""
+
+    def __init__(self, sim: Simulator, echo: bool = False) -> None:
+        self.sim = sim
+        self.records: List[TraceRecord] = []
+        self.echo = echo
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def log(
+        self,
+        category: str,
+        source: str,
+        message: str,
+        **detail: Any,
+    ) -> TraceRecord:
+        """Record an event at the current simulated time."""
+        record = TraceRecord(self.sim.now, category, source, message, detail)
+        self.records.append(record)
+        if self.echo:  # pragma: no cover - interactive convenience
+            print(record.render())
+        for listener in self._listeners:
+            listener(record)
+        return record
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` for every future record (live taps in tests)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        since: int = 0,
+    ) -> List[TraceRecord]:
+        """Filter records by category prefix, source, and start time."""
+        return list(self.iter_select(category=category, source=source, since=since))
+
+    def iter_select(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        since: int = 0,
+    ) -> Iterator[TraceRecord]:
+        """Iterator form of :meth:`select`."""
+        for record in self.records:
+            if record.time < since:
+                continue
+            if category is not None and not record.category.startswith(category):
+                continue
+            if source is not None and record.source != source:
+                continue
+            yield record
+
+    def count(self, category: Optional[str] = None, source: Optional[str] = None) -> int:
+        """Number of matching records."""
+        return sum(1 for _ in self.iter_select(category=category, source=source))
+
+    def render(self, **kwargs: Any) -> str:
+        """Render matching records as a multi-line string."""
+        return "\n".join(record.render() for record in self.select(**kwargs))
+
+
+class NullTracer(Tracer):
+    """Tracer that discards everything (for hot benchmark loops)."""
+
+    def log(self, category: str, source: str, message: str, **detail: Any) -> TraceRecord:
+        """Record an event at the current simulated time."""
+        return TraceRecord(self.sim.now, category, source, message, detail)

@@ -1,0 +1,25 @@
+"""Terminal Node Controllers.
+
+"Stations consist of a radio transceiver connected to a terminal or a
+computer by means of a device known as a Terminal Node Controller
+(TNC).  The TNC is essentially a modem."
+
+Two firmware variants are modelled:
+
+* :class:`~repro.tnc.kiss_tnc.KissTnc` -- the stripped-down KISS
+  firmware the paper downloads into its TNC: raw AX.25 frames cross the
+  serial line, the host does all protocol work.
+* :class:`~repro.tnc.rom_tnc.RomTnc` -- the stock ROM firmware with a
+  command interpreter and AX.25 connected mode, used by terminal-only
+  stations (and therefore by the BBS users of the introduction).
+
+Plus :class:`~repro.tnc.digipeater.Digipeater` (a relay station) and
+the §3 destination-address filter in :mod:`~repro.tnc.filtering`.
+"""
+
+from repro.tnc.digipeater import Digipeater
+from repro.tnc.filtering import frame_is_for_station
+from repro.tnc.kiss_tnc import KissTnc
+from repro.tnc.rom_tnc import RomTnc
+
+__all__ = ["Digipeater", "KissTnc", "RomTnc", "frame_is_for_station"]

@@ -1,0 +1,34 @@
+"""Destination filtering in the TNC (the paper's proposed §3 fix).
+
+"The present code running inside the TNC passes every packet it
+receives to the packet radio driver regardless of the destination
+address of the packet.  We are considering changing the TNC code so
+that it can selectively pass only those packets destined for the
+broadcast or local AX.25 addresses."
+
+The filter must be cheap and must not require a full frame parse: it
+peeks at the address field only, because that is all a few bytes of
+6809 firmware could afford.
+"""
+
+from __future__ import annotations
+
+from repro.ax25.address import AX25Address, decode_address_field, is_broadcast
+
+
+def frame_is_for_station(raw_frame: bytes, station: AX25Address) -> bool:
+    """True if an on-air frame should be passed to the attached host.
+
+    A frame is "for" the station when the *next link-layer actor* is the
+    station itself or the broadcast address: either the final
+    destination (with any digipeater path fully repeated) or the next
+    unrepeated digipeater entry.  Undecodable frames are dropped -- the
+    firmware cannot hand garbage up and expect the host to cope.
+    """
+    try:
+        destination, _source, path, _command, _used = decode_address_field(raw_frame)
+    except ValueError:
+        return False
+    pending = path.next_unrepeated
+    target = pending if pending is not None else destination
+    return target.matches(station) or is_broadcast(target)

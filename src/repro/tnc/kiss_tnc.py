@@ -1,0 +1,143 @@
+"""The KISS TNC.
+
+"This code, which may be downloaded into the TNC, sends and receives
+data and calculates the necessary checksums.  Unlike the normal code
+that resides in the ROM of the TNC, the KISS TNC code does not worry
+about the packet format at all."
+
+The model therefore does three things and only three things:
+
+* **Host → air**: deframe the KISS byte stream arriving on the serial
+  line; DATA records go onto the CSMA transmit queue verbatim; command
+  records retune TXDELAY / PERSIST / SLOTTIME / TXTAIL / FULLDUP.
+* **Air → host**: wrap every received frame in KISS and clock it up the
+  serial line.  By default the TNC is *promiscuous* -- it passes every
+  frame regardless of destination, which is exactly the §3 performance
+  problem.  ``address_filter=True`` enables the paper's proposed fix.
+* **Checksums**: the modem/channel model validates frames physically,
+  standing in for the HDLC FCS the real TNC computes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ax25.address import AX25Address
+from repro.kiss import commands
+from repro.kiss.framing import KissDeframer, frame as kiss_frame
+from repro.radio.channel import RadioChannel
+from repro.radio.csma import CsmaParameters
+from repro.radio.modem import ModemProfile
+from repro.radio.station import RadioStation
+from repro.serialio.line import SerialEndpoint
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.tnc.filtering import frame_is_for_station
+
+
+class KissTnc:
+    """A TNC running the KISS firmware.
+
+    ``serial`` is the TNC-side endpoint of the RS-232 line to the host;
+    ``callsign`` is only consulted when ``address_filter`` is on (the
+    stock KISS code has no notion of its own address).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: RadioChannel,
+        serial: SerialEndpoint,
+        name: str,
+        callsign: Optional[AX25Address] = None,
+        modem: Optional[ModemProfile] = None,
+        csma: Optional[CsmaParameters] = None,
+        address_filter: bool = False,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.serial = serial
+        self.name = name
+        self.callsign = callsign
+        self.address_filter = address_filter
+        self.tracer = tracer
+        self.station = RadioStation(
+            sim,
+            channel,
+            name,
+            modem=modem,
+            csma=csma,
+            on_frame=self._frame_from_air,
+        )
+        self._deframer = KissDeframer(on_frame=self._record_from_host)
+        serial.on_receive(self._byte_from_host)
+
+        # counters
+        self.frames_to_air = 0
+        self.frames_to_host = 0
+        self.frames_filtered = 0
+        self.command_records = 0
+        self.bad_records = 0
+
+    # ------------------------------------------------------------------
+    # host -> air
+    # ------------------------------------------------------------------
+
+    def _byte_from_host(self, byte: int) -> None:
+        self._deframer.push_byte(byte)
+
+    def _record_from_host(self, type_byte: int, payload: bytes) -> None:
+        command, _port = commands.split_type_byte(type_byte)
+        if command == commands.CMD_DATA:
+            if not payload:
+                self.bad_records += 1
+                return
+            self.frames_to_air += 1
+            self.station.send_frame(payload)
+            return
+        self.command_records += 1
+        self._apply_command(command, payload)
+
+    def _apply_command(self, command: int, payload: bytes) -> None:
+        value = payload[0] if payload else 0
+        if command == commands.CMD_TXDELAY:
+            self.station.modem = self.station.modem.with_kiss_txdelay(value)
+        elif command == commands.CMD_TXTAIL:
+            self.station.modem = self.station.modem.with_kiss_txtail(value)
+        elif command == commands.CMD_PERSIST:
+            self.station.csma = self.station.csma.with_persist_byte(value)
+        elif command == commands.CMD_SLOTTIME:
+            self.station.csma = self.station.csma.with_slottime_units(value)
+        elif command == commands.CMD_FULLDUP:
+            self.station.csma = self.station.csma.with_full_duplex(bool(value))
+        elif command == commands.CMD_RETURN:
+            # Exit KISS: the real TNC reboots to ROM.  We just note it.
+            if self.tracer is not None:
+                self.tracer.log("tnc.return", self.name, "exit KISS mode")
+        else:
+            self.bad_records += 1
+
+    # ------------------------------------------------------------------
+    # air -> host
+    # ------------------------------------------------------------------
+
+    def _frame_from_air(self, payload: bytes) -> None:
+        if self.address_filter and self.callsign is not None:
+            if not frame_is_for_station(payload, self.callsign):
+                self.frames_filtered += 1
+                return
+        self.frames_to_host += 1
+        record = kiss_frame(commands.type_byte(commands.CMD_DATA), payload)
+        self.serial.write(record)
+        if self.tracer is not None:
+            self.tracer.log("tnc.to_host", self.name, "frame up serial",
+                            bytes=len(payload))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def serial_backlog_bytes(self) -> int:
+        """Bytes queued toward the host (the §3 bottleneck measure)."""
+        return self.serial.tx_backlog_bytes

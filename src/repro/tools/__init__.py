@@ -1,0 +1,21 @@
+"""Operator tools: the commands a 1988 sysadmin would run.
+
+* :mod:`~repro.tools.axdump` -- a tcpdump-style decoder for AX.25
+  frames and everything inside them (KISS records, IP, ICMP, UDP, TCP,
+  ARP, NET/ROM), plus a live monitor that taps a radio channel.
+* :mod:`~repro.tools.netstat` -- ``netstat``/``ifconfig``/``arp -a``
+  style reports for any :class:`~repro.inet.netstack.NetStack`.
+"""
+
+from repro.tools.axdump import ChannelMonitor, decode_ax25_frame, decode_ip_packet
+from repro.tools.netstat import format_arp_table, format_interfaces, format_netstat, format_routes
+
+__all__ = [
+    "ChannelMonitor",
+    "decode_ax25_frame",
+    "decode_ip_packet",
+    "format_arp_table",
+    "format_interfaces",
+    "format_netstat",
+    "format_routes",
+]

@@ -1,0 +1,164 @@
+"""axdump: decode frames the way tcpdump would have printed them.
+
+Give it raw on-air bytes and it produces one-line summaries down the
+whole stack: AX.25 header, then the PID's payload (IP with ICMP/UDP/TCP
+inside, ARP, NET/ROM network and transport layers, plain text).  The
+:class:`ChannelMonitor` taps a live :class:`~repro.radio.channel.
+RadioChannel` and keeps a rolling decoded log -- the software equivalent
+of leaving a monitor TNC running next to the gateway.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ax25.defs import PID_ARPA_ARP, PID_ARPA_IP, PID_NETROM, PID_NO_L3, FrameType
+from repro.ax25.frames import AX25Frame, FrameError
+from repro.inet.arp import ARP_REPLY, ARP_REQUEST, ArpError, ArpPacket
+from repro.inet.icmp import (
+    ICMP_ACCESS_CONTROL,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_REDIRECT,
+    ICMP_SOURCE_QUENCH,
+    ICMP_TIME_EXCEEDED,
+    ICMP_UNREACHABLE,
+    IcmpError,
+    IcmpMessage,
+)
+from repro.inet.ip import IPError, IPv4Datagram, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.inet.tcp import TcpError, TcpSegment
+from repro.inet.udp import UdpDatagram, UdpError
+from repro.netrom.protocol import NODES_SIGNATURE, NetRomError, NetRomPacket, NodesBroadcast
+from repro.netrom.transport import TransportError, TransportFrame
+from repro.radio.channel import RadioChannel
+from repro.sim.clock import format_time
+
+_ICMP_NAMES = {
+    ICMP_ECHO_REQUEST: "echo request",
+    ICMP_ECHO_REPLY: "echo reply",
+    ICMP_UNREACHABLE: "unreachable",
+    ICMP_SOURCE_QUENCH: "source quench",
+    ICMP_REDIRECT: "redirect",
+    ICMP_TIME_EXCEEDED: "time exceeded",
+    ICMP_ACCESS_CONTROL: "access-control",
+}
+
+
+def decode_ip_packet(data: bytes, indent: str = "") -> List[str]:
+    """Decode an IP datagram (and its payload) to summary lines."""
+    try:
+        datagram = IPv4Datagram.decode(data)
+    except IPError as exc:
+        return [f"{indent}ip: undecodable ({exc})"]
+    lines = [f"{indent}ip {datagram}"]
+    if datagram.is_fragment and datagram.fragment_offset > 0:
+        return lines  # non-first fragments carry no parseable header
+    payload = datagram.payload
+    if datagram.protocol == PROTO_ICMP:
+        try:
+            message = IcmpMessage.decode(payload)
+            name = _ICMP_NAMES.get(message.icmp_type, f"type {message.icmp_type}")
+            lines.append(f"{indent}  icmp {name} code={message.code} "
+                         f"len={len(message.body)}")
+        except IcmpError as exc:
+            lines.append(f"{indent}  icmp: undecodable ({exc})")
+    elif datagram.protocol == PROTO_UDP:
+        try:
+            udp = UdpDatagram.decode(payload, datagram.source,
+                                     datagram.destination, verify=False)
+            lines.append(f"{indent}  udp {udp.source_port}>"
+                         f"{udp.destination_port} len={len(udp.payload)}")
+        except UdpError as exc:
+            lines.append(f"{indent}  udp: undecodable ({exc})")
+    elif datagram.protocol == PROTO_TCP:
+        try:
+            segment = TcpSegment.decode(payload, datagram.source,
+                                        datagram.destination, verify=False)
+            lines.append(f"{indent}  tcp {segment.describe()}")
+        except TcpError as exc:
+            lines.append(f"{indent}  tcp: undecodable ({exc})")
+    return lines
+
+
+def _decode_arp(data: bytes, indent: str) -> List[str]:
+    try:
+        packet = ArpPacket.decode(data)
+    except ArpError as exc:
+        return [f"{indent}arp: undecodable ({exc})"]
+    op = {ARP_REQUEST: "who-has", ARP_REPLY: "is-at"}.get(
+        packet.operation, f"op {packet.operation}")
+    if packet.operation == ARP_REQUEST:
+        return [f"{indent}arp {op} {packet.target_ip} tell {packet.sender_ip}"]
+    return [f"{indent}arp {op} {packet.sender_ip}"]
+
+
+def _decode_netrom(data: bytes, indent: str) -> List[str]:
+    if data and data[0] == NODES_SIGNATURE:
+        try:
+            broadcast = NodesBroadcast.decode(data)
+        except NetRomError as exc:
+            return [f"{indent}netrom nodes: undecodable ({exc})"]
+        return [f"{indent}netrom NODES from {broadcast.sender_alias} "
+                f"({len(broadcast.entries)} routes)"]
+    try:
+        packet = NetRomPacket.decode(data)
+    except NetRomError as exc:
+        return [f"{indent}netrom: undecodable ({exc})"]
+    lines = [f"{indent}{packet}"]
+    if packet.protocol == 0x0C:
+        lines.extend(decode_ip_packet(packet.payload, indent + "  "))
+    elif packet.protocol == 0x01:
+        try:
+            frame = TransportFrame.decode(packet.payload)
+            lines.append(f"{indent}  circuit idx={frame.circuit_index} "
+                         f"id={frame.circuit_id} op={frame.base_opcode} "
+                         f"len={len(frame.payload)}")
+        except TransportError:
+            lines.append(f"{indent}  circuit: undecodable")
+    return lines
+
+
+def decode_ax25_frame(data: bytes, indent: str = "") -> List[str]:
+    """Decode one on-air AX.25 frame down the whole stack."""
+    try:
+        frame = AX25Frame.decode(data)
+    except FrameError as exc:
+        return [f"{indent}ax25: undecodable {len(data)} bytes ({exc})"]
+    lines = [f"{indent}ax25 {frame}"]
+    if frame.frame_type not in (FrameType.I, FrameType.UI) or not frame.info:
+        return lines
+    if frame.pid == PID_ARPA_IP:
+        lines.extend(decode_ip_packet(frame.info, indent + "  "))
+    elif frame.pid == PID_ARPA_ARP:
+        lines.extend(_decode_arp(frame.info, indent + "  "))
+    elif frame.pid == PID_NETROM:
+        lines.extend(_decode_netrom(frame.info, indent + "  "))
+    elif frame.pid == PID_NO_L3:
+        text = frame.info.decode("latin-1", "replace").strip()
+        preview = text[:40] + ("..." if len(text) > 40 else "")
+        lines.append(f"{indent}  text {preview!r}")
+    return lines
+
+
+class ChannelMonitor:
+    """A receive-only station that decodes everything it hears."""
+
+    def __init__(self, channel: RadioChannel, name: str = "MONITOR") -> None:
+        self.channel = channel
+        self.sim = channel.sim
+        self.lines: List[str] = []
+        self.frames_heard = 0
+        channel.attach(name, self._heard)
+
+    def _heard(self, payload: bytes) -> None:
+        self.frames_heard += 1
+        stamp = format_time(self.sim.now)
+        for index, line in enumerate(decode_ax25_frame(payload)):
+            prefix = f"[{stamp}] " if index == 0 else " " * (len(stamp) + 3)
+            self.lines.append(prefix + line)
+
+    def render(self, last: Optional[int] = None) -> str:
+        """Render as human-readable text."""
+        lines = self.lines if last is None else self.lines[-last:]
+        return "\n".join(lines)

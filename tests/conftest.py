@@ -1,0 +1,24 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def tracer(sim: Simulator) -> Tracer:
+    return Tracer(sim)

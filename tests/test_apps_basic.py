@@ -1,0 +1,199 @@
+"""Tests for ping, telnet, FTP and SMTP over a plain Ethernet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftp import FileStore, FtpClient, FtpServer
+from repro.apps.ping import Pinger
+from repro.apps.smtp import Mailbox, MailMessage, SmtpClient, SmtpServer
+from repro.apps.telnet import TelnetClient, TelnetServer
+from repro.core.hosts import make_ethernet_host
+from repro.ethernet.lan import EthernetLan
+from repro.sim.clock import SECOND
+
+
+@pytest.fixture
+def hosts(sim):
+    lan = EthernetLan(sim)
+    h1 = make_ethernet_host(sim, lan, "client", "128.95.1.1", mac_index=1)
+    h2 = make_ethernet_host(sim, lan, "server", "128.95.1.2", mac_index=2)
+    return h1, h2
+
+
+# ----------------------------------------------------------------------
+# ping
+# ----------------------------------------------------------------------
+
+def test_ping_counts_and_rtt(sim, hosts):
+    h1, _h2 = hosts
+    pinger = Pinger(h1)
+    pinger.send("128.95.1.2", count=3, interval=1 * SECOND)
+    sim.run(until=10 * SECOND)
+    assert pinger.sent == 3 and pinger.received == 3
+    assert pinger.lost == 0
+    assert pinger.mean_rtt_seconds() < 0.1
+
+
+def test_ping_unroutable_counts_loss(sim, hosts):
+    h1, _h2 = hosts
+    pinger = Pinger(h1)
+    pinger.send("99.99.99.99", count=2, interval=1 * SECOND)
+    sim.run(until=10 * SECOND)
+    assert pinger.received == 0 and pinger.lost == 2
+
+
+def test_two_pingers_do_not_cross_talk(sim, hosts):
+    h1, _h2 = hosts
+    p1, p2 = Pinger(h1), Pinger(h1)
+    p1.send("128.95.1.2", count=1)
+    p2.send("128.95.1.2", count=1)
+    sim.run(until=5 * SECOND)
+    assert p1.received == 1 and p2.received == 1
+
+
+# ----------------------------------------------------------------------
+# telnet
+# ----------------------------------------------------------------------
+
+def test_telnet_login_and_commands(sim, hosts):
+    h1, h2 = hosts
+    server = TelnetServer(h2)
+    client = TelnetClient(h1, "128.95.1.2")
+    client.type_lines(["wayne", "echo forty two", "hostname", "who", "logout"])
+    sim.run(until=30 * SECOND)
+    transcript = client.transcript_text()
+    assert "login:" in transcript
+    assert "Welcome wayne" in transcript
+    assert "forty two" in transcript
+    assert "server" in transcript      # hostname output
+    assert "wayne" in transcript       # who output
+    assert "goodbye" in transcript
+
+
+def test_telnet_unknown_command(sim, hosts):
+    h1, h2 = hosts
+    TelnetServer(h2)
+    client = TelnetClient(h1, "128.95.1.2")
+    client.type_lines(["user", "frobnicate", "logout"])
+    sim.run(until=30 * SECOND)
+    assert "frobnicate: not found" in client.transcript_text()
+
+
+def test_telnet_custom_command(sim, hosts):
+    h1, h2 = hosts
+    server = TelnetServer(h2)
+    server.commands["uptime"] = lambda _s, _a: "up forever"
+    client = TelnetClient(h1, "128.95.1.2")
+    client.type_lines(["user", "uptime", "logout"])
+    sim.run(until=30 * SECOND)
+    assert "up forever" in client.transcript_text()
+
+
+# ----------------------------------------------------------------------
+# FTP
+# ----------------------------------------------------------------------
+
+def test_ftp_retr_stor_list(sim, hosts):
+    h1, h2 = hosts
+    store = FileStore({"motd": b"welcome to the server"})
+    FtpServer(h2, store)
+    client = FtpClient(h1, "128.95.1.2")
+    client.get("motd")
+    client.put("upload.txt", b"new content here")
+    client.quit()
+    sim.run(until=60 * SECOND)
+    assert client.retrieved["motd"] == b"welcome to the server"
+    assert store.get("upload.txt") == b"new content here"
+    assert client.transfers_complete == 2
+    assert any(line.startswith("221") for line in client.log)
+
+
+def test_ftp_missing_file_550(sim, hosts):
+    h1, h2 = hosts
+    FtpServer(h2, FileStore())
+    client = FtpClient(h1, "128.95.1.2")
+    client.get("nope.txt")
+    sim.run(until=30 * SECOND)
+    assert any(line.startswith("550") for line in client.log)
+    assert "nope.txt" not in client.retrieved
+
+
+def test_ftp_large_binary_round_trip(sim, hosts):
+    h1, h2 = hosts
+    blob = bytes(range(256)) * 64    # 16 KiB
+    store = FileStore({"blob.bin": blob})
+    FtpServer(h2, store)
+    client = FtpClient(h1, "128.95.1.2")
+    client.get("blob.bin")
+    sim.run(until=120 * SECOND)
+    assert client.retrieved["blob.bin"] == blob
+
+
+def test_filestore_listing():
+    store = FileStore({"b.txt": b"22", "a.txt": b"1"})
+    assert store.listing() == "a.txt 1\r\nb.txt 2"
+
+
+# ----------------------------------------------------------------------
+# SMTP
+# ----------------------------------------------------------------------
+
+def test_smtp_delivery_to_mailbox(sim, hosts):
+    h1, h2 = hosts
+    server = SmtpServer(h2)
+    done = []
+    SmtpClient(h1, "128.95.1.2", "cliff@client", ["wayne@server"],
+               "line one\nline two", on_done=done.append)
+    sim.run(until=30 * SECOND)
+    assert done == [True]
+    inbox = server.mailbox.inbox("wayne")
+    assert len(inbox) == 1
+    assert inbox[0].body == "line one\nline two"
+    assert inbox[0].sender == "cliff@client"
+
+
+def test_smtp_multiple_recipients(sim, hosts):
+    h1, h2 = hosts
+    server = SmtpServer(h2)
+    done = []
+    SmtpClient(h1, "128.95.1.2", "a@client", ["x@server", "y@server"],
+               "fan out", on_done=done.append)
+    sim.run(until=30 * SECOND)
+    assert done == [True]
+    assert len(server.mailbox.inbox("x")) == 1
+    assert len(server.mailbox.inbox("y")) == 1
+
+
+def test_smtp_dot_stuffing(sim, hosts):
+    h1, h2 = hosts
+    server = SmtpServer(h2)
+    SmtpClient(h1, "128.95.1.2", "a@client", ["x@server"],
+               "before\n.hidden dot line\nafter")
+    sim.run(until=30 * SECOND)
+    assert server.mailbox.inbox("x")[0].body == "before\n.hidden dot line\nafter"
+
+
+def test_smtp_bad_sequence_rejected(sim, hosts):
+    """RCPT before MAIL gets a 503; session still usable after."""
+    from repro.inet.sockets import TcpSocket
+    h1, _h2 = hosts
+    SmtpServer(_h2)
+    replies = []
+    sock = TcpSocket.connect(h1, "128.95.1.2", 25)
+    def pump(_d):
+        while True:
+            line = sock.read_line()
+            if line is None:
+                return
+            replies.append(line[:3])
+    sock.on_data = pump
+    sock.send_line("RCPT TO:<x@server>")
+    sim.run(until=10 * SECOND)
+    assert "503" in replies
+
+
+def test_mailbox_case_insensitive():
+    mailbox = Mailbox()
+    mailbox.deliver(MailMessage("a", ["Wayne@Host"], "hi"))
+    assert len(mailbox.inbox("wayne")) == 1

@@ -1,0 +1,281 @@
+"""Tests for the radio-native applications: BBS, app gateway, callbook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.axgateway import Ax25ApplicationGateway
+from repro.apps.bbs import BulletinBoard
+from repro.apps.callbook import (
+    CallbookClient,
+    CallbookDirectory,
+    CallbookRecord,
+    CallbookServer,
+    call_area,
+)
+from repro.apps.smtp import SmtpServer
+from repro.apps.telnet import TelnetServer
+from repro.core.hosts import TerminalStation, make_ethernet_host
+from repro.core.topology import build_gateway_testbed
+from repro.ethernet.lan import EthernetLan
+from repro.radio.channel import RadioChannel
+from repro.sim.clock import SECOND
+from repro.sim.rand import RandomStreams
+
+
+# ----------------------------------------------------------------------
+# BBS
+# ----------------------------------------------------------------------
+
+def run_script(sim, term, script, until):
+    for t, line in script:
+        sim.at(t * SECOND, term.type_line, line)
+    sim.run(until=until * SECOND)
+
+
+def test_bbs_send_list_read(sim, streams):
+    channel = RadioChannel(sim, streams)
+    bbs = BulletinBoard(sim, channel, "W0RLI")
+    term = TerminalStation(sim, channel, "KD7NM")
+    run_script(sim, term, [
+        (1, "connect W0RLI"),
+        (40, "S N7AKR"),
+        (60, "see you at the hamfest"),
+        (80, "/EX"),
+        (140, "L"),
+        (200, "R 1"),
+        (300, "B"),
+    ], until=420)
+    screen = term.screen_text()
+    assert "Message saved" in screen
+    assert "1 N7AKR" in screen
+    assert "see you at the hamfest" in screen
+    assert "73!" in screen
+    assert bbs.messages[0].origin == "KD7NM"
+
+
+def test_bbs_empty_list_and_bad_read(sim, streams):
+    channel = RadioChannel(sim, streams)
+    BulletinBoard(sim, channel, "W0RLI")
+    term = TerminalStation(sim, channel, "KD7NM")
+    run_script(sim, term, [
+        (1, "connect W0RLI"),
+        (40, "L"),
+        (80, "R 9"),
+        (120, "R xyz"),
+    ], until=200)
+    screen = term.screen_text()
+    assert "No messages" in screen
+    assert "No such message" in screen
+
+
+def test_bbs_internet_mail_hook(sim, streams):
+    channel = RadioChannel(sim, streams)
+    bbs = BulletinBoard(sim, channel, "W0RLI")
+    forwarded = []
+    bbs.internet_mail_hook = lambda message: (forwarded.append(message), True)[1]
+    bbs.store_message("CLIFF@WALLY", "KD7NM", "over the gateway please")
+    assert len(forwarded) == 1
+    assert bbs.messages[0].forwarded
+    assert bbs.forwarded_to_internet == 1
+
+
+def test_bbs_local_message_not_hooked(sim, streams):
+    channel = RadioChannel(sim, streams)
+    bbs = BulletinBoard(sim, channel, "W0RLI")
+    forwarded = []
+    bbs.internet_mail_hook = lambda message: (forwarded.append(message), True)[1]
+    bbs.store_message("N7AKR", "KD7NM", "purely local")
+    assert forwarded == []
+
+
+def test_bbs_store_and_forward_between_bbses(sim, streams):
+    channel = RadioChannel(sim, streams)
+    seattle = BulletinBoard(sim, channel, "SEABBS")
+    tacoma = BulletinBoard(sim, channel, "TACBBS")
+    seattle.store_message("KD7NM@TACBBS", "N7AKR", "message for tacoma")
+    seattle.store_message("LOCAL", "N7AKR", "stays here")
+    assert seattle.forward_to("TACBBS") == 1
+    sim.run(until=600 * SECOND)
+    assert len(tacoma.messages) == 1
+    assert tacoma.messages[0].to == "KD7NM"
+    assert tacoma.messages[0].body == "message for tacoma"
+    assert seattle.pending_for("TACBBS") == []
+
+
+# ----------------------------------------------------------------------
+# §2.4 application gateway
+# ----------------------------------------------------------------------
+
+def test_app_gateway_menu_and_bye(sim):
+    tb = build_gateway_testbed(seed=21)
+    Ax25ApplicationGateway(tb.gateway.stack, tb.gateway.radio_interface)
+    term = TerminalStation(tb.sim, tb.channel, "KD7NM")
+    tb.sim.at(1 * SECOND, term.type_line, "connect NT7GW")
+    tb.sim.at(60 * SECOND, term.type_line, "B")
+    tb.sim.run(until=150 * SECOND)
+    screen = term.screen_text()
+    assert "UW packet gateway" in screen
+    assert "73!" in screen
+    assert "DISCONNECTED" in screen
+
+
+def test_app_gateway_telnet_bridge(sim):
+    tb = build_gateway_testbed(seed=22)
+    TelnetServer(tb.ether_host)
+    gateway = Ax25ApplicationGateway(tb.gateway.stack, tb.gateway.radio_interface)
+    term = TerminalStation(tb.sim, tb.channel, "KD7NM")
+    script = [
+        (1, "connect NT7GW"),
+        (45, "T 128.95.1.2"),
+        (140, "operator"),
+        (260, "echo bridged data"),
+        (400, "logout"),
+    ]
+    for t, line in script:
+        tb.sim.at(t * SECOND, term.type_line, line)
+    tb.sim.run(until=600 * SECOND)
+    screen = term.screen_text()
+    assert "login:" in screen
+    assert "bridged data" in screen
+    assert "telnet session closed" in screen
+    assert gateway.telnet_bridges == 1
+
+
+def test_app_gateway_bad_telnet_address(sim):
+    tb = build_gateway_testbed(seed=23)
+    Ax25ApplicationGateway(tb.gateway.stack, tb.gateway.radio_interface)
+    term = TerminalStation(tb.sim, tb.channel, "KD7NM")
+    tb.sim.at(1 * SECOND, term.type_line, "connect NT7GW")
+    tb.sim.at(45 * SECOND, term.type_line, "T not-an-ip")
+    tb.sim.run(until=120 * SECOND)
+    assert "bad address" in term.screen_text()
+
+
+def test_app_gateway_mail_without_relay(sim):
+    tb = build_gateway_testbed(seed=24)
+    Ax25ApplicationGateway(tb.gateway.stack, tb.gateway.radio_interface,
+                           mail_relay=None)
+    term = TerminalStation(tb.sim, tb.channel, "KD7NM")
+    for t, line in [(1, "connect NT7GW"), (45, "M a@b c@d"),
+                    (80, "body"), (100, "/EX")]:
+        tb.sim.at(t * SECOND, term.type_line, line)
+    tb.sim.run(until=200 * SECOND)
+    assert "no mail relay configured" in term.screen_text()
+
+
+def test_app_gateway_mail_submission(sim):
+    tb = build_gateway_testbed(seed=25)
+    smtp = SmtpServer(tb.ether_host)
+    Ax25ApplicationGateway(tb.gateway.stack, tb.gateway.radio_interface,
+                           mail_relay="128.95.1.2")
+    term = TerminalStation(tb.sim, tb.channel, "KD7NM")
+    for t, line in [(1, "connect NT7GW"), (45, "M kd7nm@radio cliff@wally"),
+                    (80, "packet mail works"), (100, "/EX")]:
+        tb.sim.at(t * SECOND, term.type_line, line)
+    tb.sim.run(until=400 * SECOND)
+    assert "mail sent" in term.screen_text()
+    assert smtp.mailbox.inbox("cliff")[0].body == "packet mail works"
+
+
+# ----------------------------------------------------------------------
+# distributed callbook
+# ----------------------------------------------------------------------
+
+def test_call_area_extraction():
+    assert call_area("N7AKR") == 7
+    assert call_area("K3MC-5") == 3
+    assert call_area("W1GOH") == 1
+    assert call_area("N0CALL") == 0
+    assert call_area("XYZ") is None
+
+
+def test_callbook_record_round_trip():
+    record = CallbookRecord("N7AKR", "Cliff Neuman", "Seattle WA", 245)
+    decoded = CallbookRecord.decode(record.encode())
+    assert decoded == record
+    plain = CallbookRecord("K3MC", "Mike", "Pittsburgh")
+    assert CallbookRecord.decode(plain.encode()).bearing_degrees is None
+
+
+def callbook_net(sim):
+    lan = EthernetLan(sim)
+    client_host = make_ethernet_host(sim, lan, "pc", "128.95.1.1", mac_index=1)
+    server7 = make_ethernet_host(sim, lan, "area7", "128.95.1.7", mac_index=7)
+    server3 = make_ethernet_host(sim, lan, "area3", "128.95.1.3", mac_index=3)
+    cb7 = CallbookServer(server7, area=7)
+    cb3 = CallbookServer(server3, area=3)
+    cb7.add(CallbookRecord("N7AKR", "Cliff", "Seattle WA"))
+    cb3.add(CallbookRecord("K3MC", "Mike", "Pittsburgh PA"))
+    directory = CallbookDirectory()
+    directory.register(7, "128.95.1.7")
+    directory.register(3, "128.95.1.3")
+    return client_host, directory, cb7, cb3
+
+
+def test_callbook_routes_query_by_area(sim):
+    client_host, directory, cb7, cb3 = callbook_net(sim)
+    client = CallbookClient(client_host, directory)
+    results = {}
+    client.lookup("N7AKR", lambda r: results.__setitem__("N7AKR", r))
+    client.lookup("K3MC", lambda r: results.__setitem__("K3MC", r))
+    sim.run(until=10 * SECOND)
+    assert results["N7AKR"].city == "Seattle WA"
+    assert results["K3MC"].city == "Pittsburgh PA"
+    assert cb7.queries_answered == 1 and cb3.queries_answered == 1
+
+
+def test_callbook_notfound(sim):
+    client_host, directory, _cb7, _cb3 = callbook_net(sim)
+    client = CallbookClient(client_host, directory)
+    results = []
+    client.lookup("W7ZZZ", results.append)
+    sim.run(until=10 * SECOND)
+    assert results == [None]
+
+
+def test_callbook_no_server_for_area(sim):
+    client_host, directory, _cb7, _cb3 = callbook_net(sim)
+    client = CallbookClient(client_host, directory)
+    results = []
+    assert not client.lookup("W9XYZ", results.append)
+    assert results == [None]
+
+
+def test_callbook_retries_then_gives_up(sim):
+    client_host, directory, _cb7, _cb3 = callbook_net(sim)
+    directory.register(5, "128.95.1.99")   # nobody there
+    client = CallbookClient(client_host, directory)
+    results = []
+    client.lookup("W5OOO", results.append)
+    sim.run(until=60 * SECOND)
+    assert results == [None]
+
+
+def test_bbs_read_while_composing_is_body_text(sim, streams):
+    """Lines typed during message entry are body, not commands."""
+    channel = RadioChannel(sim, streams)
+    bbs = BulletinBoard(sim, channel, "W0RLI")
+    term = TerminalStation(sim, channel, "KD7NM")
+    run_script(sim, term, [
+        (1, "connect W0RLI"),
+        (40, "S N7AKR"),
+        (70, "L"),              # looks like a command; must be body text
+        (90, "B"),              # same
+        (110, "/EX"),
+    ], until=220)
+    assert bbs.messages
+    assert bbs.messages[0].body == "L\nB"
+
+
+def test_bbs_refuses_nothing_but_tracks_sessions(sim, streams):
+    channel = RadioChannel(sim, streams)
+    bbs = BulletinBoard(sim, channel, "W0RLI")
+    alice = TerminalStation(sim, channel, "KA7AAA")
+    bob = TerminalStation(sim, channel, "KB7BBB")
+    sim.at(1 * SECOND, alice.type_line, "connect W0RLI")
+    sim.at(90 * SECOND, bob.type_line, "connect W0RLI")
+    sim.run(until=240 * SECOND)
+    assert "[W0RLI BBS]" in alice.screen_text()
+    assert "[W0RLI BBS]" in bob.screen_text()
+    assert len(bbs._sessions) == 2

@@ -1,0 +1,148 @@
+"""Tests for AX.25 frame encoding and decoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ax25.address import AX25Address, AX25Path
+from repro.ax25.defs import PID_ARPA_IP, PID_NO_L3, FrameType
+from repro.ax25.frames import AX25Frame, FrameError
+
+DEST = AX25Address("KB7DZ")
+SRC = AX25Address("N7AKR", 2)
+
+
+def test_ui_round_trip():
+    frame = AX25Frame.ui(DEST, SRC, PID_ARPA_IP, b"payload")
+    decoded = AX25Frame.decode(frame.encode())
+    assert decoded.frame_type is FrameType.UI
+    assert decoded.pid == PID_ARPA_IP
+    assert decoded.info == b"payload"
+    assert decoded.destination.matches(DEST)
+    assert decoded.source.matches(SRC)
+
+
+def test_i_frame_round_trip():
+    frame = AX25Frame.i_frame(DEST, SRC, ns=3, nr=5, info=b"data", poll=True)
+    decoded = AX25Frame.decode(frame.encode())
+    assert decoded.frame_type is FrameType.I
+    assert decoded.ns == 3 and decoded.nr == 5
+    assert decoded.poll_final
+    assert decoded.info == b"data"
+
+
+def test_i_frame_sequence_numbers_wrap_mod8():
+    frame = AX25Frame.i_frame(DEST, SRC, ns=9, nr=10, info=b"")
+    assert frame.ns == 1 and frame.nr == 2
+
+
+@pytest.mark.parametrize("frame_type", [FrameType.RR, FrameType.RNR, FrameType.REJ])
+def test_supervisory_round_trip(frame_type):
+    frame = AX25Frame.supervisory(frame_type, DEST, SRC, nr=6, poll_final=True,
+                                  command=False)
+    decoded = AX25Frame.decode(frame.encode())
+    assert decoded.frame_type is frame_type
+    assert decoded.nr == 6
+    assert decoded.poll_final
+    assert not decoded.command
+
+
+def test_supervisory_rejects_non_supervisory_type():
+    with pytest.raises(FrameError):
+        AX25Frame.supervisory(FrameType.SABM, DEST, SRC, nr=0)
+
+
+@pytest.mark.parametrize("frame_type", [FrameType.SABM, FrameType.DISC,
+                                        FrameType.DM, FrameType.UA,
+                                        FrameType.FRMR])
+def test_unnumbered_round_trip(frame_type):
+    frame = AX25Frame.unnumbered(frame_type, DEST, SRC, poll_final=True)
+    decoded = AX25Frame.decode(frame.encode())
+    assert decoded.frame_type is frame_type
+    assert decoded.poll_final
+
+
+def test_unnumbered_rejects_ui():
+    with pytest.raises(FrameError):
+        AX25Frame.unnumbered(FrameType.UI, DEST, SRC)
+
+
+def test_unnumbered_rejects_i():
+    with pytest.raises(FrameError):
+        AX25Frame.unnumbered(FrameType.I, DEST, SRC)
+
+
+def test_frmr_carries_status_info():
+    frame = AX25Frame.unnumbered(FrameType.FRMR, DEST, SRC, info=b"\x01\x02\x03")
+    decoded = AX25Frame.decode(frame.encode())
+    assert decoded.info == b"\x01\x02\x03"
+
+
+def test_frame_with_digipeater_path():
+    path = AX25Path.of("D1", "D2")
+    frame = AX25Frame.ui(DEST, SRC, PID_NO_L3, b"x", path)
+    decoded = AX25Frame.decode(frame.encode())
+    assert [str(h) for h in decoded.path] == ["D1", "D2"]
+
+
+def test_digipeated_by_sets_h_bit_and_link_destination():
+    path = AX25Path.of("D1", "D2")
+    frame = AX25Frame.ui(DEST, SRC, PID_NO_L3, b"x", path)
+    assert frame.link_destination.matches(AX25Address("D1"))
+    relayed = frame.digipeated_by(AX25Address("D1"))
+    assert relayed.link_destination.matches(AX25Address("D2"))
+    relayed = relayed.digipeated_by(AX25Address("D2"))
+    assert relayed.link_destination.matches(DEST)
+    # survives a wire round trip
+    decoded = AX25Frame.decode(relayed.encode())
+    assert decoded.path.fully_repeated
+
+
+def test_decode_rejects_truncated_frames():
+    frame = AX25Frame.ui(DEST, SRC, PID_ARPA_IP, b"payload").encode()
+    with pytest.raises(FrameError):
+        AX25Frame.decode(frame[:13])   # inside address field
+    with pytest.raises(FrameError):
+        AX25Frame.decode(frame[:14])   # no control byte
+
+
+def test_decode_rejects_unknown_control():
+    base = AX25Frame.ui(DEST, SRC, PID_ARPA_IP, b"").encode()
+    corrupted = base[:14] + bytes([0xEF])  # U-frame bits with bogus type
+    with pytest.raises(FrameError):
+        AX25Frame.decode(corrupted)
+
+
+def test_ui_without_pid_rejected():
+    base = AX25Frame.ui(DEST, SRC, PID_ARPA_IP, b"").encode()
+    with pytest.raises(FrameError):
+        AX25Frame.decode(base[:15])  # control byte present, PID missing
+
+
+def test_command_response_bits_round_trip():
+    command = AX25Frame.ui(DEST, SRC, PID_NO_L3, b"")
+    assert AX25Frame.decode(command.encode()).command
+    response = AX25Frame.supervisory(FrameType.RR, DEST, SRC, nr=0, command=False)
+    assert not AX25Frame.decode(response.encode()).command
+
+
+def test_str_is_informative():
+    text = str(AX25Frame.ui(DEST, SRC, PID_ARPA_IP, b"xy", AX25Path.of("D1")))
+    assert "N7AKR-2>KB7DZ" in text and "via D1" in text and "UI" in text
+
+
+@given(st.binary(max_size=300), st.integers(min_value=0, max_value=255))
+def test_ui_round_trip_property(payload, pid):
+    frame = AX25Frame.ui(DEST, SRC, pid, payload)
+    decoded = AX25Frame.decode(frame.encode())
+    assert decoded.info == payload
+    assert decoded.pid == pid
+
+
+@given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7),
+       st.binary(max_size=64), st.booleans())
+def test_i_frame_round_trip_property(ns, nr, info, poll):
+    frame = AX25Frame.i_frame(DEST, SRC, ns=ns, nr=nr, info=info, poll=poll)
+    decoded = AX25Frame.decode(frame.encode())
+    assert (decoded.ns, decoded.nr, decoded.info, decoded.poll_final) == (ns, nr, info, poll)

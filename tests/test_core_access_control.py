@@ -1,0 +1,155 @@
+"""Tests for the §4.3 access-control table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.access_control import AccessControlTable
+from repro.inet import icmp
+from repro.inet.ip import IPv4Address, IPv4Datagram, PROTO_TCP
+from repro.netif.ifnet import NetworkInterface
+from repro.sim.clock import SECOND
+
+AMATEUR = IPv4Address.parse("44.24.0.5")
+OUTSIDE = IPv4Address.parse("128.95.1.2")
+OTHER_OUTSIDE = IPv4Address.parse("128.95.1.9")
+
+
+@pytest.fixture
+def setup(sim):
+    radio_if = NetworkInterface(sim, "pr0", mtu=256)
+    radio_if.address = IPv4Address.parse("44.24.0.28")
+    ether_if = NetworkInterface(sim, "qe0", mtu=1500)
+    ether_if.address = IPv4Address.parse("128.95.1.1")
+    table = AccessControlTable(sim, radio_if, entry_ttl=300 * SECOND)
+    return table, radio_if, ether_if
+
+
+def datagram(source, destination):
+    return IPv4Datagram(source=IPv4Address.coerce(source),
+                        destination=IPv4Address.coerce(destination),
+                        protocol=PROTO_TCP, payload=b"x")
+
+
+def test_table_starts_empty_outside_blocked(setup):
+    table, _radio, ether = setup
+    assert not table.filter(datagram(OUTSIDE, AMATEUR), ether)
+    assert table.blocked_in == 1
+    assert table.live_entries() == 0
+
+
+def test_amateur_traffic_passes_and_authorises_reverse(setup):
+    table, radio, ether = setup
+    assert table.filter(datagram(AMATEUR, OUTSIDE), radio)
+    assert table.live_entries() == 1
+    assert table.filter(datagram(OUTSIDE, AMATEUR), ether)
+    assert table.allowed_in == 1
+
+
+def test_authorisation_is_per_pair(setup):
+    table, radio, ether = setup
+    table.filter(datagram(AMATEUR, OUTSIDE), radio)
+    # a different outside host is still blocked
+    assert not table.filter(datagram(OTHER_OUTSIDE, AMATEUR), ether)
+    # the authorised host cannot reach a different amateur
+    assert not table.filter(datagram(OUTSIDE, "44.24.0.9"), ether)
+
+
+def test_entries_expire_without_amateur_refreshes(sim, setup):
+    table, radio, ether = setup
+    table.filter(datagram(AMATEUR, OUTSIDE), radio)
+    sim.run(until=301 * SECOND)
+    assert not table.filter(datagram(OUTSIDE, AMATEUR), ether)
+    assert table.entries_expired == 1
+
+
+def test_amateur_traffic_refreshes_ttl(sim, setup):
+    table, radio, ether = setup
+    table.filter(datagram(AMATEUR, OUTSIDE), radio)
+    sim.run(until=200 * SECOND)
+    table.filter(datagram(AMATEUR, OUTSIDE), radio)   # refresh
+    sim.run(until=400 * SECOND)                        # old TTL would have lapsed
+    assert table.filter(datagram(OUTSIDE, AMATEUR), ether)
+
+
+def test_icmp_revoke_from_amateur_side(sim, setup):
+    table, radio, ether = setup
+    table.filter(datagram(AMATEUR, OUTSIDE), radio)
+    request = icmp.AccessControlRequest(amateur=AMATEUR, outside=OUTSIDE)
+    message = icmp.IcmpMessage.decode(
+        icmp.access_control_message(icmp.AC_REVOKE, request).encode()
+    )
+    table.handle_icmp(message, AMATEUR)   # control op kills the link
+    assert not table.filter(datagram(OUTSIDE, AMATEUR), ether)
+    assert table.entries_revoked == 1
+
+
+def test_icmp_authorize_from_amateur_side_with_ttl(sim, setup):
+    table, _radio, ether = setup
+    request = icmp.AccessControlRequest(amateur=AMATEUR, outside=OUTSIDE,
+                                        ttl_seconds=60)
+    message = icmp.IcmpMessage.decode(
+        icmp.access_control_message(icmp.AC_AUTHORIZE, request).encode()
+    )
+    table.handle_icmp(message, AMATEUR)
+    assert table.filter(datagram(OUTSIDE, AMATEUR), ether)
+    sim.run(until=61 * SECOND)
+    assert not table.filter(datagram(OUTSIDE, AMATEUR), ether)
+
+
+def test_icmp_from_outside_requires_operator_credentials(sim, setup):
+    table, _radio, ether = setup
+    request = icmp.AccessControlRequest(amateur=AMATEUR, outside=OUTSIDE,
+                                        ttl_seconds=60, callsign="N7AKR",
+                                        password="wrong")
+    message = icmp.IcmpMessage.decode(
+        icmp.access_control_message(icmp.AC_AUTHORIZE, request).encode()
+    )
+    table.handle_icmp(message, OUTSIDE)
+    assert table.auth_failures == 1
+    assert not table.filter(datagram(OUTSIDE, AMATEUR), ether)
+
+    table.add_operator("N7AKR", "secret")
+    good = icmp.AccessControlRequest(amateur=AMATEUR, outside=OUTSIDE,
+                                     ttl_seconds=60, callsign="N7AKR",
+                                     password="secret")
+    message = icmp.IcmpMessage.decode(
+        icmp.access_control_message(icmp.AC_AUTHORIZE, good).encode()
+    )
+    table.handle_icmp(message, OUTSIDE)
+    assert table.filter(datagram(OUTSIDE, AMATEUR), ether)
+
+
+def test_icmp_revoke_from_outside_needs_credentials(sim, setup):
+    table, radio, ether = setup
+    table.add_operator("N7AKR", "secret")
+    table.filter(datagram(AMATEUR, OUTSIDE), radio)
+    bad = icmp.AccessControlRequest(amateur=AMATEUR, outside=OUTSIDE)
+    message = icmp.IcmpMessage.decode(
+        icmp.access_control_message(icmp.AC_REVOKE, bad).encode()
+    )
+    table.handle_icmp(message, OUTSIDE)
+    assert table.filter(datagram(OUTSIDE, AMATEUR), ether)  # still allowed
+    good = icmp.AccessControlRequest(amateur=AMATEUR, outside=OUTSIDE,
+                                     callsign="n7akr", password="secret")
+    message = icmp.IcmpMessage.decode(
+        icmp.access_control_message(icmp.AC_REVOKE, good).encode()
+    )
+    table.handle_icmp(message, OUTSIDE)
+    assert not table.filter(datagram(OUTSIDE, AMATEUR), ether)
+
+
+def test_non_access_control_icmp_ignored(setup):
+    table, _radio, _ether = setup
+    message = icmp.IcmpMessage.decode(icmp.echo_request(1, 1).encode())
+    table.handle_icmp(message, OUTSIDE)   # no crash, no effect
+    assert table.live_entries() == 0
+
+
+def test_expire_stale_sweep(sim, setup):
+    table, radio, _ether = setup
+    table.filter(datagram(AMATEUR, OUTSIDE), radio)
+    table.filter(datagram(AMATEUR, OTHER_OUTSIDE), radio)
+    sim.run(until=400 * SECOND)
+    assert table.expire_stale() == 2
+    assert table.live_entries() == 0

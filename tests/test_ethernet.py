@@ -1,0 +1,177 @@
+"""Tests for the Ethernet substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ethernet.deqna import Deqna
+from repro.ethernet.frames import (
+    BROADCAST_MAC,
+    ETHERTYPE_IP,
+    EtherFrame,
+    EtherFrameError,
+    MacAddress,
+)
+from repro.ethernet.lan import EthernetLan
+from repro.sim.clock import SECOND
+
+
+# ----------------------------------------------------------------------
+# MAC addresses and frames
+# ----------------------------------------------------------------------
+
+def test_mac_parse_and_str():
+    mac = MacAddress.parse("aa:00:04:00:12:34")
+    assert str(mac) == "aa:00:04:00:12:34"
+
+
+def test_mac_station_deterministic():
+    assert MacAddress.station(5) == MacAddress.station(5)
+    assert MacAddress.station(5) != MacAddress.station(6)
+
+
+def test_mac_validation():
+    with pytest.raises(EtherFrameError):
+        MacAddress(b"short")
+    with pytest.raises(EtherFrameError):
+        MacAddress.parse("aa:bb")
+
+
+def test_broadcast_mac():
+    assert BROADCAST_MAC.is_broadcast
+    assert not MacAddress.station(1).is_broadcast
+
+
+def test_frame_round_trip():
+    frame = EtherFrame(MacAddress.station(1), MacAddress.station(2),
+                       ETHERTYPE_IP, b"payload-bytes" * 10)
+    decoded = EtherFrame.decode(frame.encode())
+    assert decoded.destination == frame.destination
+    assert decoded.source == frame.source
+    assert decoded.ethertype == ETHERTYPE_IP
+    assert decoded.payload == frame.payload
+
+
+def test_short_payload_padded_to_minimum():
+    frame = EtherFrame(MacAddress.station(1), MacAddress.station(2),
+                       ETHERTYPE_IP, b"tiny")
+    wire = frame.encode()
+    assert len(wire) == 14 + 46
+    decoded = EtherFrame.decode(wire)
+    assert decoded.payload.startswith(b"tiny")
+
+
+def test_oversize_payload_rejected():
+    frame = EtherFrame(MacAddress.station(1), MacAddress.station(2),
+                       ETHERTYPE_IP, bytes(1501))
+    with pytest.raises(EtherFrameError):
+        frame.encode()
+
+
+def test_decode_rejects_short_frame():
+    with pytest.raises(EtherFrameError):
+        EtherFrame.decode(b"x" * 13)
+
+
+@given(st.binary(min_size=46, max_size=1500))
+def test_frame_round_trip_property(payload):
+    frame = EtherFrame(MacAddress.station(1), MacAddress.station(2), 0x0800, payload)
+    assert EtherFrame.decode(frame.encode()).payload == payload
+
+
+# ----------------------------------------------------------------------
+# LAN
+# ----------------------------------------------------------------------
+
+def test_lan_delivers_to_all_but_sender(sim):
+    lan = EthernetLan(sim)
+    got_a, got_b = [], []
+    lan.attach("A", got_a.append)
+    lan.attach("B", got_b.append)
+    lan.transmit("A", b"hello")
+    sim.run_until_idle()
+    assert got_b == [b"hello"]
+    assert got_a == []
+
+
+def test_lan_serialisation_delay(sim):
+    lan = EthernetLan(sim, bit_rate=10_000_000)
+    times = []
+    lan.attach("A", lambda _p: None)
+    lan.attach("B", lambda _p: times.append(sim.now))
+    lan.transmit("A", bytes(1250))  # 1250 bytes = 1ms at 10 Mb/s
+    sim.run_until_idle()
+    assert times == [1000 + lan.PROPAGATION]
+
+
+def test_lan_frames_queue_fifo(sim):
+    lan = EthernetLan(sim)
+    order = []
+    lan.attach("A", lambda _p: None)
+    lan.attach("B", lambda p: order.append(p))
+    lan.transmit("A", b"first")
+    lan.transmit("A", b"second")
+    sim.run_until_idle()
+    assert order == [b"first", b"second"]
+
+
+# ----------------------------------------------------------------------
+# DEQNA controller
+# ----------------------------------------------------------------------
+
+def _frame_for(dest, payload=b"p" * 46):
+    return EtherFrame(dest, MacAddress.station(9), ETHERTYPE_IP, payload)
+
+
+def test_deqna_accepts_own_and_broadcast(sim):
+    lan = EthernetLan(sim)
+    mac = MacAddress.station(1)
+    nic = Deqna(lan, mac, "nic1")
+    got = []
+    nic.on_frame = got.append
+    sender = Deqna(lan, MacAddress.station(9), "nic9")
+    sender.transmit(_frame_for(mac))
+    sender.transmit(_frame_for(BROADCAST_MAC))
+    sim.run_until_idle()
+    assert len(got) == 2
+
+
+def test_deqna_filters_other_destinations(sim):
+    lan = EthernetLan(sim)
+    nic = Deqna(lan, MacAddress.station(1), "nic1")
+    got = []
+    nic.on_frame = got.append
+    sender = Deqna(lan, MacAddress.station(9), "nic9")
+    sender.transmit(_frame_for(MacAddress.station(2)))
+    sim.run_until_idle()
+    assert got == []
+    assert nic.frames_received == 0
+
+
+def test_deqna_promiscuous_mode(sim):
+    lan = EthernetLan(sim)
+    nic = Deqna(lan, MacAddress.station(1), "nic1", promiscuous=True)
+    got = []
+    nic.on_frame = got.append
+    sender = Deqna(lan, MacAddress.station(9), "nic9")
+    sender.transmit(_frame_for(MacAddress.station(2)))
+    sim.run_until_idle()
+    assert len(got) == 1
+
+
+def test_deqna_counts_garbage(sim):
+    lan = EthernetLan(sim)
+    nic = Deqna(lan, MacAddress.station(1), "nic1")
+    lan.transmit("other", b"not-a-frame")
+    sim.run_until_idle()
+    assert nic.frames_dropped == 1
+
+
+def test_frame_wire_length_includes_padding():
+    short = EtherFrame(MacAddress.station(1), MacAddress.station(2),
+                       ETHERTYPE_IP, b"tiny")
+    assert short.wire_length == 14 + 46
+    long = EtherFrame(MacAddress.station(1), MacAddress.station(2),
+                      ETHERTYPE_IP, bytes(500))
+    assert long.wire_length == 14 + 500

@@ -1,0 +1,215 @@
+"""Tests for the generic ARP engine and both address-family flavours."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.ax25.address import AX25Address, AX25Path
+from repro.inet.arp import (
+    ARP_REPLY,
+    ARP_REQUEST,
+    ArpEntry,
+    ArpError,
+    ArpPacket,
+    ArpService,
+    HRD_AX25,
+    HRD_ETHERNET,
+)
+from repro.inet.ip import IPv4Address
+from repro.sim.clock import SECOND
+
+MY_IP = IPv4Address.parse("44.24.0.28")
+PEER_IP = IPv4Address.parse("44.24.0.5")
+MY_HW = b"\xaa\x00\x04\x00\x00\x01"
+PEER_HW = b"\xaa\x00\x04\x00\x00\x02"
+
+
+# ----------------------------------------------------------------------
+# packet format
+# ----------------------------------------------------------------------
+
+def test_packet_round_trip_ethernet():
+    packet = ArpPacket(HRD_ETHERNET, ARP_REQUEST, MY_HW, MY_IP,
+                       bytes(6), PEER_IP)
+    decoded = ArpPacket.decode(packet.encode())
+    assert decoded == packet
+
+
+def test_packet_round_trip_ax25_7byte_hw():
+    hw = AX25Address("N7AKR").encode(last=True)
+    packet = ArpPacket(HRD_AX25, ARP_REPLY, hw, MY_IP, hw, PEER_IP)
+    decoded = ArpPacket.decode(packet.encode())
+    assert decoded.sender_hw == hw
+    assert len(decoded.sender_hw) == 7
+
+
+def test_packet_survives_link_padding():
+    packet = ArpPacket(HRD_ETHERNET, ARP_REQUEST, MY_HW, MY_IP, bytes(6), PEER_IP)
+    decoded = ArpPacket.decode(packet.encode() + b"\x00" * 18)  # Ethernet pad
+    assert decoded.target_ip == PEER_IP
+
+
+def test_packet_rejects_truncation():
+    packet = ArpPacket(HRD_ETHERNET, ARP_REQUEST, MY_HW, MY_IP, bytes(6), PEER_IP)
+    with pytest.raises(ArpError):
+        ArpPacket.decode(packet.encode()[:20])
+
+
+def test_packet_rejects_mismatched_hw_lengths():
+    packet = ArpPacket(HRD_ETHERNET, ARP_REQUEST, MY_HW, MY_IP, bytes(7), PEER_IP)
+    with pytest.raises(ArpError):
+        packet.encode()
+
+
+# ----------------------------------------------------------------------
+# service harness
+# ----------------------------------------------------------------------
+
+class Harness:
+    def __init__(self, sim, hardware_type=HRD_ETHERNET, my_hw=MY_HW):
+        self.arp_out: List[Tuple[bytes, bool]] = []
+        self.sent: List[Tuple[bytes, bytes]] = []  # (packet, hw)
+        self.service = ArpService(
+            sim,
+            hardware_type=hardware_type,
+            my_hw=my_hw,
+            my_ip_getter=lambda: MY_IP,
+            send_arp=lambda data, bcast, entry: self.arp_out.append((data, bcast)),
+            send_resolved=lambda pkt, entry: self.sent.append((pkt, entry.hw_address)),
+        )
+
+
+def test_unresolved_destination_broadcasts_request(sim):
+    harness = Harness(sim)
+    harness.service.resolve_and_send(PEER_IP, b"ip-packet")
+    assert harness.sent == []
+    assert len(harness.arp_out) == 1
+    data, broadcast = harness.arp_out[0]
+    assert broadcast
+    request = ArpPacket.decode(data)
+    assert request.operation == ARP_REQUEST
+    assert request.target_ip == PEER_IP
+    assert request.sender_hw == MY_HW
+
+
+def test_reply_releases_queued_packets_in_order(sim):
+    harness = Harness(sim)
+    harness.service.resolve_and_send(PEER_IP, b"first")
+    harness.service.resolve_and_send(PEER_IP, b"second")
+    reply = ArpPacket(HRD_ETHERNET, ARP_REPLY, PEER_HW, PEER_IP, MY_HW, MY_IP)
+    harness.service.input(reply.encode())
+    assert harness.sent == [(b"first", PEER_HW), (b"second", PEER_HW)]
+
+
+def test_cached_entry_sends_immediately(sim):
+    harness = Harness(sim)
+    harness.service.add_static(PEER_IP, PEER_HW)
+    harness.service.resolve_and_send(PEER_IP, b"direct")
+    assert harness.sent == [(b"direct", PEER_HW)]
+    assert harness.arp_out == []
+
+
+def test_request_for_my_ip_answered(sim):
+    harness = Harness(sim)
+    request = ArpPacket(HRD_ETHERNET, ARP_REQUEST, PEER_HW, PEER_IP,
+                        bytes(6), MY_IP)
+    harness.service.input(request.encode())
+    assert len(harness.arp_out) == 1
+    reply = ArpPacket.decode(harness.arp_out[0][0])
+    assert reply.operation == ARP_REPLY
+    assert reply.sender_hw == MY_HW
+    assert reply.target_ip == PEER_IP
+    # and the requester was learned (RFC 826 optimisation)
+    assert harness.service.lookup(PEER_IP) is not None
+
+
+def test_request_for_other_ip_ignored(sim):
+    harness = Harness(sim)
+    request = ArpPacket(HRD_ETHERNET, ARP_REQUEST, PEER_HW, PEER_IP,
+                        bytes(6), IPv4Address.parse("44.24.0.99"))
+    harness.service.input(request.encode())
+    assert harness.arp_out == []
+    # not learned either: we are not the target
+    assert harness.service.lookup(PEER_IP) is None
+
+
+def test_merge_refreshes_existing_mapping_even_if_not_target(sim):
+    harness = Harness(sim)
+    # learn once via a direct request
+    request = ArpPacket(HRD_ETHERNET, ARP_REQUEST, PEER_HW, PEER_IP, bytes(6), MY_IP)
+    harness.service.input(request.encode())
+    # peer's hardware address changes; it asks about someone else
+    new_hw = b"\xaa\x00\x04\x00\x00\x99"
+    other = ArpPacket(HRD_ETHERNET, ARP_REQUEST, new_hw, PEER_IP,
+                      bytes(6), IPv4Address.parse("44.24.0.77"))
+    harness.service.input(other.encode())
+    assert harness.service.lookup(PEER_IP).hw_address == new_hw
+
+
+def test_wrong_hardware_type_ignored(sim):
+    harness = Harness(sim)
+    packet = ArpPacket(HRD_AX25, ARP_REQUEST,
+                       AX25Address("KB7DZ").encode(last=True), PEER_IP,
+                       bytes(7), MY_IP)
+    harness.service.input(packet.encode())
+    assert harness.arp_out == []
+
+
+def test_request_retries_then_gives_up(sim):
+    harness = Harness(sim)
+    harness.service.resolve_and_send(PEER_IP, b"doomed")
+    sim.run_until_idle()
+    assert len(harness.arp_out) == 3        # initial + 2 retries
+    assert harness.service.failures == 1
+    assert harness.sent == []
+
+
+def test_pending_queue_bounded(sim):
+    harness = Harness(sim)
+    for index in range(12):
+        harness.service.resolve_and_send(PEER_IP, bytes([index]))
+    assert harness.service.queued_drops == 12 - ArpService.MAX_QUEUED_PER_DEST
+
+
+def test_entry_expires_after_ttl(sim):
+    harness = Harness(sim)
+    reply = ArpPacket(HRD_ETHERNET, ARP_REPLY, PEER_HW, PEER_IP, MY_HW, MY_IP)
+    # must be asking for it to learn (or have an entry); request first
+    harness.service.resolve_and_send(PEER_IP, b"x")
+    harness.service.input(reply.encode())
+    assert harness.service.lookup(PEER_IP) is not None
+    sim.run(until=sim.now + ArpService.ENTRY_TTL + 1)
+    assert harness.service.lookup(PEER_IP) is None
+
+
+def test_static_entry_never_expires_nor_overwritten(sim):
+    harness = Harness(sim)
+    harness.service.add_static(PEER_IP, PEER_HW)
+    sim.run(until=ArpService.ENTRY_TTL * 2)
+    assert harness.service.lookup(PEER_IP).hw_address == PEER_HW
+    spoof = ArpPacket(HRD_ETHERNET, ARP_REQUEST, b"\x66" * 6, PEER_IP,
+                      bytes(6), MY_IP)
+    harness.service.input(spoof.encode())
+    assert harness.service.lookup(PEER_IP).hw_address == PEER_HW
+
+
+def test_ax25_link_hint_stored(sim):
+    harness = Harness(sim, hardware_type=HRD_AX25,
+                      my_hw=AX25Address("NT7GW").encode(last=True))
+    peer_hw = AX25Address("KB7DZ").encode(last=True)
+    harness.service.resolve_and_send(PEER_IP, b"x")
+    reply = ArpPacket(HRD_AX25, ARP_REPLY, peer_hw, PEER_IP,
+                      harness.service.my_hw, MY_IP)
+    path = AX25Path.of("K3MC-7")
+    harness.service.input(reply.encode(), link_hint=path)
+    entry = harness.service.lookup(PEER_IP)
+    assert entry.link_hint == path
+
+
+def test_garbage_input_ignored(sim):
+    harness = Harness(sim)
+    harness.service.input(b"\x00\x01garbage")
+    harness.service.input(b"")
+    assert harness.arp_out == []

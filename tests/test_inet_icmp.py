@@ -1,0 +1,124 @@
+"""Tests for ICMP messages, including the §4.3 access-control extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.inet import icmp
+from repro.inet.ip import IPv4Address, IPv4Datagram, PROTO_TCP
+
+
+SRC = IPv4Address.parse("128.95.1.2")
+DST = IPv4Address.parse("44.24.0.5")
+
+
+def sample_datagram():
+    return IPv4Datagram(source=SRC, destination=DST, protocol=PROTO_TCP,
+                        payload=bytes(range(32)), identification=7)
+
+
+def test_echo_round_trip():
+    message = icmp.echo_request(ident=9, sequence=3, payload=b"abc")
+    decoded = icmp.IcmpMessage.decode(message.encode())
+    assert decoded.icmp_type == icmp.ICMP_ECHO_REQUEST
+    assert icmp.echo_fields(decoded) == (9, 3)
+    assert decoded.body == b"abc"
+
+
+def test_echo_reply_mirrors_request():
+    request = icmp.echo_request(5, 1, b"data")
+    reply = icmp.echo_reply(request)
+    assert reply.icmp_type == icmp.ICMP_ECHO_REPLY
+    assert reply.rest == request.rest
+    assert reply.body == request.body
+
+
+def test_checksum_verified_on_decode():
+    wire = bytearray(icmp.echo_request(1, 1).encode())
+    wire[-1] ^= 0x01 if len(wire) > 8 else 0
+    wire[0] ^= 0x08
+    with pytest.raises(icmp.IcmpError):
+        icmp.IcmpMessage.decode(bytes(wire))
+
+
+def test_short_message_rejected():
+    with pytest.raises(icmp.IcmpError):
+        icmp.IcmpMessage.decode(b"\x08\x00\x00")
+
+
+def test_unreachable_quotes_original_header():
+    original = sample_datagram()
+    message = icmp.unreachable(icmp.UNREACH_HOST, original)
+    decoded = icmp.IcmpMessage.decode(message.encode())
+    assert decoded.code == icmp.UNREACH_HOST
+    assert len(decoded.body) == 28  # header + 8 payload bytes
+    assert icmp.quoted_destination(decoded) == DST
+
+
+def test_time_exceeded_quoting():
+    message = icmp.time_exceeded(sample_datagram())
+    decoded = icmp.IcmpMessage.decode(message.encode())
+    assert decoded.icmp_type == icmp.ICMP_TIME_EXCEEDED
+    assert icmp.quoted_destination(decoded) == DST
+
+
+def test_redirect_carries_gateway_and_target():
+    gateway = IPv4Address.parse("192.12.33.20")
+    message = icmp.redirect(gateway, sample_datagram())
+    decoded = icmp.IcmpMessage.decode(message.encode())
+    assert icmp.redirect_gateway(decoded) == gateway
+    assert icmp.quoted_destination(decoded) == DST
+
+
+def test_quoted_destination_of_short_body_is_none():
+    message = icmp.IcmpMessage(icmp.ICMP_UNREACHABLE, 0, b"\x00" * 4, b"tiny")
+    assert icmp.quoted_destination(message) is None
+
+
+# ----------------------------------------------------------------------
+# access-control extension
+# ----------------------------------------------------------------------
+
+def test_access_control_request_round_trip():
+    request = icmp.AccessControlRequest(
+        amateur=DST, outside=SRC, ttl_seconds=600,
+        callsign="N7AKR", password="secret",
+    )
+    decoded = icmp.AccessControlRequest.decode(request.encode())
+    assert decoded == request
+
+
+def test_access_control_empty_credentials():
+    request = icmp.AccessControlRequest(amateur=DST, outside=SRC)
+    decoded = icmp.AccessControlRequest.decode(request.encode())
+    assert decoded.callsign == "" and decoded.password == ""
+    assert decoded.ttl_seconds == 0
+
+
+def test_access_control_message_wrapping():
+    request = icmp.AccessControlRequest(amateur=DST, outside=SRC, ttl_seconds=60)
+    message = icmp.access_control_message(icmp.AC_REVOKE, request)
+    decoded = icmp.IcmpMessage.decode(message.encode())
+    assert decoded.icmp_type == icmp.ICMP_ACCESS_CONTROL
+    assert decoded.code == icmp.AC_REVOKE
+    assert icmp.AccessControlRequest.decode(decoded.body) == request
+
+
+def test_access_control_truncated_rejected():
+    with pytest.raises(icmp.IcmpError):
+        icmp.AccessControlRequest.decode(b"\x01\x02\x03")
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.text(alphabet="ABCDEFG0123456789", max_size=10),
+       st.text(alphabet="abcdefg-", max_size=20))
+def test_access_control_property_round_trip(ttl, callsign, password):
+    request = icmp.AccessControlRequest(
+        amateur=DST, outside=SRC, ttl_seconds=ttl,
+        callsign=callsign, password=password,
+    )
+    decoded = icmp.AccessControlRequest.decode(request.encode())
+    assert decoded.ttl_seconds == ttl
+    assert decoded.callsign == callsign
+    assert decoded.password == password

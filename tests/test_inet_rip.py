@@ -1,0 +1,191 @@
+"""Tests for RIP v1 (`routed`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ping import Pinger
+from repro.core.hosts import make_ethernet_host, make_gateway
+from repro.core.topology import build_two_coast_internet
+from repro.ethernet.lan import EthernetLan
+from repro.inet.ip import IPv4Address
+from repro.inet.rip import (
+    INFINITY,
+    RIP_REQUEST,
+    RIP_RESPONSE,
+    ROUTE_TIMEOUT,
+    RipDaemon,
+    RipEntry,
+    RipError,
+    RipPacket,
+)
+from repro.radio.channel import RadioChannel
+from repro.sim.clock import SECOND
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+
+def test_packet_round_trip():
+    packet = RipPacket(RIP_RESPONSE, (
+        RipEntry(IPv4Address.parse("44.0.0.0"), 1),
+        RipEntry(IPv4Address.parse("128.95.0.0"), 2),
+    ))
+    decoded = RipPacket.decode(packet.encode())
+    assert decoded == packet
+
+
+def test_packet_rejects_bad_version():
+    data = bytearray(RipPacket(RIP_RESPONSE, ()).encode())
+    data[1] = 2
+    with pytest.raises(RipError):
+        RipPacket.decode(bytes(data))
+
+
+def test_entry_rejects_other_families():
+    data = bytearray(RipEntry(IPv4Address.parse("44.0.0.0"), 1).encode())
+    data[1] = 3  # not AF_INET
+    with pytest.raises(RipError):
+        RipEntry.decode(bytes(data))
+
+
+def test_request_round_trip():
+    packet = RipPacket(RIP_REQUEST, (RipEntry(IPv4Address(0), INFINITY),))
+    decoded = RipPacket.decode(packet.encode())
+    assert decoded.command == RIP_REQUEST
+    assert decoded.entries[0].metric == INFINITY
+
+
+# ----------------------------------------------------------------------
+# a campus: two LANs joined by a router, everything running routed
+# ----------------------------------------------------------------------
+
+def campus(sim, streams):
+    lan_a = EthernetLan(sim, name="lan-a")
+    lan_b = EthernetLan(sim, name="lan-b")
+    # the router has a leg on each LAN; model it as a gateway with two
+    # ethernet interfaces
+    from repro.ethernet.deqna import Deqna
+    from repro.ethernet.frames import MacAddress
+    from repro.inet.ether_if import EthernetInterface
+    from repro.inet.netstack import NetStack
+
+    router = NetStack(sim, "router")
+    router.ip_forwarding = True
+    if_a = EthernetInterface(sim, Deqna(lan_a, MacAddress.station(1), "r.a"), "qe0")
+    if_b = EthernetInterface(sim, Deqna(lan_b, MacAddress.station(2), "r.b"), "qe1")
+    router.attach_interface(if_a, "128.95.1.1")
+    router.attach_interface(if_b, "192.12.33.1")
+
+    host_a = make_ethernet_host(sim, lan_a, "host-a", "128.95.1.10", mac_index=10)
+    host_b = make_ethernet_host(sim, lan_b, "host-b", "192.12.33.10", mac_index=11)
+    return router, host_a, host_b
+
+
+def test_rip_converges_across_a_router(sim, streams):
+    router, host_a, host_b = campus(sim, streams)
+    RipDaemon(router)
+    daemon_a = RipDaemon(host_a)
+    daemon_b = RipDaemon(host_b)
+    sim.run(until=90 * SECOND)
+    # host A learned B's network via the router, and vice versa
+    route = host_a.routes.lookup("192.12.33.10")
+    assert route is not None
+    assert str(route.gateway) == "128.95.1.1"
+    assert daemon_a.route_count() >= 1
+    pinger = Pinger(host_a)
+    pinger.send("192.12.33.10", count=1)
+    sim.run(until=sim.now + 10 * SECOND)
+    assert pinger.received == 1
+
+
+def test_rip_request_gets_fast_response(sim, streams):
+    router, host_a, _host_b = campus(sim, streams)
+    RipDaemon(router)
+    daemon = RipDaemon(host_a)   # sends a request immediately
+    sim.run(until=5 * SECOND)    # well before the first periodic update
+    assert daemon.route_count() >= 1
+
+
+def test_rip_routes_expire_when_updates_stop(sim, streams):
+    router, host_a, _host_b = campus(sim, streams)
+    router_daemon = RipDaemon(router)
+    daemon = RipDaemon(host_a)
+    sim.run(until=60 * SECOND)
+    assert daemon.route_count() >= 1
+    # the router dies: silence its updates
+    for event_label in ():
+        pass
+    router_daemon._update_tick = lambda: None  # stop rebroadcasting
+    # (the already-scheduled tick will call the replaced no-op)
+    sim.run(until=sim.now + ROUTE_TIMEOUT + 60 * SECOND)
+    assert daemon.route_count() == 0
+    assert daemon.routes_expired >= 1
+
+
+def test_rip_prefers_lower_metric(sim, streams):
+    router, host_a, _host_b = campus(sim, streams)
+    RipDaemon(router)
+    daemon = RipDaemon(host_a)
+    sim.run(until=60 * SECOND)
+    # inject a worse route to the same network from a fake neighbour
+    from repro.inet.udp import UdpDatagram
+    worse = RipPacket(RIP_RESPONSE, (
+        RipEntry(IPv4Address.parse("192.12.33.0"), 5),
+    ))
+    udp = UdpDatagram(520, 520, worse.encode())
+    daemon._input(udp, IPv4Address.parse("128.95.1.77"))
+    route = host_a.routes.lookup("192.12.33.10")
+    assert str(route.gateway) == "128.95.1.1"   # metric 2 beats metric 6
+
+
+def test_rip_infinity_withdraws_route(sim, streams):
+    router, host_a, _host_b = campus(sim, streams)
+    RipDaemon(router)
+    daemon = RipDaemon(host_a)
+    sim.run(until=60 * SECOND)
+    assert daemon.route_count() >= 1
+    from repro.inet.udp import UdpDatagram
+    poison = RipPacket(RIP_RESPONSE, (
+        RipEntry(IPv4Address.parse("192.12.33.0"), INFINITY),
+    ))
+    udp = UdpDatagram(520, 520, poison.encode())
+    daemon._input(udp, IPv4Address.parse("128.95.1.1"))
+    assert daemon.route_count() == 0
+
+
+def test_rip_never_replaces_connected_network(sim, streams):
+    router, host_a, _host_b = campus(sim, streams)
+    daemon = RipDaemon(host_a)
+    from repro.inet.udp import UdpDatagram
+    lie = RipPacket(RIP_RESPONSE, (
+        RipEntry(IPv4Address.parse("128.95.0.0"), 1),
+    ))
+    udp = UdpDatagram(520, 520, lie.encode())
+    daemon._input(udp, IPv4Address.parse("128.95.1.66"))
+    route = host_a.routes.lookup("128.95.1.99")
+    assert route.gateway is None   # still directly connected
+
+
+def test_rip_cannot_split_a_classful_network(sim, streams):
+    """The §4.2 lesson, demonstrated with the era's own routing protocol.
+
+    Both coast gateways legitimately advertise net 44 at metric 1.  A
+    classful protocol cannot say "44.24 goes west, 44.56 goes east" --
+    the internet host ends up with ONE route for all of net 44, which is
+    precisely why the paper says "no mechanism is in place".
+    """
+    tb = build_two_coast_internet(seed=55)
+    # wipe the static route and let routed figure it out
+    tb.internet_host.routes.delete_network_route("44.0.0.0")
+    RipDaemon(tb.west_gateway.stack, interfaces=[tb.west_gateway.ether])
+    RipDaemon(tb.east_gateway.stack, interfaces=[tb.east_gateway.ether])
+    daemon = RipDaemon(tb.internet_host)
+    tb.sim.run(until=120 * SECOND)
+    route = tb.internet_host.routes.lookup("44.24.0.5")
+    route_east = tb.internet_host.routes.lookup("44.56.0.5")
+    assert route is not None and route_east is not None
+    # one classful route: the SAME gateway serves both coasts
+    assert str(route.gateway) == str(route_east.gateway)
+    assert daemon.route_count() == 1

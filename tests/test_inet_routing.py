@@ -1,0 +1,91 @@
+"""Tests for the classful routing table."""
+
+from __future__ import annotations
+
+from repro.inet.routing import RoutingTable
+from repro.netif.ifnet import NetworkInterface
+
+
+def iface(sim, name):
+    return NetworkInterface(sim, name, mtu=1500)
+
+
+def test_host_route_beats_network_route(sim):
+    table = RoutingTable()
+    net_if, host_if = iface(sim, "net0"), iface(sim, "host0")
+    table.add_network_route("44.0.0.0", net_if)
+    table.add_host_route("44.56.0.5", host_if, gateway="192.12.33.20")
+    route = table.lookup("44.56.0.5")
+    assert route.interface is host_if
+    assert str(route.gateway) == "192.12.33.20"
+    assert table.lookup("44.24.0.5").interface is net_if
+
+
+def test_network_route_uses_classful_network(sim):
+    table = RoutingTable()
+    net_if = iface(sim, "net0")
+    table.add_network_route("44.24.0.28", net_if)  # host bits ignored
+    assert table.lookup("44.99.1.2").interface is net_if
+
+
+def test_class_b_and_c_networks_distinct(sim):
+    table = RoutingTable()
+    b_if, c_if = iface(sim, "b0"), iface(sim, "c0")
+    table.add_network_route("128.95.0.0", b_if)
+    table.add_network_route("192.12.33.0", c_if)
+    assert table.lookup("128.95.200.1").interface is b_if
+    assert table.lookup("192.12.33.9").interface is c_if
+    assert table.lookup("192.12.34.9") is None
+
+
+def test_default_route_last_resort(sim):
+    table = RoutingTable()
+    net_if, default_if = iface(sim, "net0"), iface(sim, "def0")
+    table.add_network_route("44.0.0.0", net_if)
+    table.set_default(default_if, gateway="128.95.1.1")
+    assert table.lookup("44.1.2.3").interface is net_if
+    route = table.lookup("10.99.99.99")
+    assert route.interface is default_if
+    assert str(route.gateway) == "128.95.1.1"
+
+
+def test_no_route_returns_none_and_counts_miss(sim):
+    table = RoutingTable()
+    assert table.lookup("1.2.3.4") is None
+    assert table.misses == 1
+
+
+def test_delete_routes(sim):
+    table = RoutingTable()
+    net_if = iface(sim, "net0")
+    table.add_network_route("44.0.0.0", net_if)
+    table.add_host_route("44.24.0.5", net_if)
+    assert table.delete_host_route("44.24.0.5")
+    assert not table.delete_host_route("44.24.0.5")
+    assert table.delete_network_route("44.1.1.1")  # classful normalisation
+    assert table.lookup("44.24.0.5") is None
+
+
+def test_route_use_counting(sim):
+    table = RoutingTable()
+    net_if = iface(sim, "net0")
+    route = table.add_network_route("44.0.0.0", net_if)
+    table.lookup("44.1.1.1")
+    table.lookup("44.2.2.2")
+    assert route.uses == 2
+
+
+def test_render_lists_routes(sim):
+    table = RoutingTable()
+    net_if = iface(sim, "qe0")
+    table.add_network_route("44.0.0.0", net_if, gateway="128.95.1.1")
+    text = table.render()
+    assert "44.0.0.0" in text and "qe0" in text and "128.95.1.1" in text
+
+
+def test_replacing_route_overwrites(sim):
+    table = RoutingTable()
+    old_if, new_if = iface(sim, "old0"), iface(sim, "new0")
+    table.add_network_route("44.0.0.0", old_if)
+    table.add_network_route("44.0.0.0", new_if)
+    assert table.lookup("44.1.1.1").interface is new_if

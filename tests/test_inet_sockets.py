@@ -1,0 +1,97 @@
+"""Tests for the socket wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.sim.clock import MS, SECOND
+
+from tests.test_inet_tcp import TcpHarness, B_IP
+
+
+@pytest.fixture
+def net(sim):
+    return TcpHarness(sim)
+
+
+def server_with(net, port, handler):
+    return TcpServerSocket(net.b, port, handler)
+
+
+def test_read_line_splits_on_lf_and_strips_cr(sim, net):
+    lines = []
+    def on_accept(sock):
+        def pump(_d):
+            while True:
+                line = sock.read_line()
+                if line is None:
+                    return
+                lines.append(line)
+        sock.on_data = pump
+    server_with(net, 7, on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    client.send(b"first\r\nsecond\nthird-incomplete")
+    sim.run(until=2 * SECOND)
+    assert lines == ["first", "second"]
+
+
+def test_read_line_returns_none_when_no_newline(sim, net):
+    sock = TcpSocket.connect(net.a, B_IP, 7)
+    sock.recv_buffer += b"partial"
+    assert sock.read_line() is None
+    sock.recv_buffer += b" line\n"
+    assert sock.read_line() == "partial line"
+
+
+def test_recv_with_max_bytes(sim):
+    harness = TcpHarness(sim)
+    sock = TcpSocket.connect(harness.a, B_IP, 99)
+    sock.recv_buffer += b"abcdef"
+    assert sock.recv(2) == b"ab"
+    assert sock.recv() == b"cdef"
+    assert sock.recv() == b""
+
+
+def test_send_line_appends_crlf(sim, net):
+    got = []
+    def on_accept(sock):
+        sock.on_data = got.append
+    server_with(net, 7, on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    client.send_line("HELO there")
+    sim.run(until=2 * SECOND)
+    assert b"".join(got) == b"HELO there\r\n"
+
+
+def test_close_callback_carries_reason(sim, net):
+    reasons = []
+    def on_accept(sock):
+        sock.on_close = lambda r: reasons.append(r)
+    server_with(net, 7, on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+    client.abort()
+    sim.run(until=2 * SECOND)
+    assert reasons == ["reset by peer"]
+
+
+def test_server_socket_tracks_accepted(sim, net):
+    server = server_with(net, 7, lambda sock: None)
+    TcpSocket.connect(net.a, B_IP, 7)
+    TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=2 * SECOND)
+    assert len(server.sockets) == 2
+    assert all(s.established for s in server.sockets)
+
+
+def test_on_connect_callback_fires(sim, net):
+    connected = []
+    server_with(net, 7, lambda sock: None)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    client.on_connect = lambda: connected.append(sim.now)
+    sim.run(until=2 * SECOND)
+    assert len(connected) == 1

@@ -1,0 +1,463 @@
+"""Tests for TCP: segments, RTO policies, and the connection machine.
+
+The harness joins two stacks with a point-to-point pipe interface with
+a configurable one-way delay and a drop predicate, so loss and
+retransmission can be scripted deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.tcp import (
+    AdaptiveRto,
+    FLAG_ACK,
+    FLAG_RST,
+    FLAG_SYN,
+    FixedRto,
+    TcpSegment,
+    TcpState,
+)
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.sim.clock import MS, SECOND
+from repro.sim.engine import Simulator
+
+A_IP = IPv4Address.parse("10.0.0.1")
+B_IP = IPv4Address.parse("10.0.0.2")
+
+
+class PipeInterface(NetworkInterface):
+    """Point-to-point link with delay and scriptable loss."""
+
+    def __init__(self, sim, name, delay):
+        super().__init__(sim, name, mtu=1500, flags=InterfaceFlags.UP)
+        self.delay = delay
+        self.peer: Optional["PipeInterface"] = None
+        self.drop_predicate: Optional[Callable[[bytes], bool]] = None
+        self.dropped = 0
+
+    def if_output(self, packet, next_hop, protocol="ip"):
+        self.count_output(packet)
+        if self.drop_predicate is not None and self.drop_predicate(packet):
+            self.dropped += 1
+            return True
+        self.sim.schedule(self.delay, self.peer.deliver_input, packet, "ip")
+        return True
+
+
+class TcpHarness:
+    def __init__(self, sim, delay=10 * MS):
+        self.sim = sim
+        self.a = NetStack(sim, "a")
+        self.b = NetStack(sim, "b")
+        self.a_if = PipeInterface(sim, "pipe-a", delay)
+        self.b_if = PipeInterface(sim, "pipe-b", delay)
+        self.a_if.peer, self.b_if.peer = self.b_if, self.a_if
+        self.a.attach_interface(self.a_if, A_IP)
+        self.b.attach_interface(self.b_if, B_IP)
+
+
+@pytest.fixture
+def net(sim):
+    return TcpHarness(sim)
+
+
+# ----------------------------------------------------------------------
+# segment format
+# ----------------------------------------------------------------------
+
+def test_segment_round_trip():
+    segment = TcpSegment(1234, 80, seq=1000, ack=2000,
+                         flags=FLAG_ACK, window=4096, payload=b"GET /")
+    decoded = TcpSegment.decode(segment.encode(A_IP, B_IP), A_IP, B_IP)
+    assert decoded == segment
+
+
+def test_segment_mss_option_round_trip():
+    segment = TcpSegment(1, 2, 0, 0, FLAG_SYN, 4096, mss_option=536)
+    decoded = TcpSegment.decode(segment.encode(A_IP, B_IP), A_IP, B_IP)
+    assert decoded.mss_option == 536
+
+
+def test_segment_checksum_covers_pseudo_header():
+    wire = TcpSegment(1, 2, 0, 0, FLAG_ACK, 100).encode(A_IP, B_IP)
+    from repro.inet.tcp import TcpError
+    with pytest.raises(TcpError):
+        TcpSegment.decode(wire, A_IP, IPv4Address.parse("10.0.0.9"))
+
+
+def test_segment_corruption_detected():
+    wire = bytearray(TcpSegment(1, 2, 0, 0, FLAG_ACK, 100, b"datA").encode(A_IP, B_IP))
+    wire[-1] ^= 0x10
+    from repro.inet.tcp import TcpError
+    with pytest.raises(TcpError):
+        TcpSegment.decode(bytes(wire), A_IP, B_IP)
+
+
+# ----------------------------------------------------------------------
+# RTO policies
+# ----------------------------------------------------------------------
+
+def test_fixed_rto_never_learns():
+    policy = FixedRto(rto=2 * SECOND)
+    policy.sample(10 * SECOND)
+    policy.backoff()
+    assert policy.current() == 2 * SECOND
+
+
+def test_adaptive_rto_initial_then_converges():
+    policy = AdaptiveRto(initial_rto=3 * SECOND, min_rto=500 * MS)
+    assert policy.current() == 3 * SECOND
+    for _ in range(20):
+        policy.sample(4 * SECOND)
+    # converged near srtt + 4*rttvar; rttvar decays toward 0
+    assert 4 * SECOND <= policy.current() <= 9 * SECOND
+    assert policy.srtt == pytest.approx(4 * SECOND, rel=0.15)
+
+
+def test_adaptive_rto_tracks_variance():
+    policy = AdaptiveRto()
+    for rtt in (1, 5, 1, 5, 1, 5):
+        policy.sample(rtt * SECOND)
+    assert policy.rttvar > 0
+
+
+def test_adaptive_rto_backoff_doubles_and_clears():
+    policy = AdaptiveRto(initial_rto=1 * SECOND, min_rto=1 * SECOND)
+    base = policy.current()
+    policy.backoff()
+    assert policy.current() == 2 * base
+    policy.backoff()
+    assert policy.current() == 4 * base
+    policy.acked()
+    assert policy.current() == base
+
+
+def test_adaptive_rto_clamped_to_max():
+    policy = AdaptiveRto(initial_rto=48 * SECOND, max_rto=64 * SECOND)
+    for _ in range(10):
+        policy.backoff()
+    assert policy.current() == 64 * SECOND
+
+
+def test_adaptive_rto_respects_min():
+    policy = AdaptiveRto(min_rto=500 * MS)
+    for _ in range(20):
+        policy.sample(1 * MS)
+    assert policy.current() >= 500 * MS
+
+
+# ----------------------------------------------------------------------
+# connection lifecycle
+# ----------------------------------------------------------------------
+
+def test_three_way_handshake(sim, net):
+    accepted = []
+    net.b.tcp.listen(80, on_accept=accepted.append)
+    conn = net.a.tcp.connect(B_IP, 80)
+    sim.run(until=1 * SECOND)
+    assert conn.state is TcpState.ESTABLISHED
+    assert accepted and accepted[0].state is TcpState.ESTABLISHED
+
+
+def test_connect_to_closed_port_refused(sim, net):
+    closed = []
+    conn = net.a.tcp.connect(B_IP, 81)
+    conn.on_close = closed.append
+    sim.run(until=1 * SECOND)
+    assert conn.state is TcpState.CLOSED
+    assert closed == ["connection refused"]
+
+
+def test_mss_negotiated_to_minimum(sim, net):
+    accepted = []
+    net.b.tcp.listen(80, on_accept=accepted.append)
+    conn = net.a.tcp.connect(B_IP, 80)
+    conn.mss = 1024
+    # reach into the listener template default (512)
+    sim.run(until=1 * SECOND)
+    assert conn.peer_mss == 512
+    assert conn._effective_mss() == 512
+
+
+def test_data_transfer_and_echo(sim, net):
+    server_data = []
+    def on_accept(conn):
+        sock = TcpSocket(conn)
+        sock.on_data = lambda d: (server_data.append(d), sock.send(b"ok:" + d))
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    client.on_connect = lambda: client.send(b"ping")
+    sim.run(until=2 * SECOND)
+    assert b"".join(server_data) == b"ping"
+    assert client.recv() == b"ok:ping"
+
+
+def test_large_transfer_segmented_by_mss(sim, net):
+    received = []
+    def on_accept(conn):
+        sock = TcpSocket(conn)
+        sock.on_data = lambda d: received.append(d)
+    net.b.tcp.listen(9, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 9)
+    blob = bytes(range(256)) * 40   # 10240 bytes
+    client.on_connect = lambda: client.send(blob)
+    sim.run(until=10 * SECOND)
+    assert b"".join(received) == blob
+    assert all(len(chunk) <= 512 for chunk in received)
+
+
+def test_graceful_close_reaches_time_wait_and_closed(sim, net):
+    server_socks = []
+    def on_accept(conn):
+        sock = TcpSocket(conn)
+        sock.on_close = lambda _r: sock.close()   # close our half back
+        server_socks.append(sock)
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+    client.close()
+    sim.run(until=2 * SECOND)
+    assert client.connection.state is TcpState.TIME_WAIT
+    assert server_socks[0].connection.state is TcpState.CLOSED
+    sim.run(until=40 * SECOND)
+    assert client.connection.state is TcpState.CLOSED
+
+
+def test_abort_sends_rst(sim, net):
+    reasons = []
+    def on_accept(conn):
+        sock = TcpSocket(conn)
+        sock.on_close = lambda r: reasons.append(r)
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+    client.abort()
+    sim.run(until=2 * SECOND)
+    assert reasons == ["reset by peer"]
+
+
+def test_send_before_established_buffers(sim, net):
+    received = []
+    def on_accept(conn):
+        sock = TcpSocket(conn)
+        sock.send(b"banner\r\n")      # write immediately on accept
+        sock.on_data = received.append
+    net.b.tcp.listen(23, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 23)
+    sim.run(until=2 * SECOND)
+    assert client.recv() == b"banner\r\n"
+
+
+# ----------------------------------------------------------------------
+# loss and retransmission
+# ----------------------------------------------------------------------
+
+def test_lost_data_segment_retransmitted(sim, net):
+    received = []
+    def on_accept(conn):
+        TcpSocket(conn).on_data = received.append
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7,
+                               rto_policy=AdaptiveRto(initial_rto=1 * SECOND))
+    dropped = []
+
+    def drop_first_data(packet):
+        # IP header is 20 bytes; TCP payload beyond 20-byte TCP header
+        if len(packet) > 60 and not dropped:
+            dropped.append(packet)
+            return True
+        return False
+
+    net.a_if.drop_predicate = drop_first_data
+    client.on_connect = lambda: client.send(b"must arrive " * 10)
+    sim.run(until=30 * SECOND)
+    assert b"".join(received) == b"must arrive " * 10
+    assert client.connection.stats["retransmissions"] >= 1
+    assert client.connection.stats["timeouts"] >= 1
+
+
+def test_lost_ack_causes_duplicate_detection(sim, net):
+    def on_accept(conn):
+        TcpSocket(conn)
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7,
+                               rto_policy=AdaptiveRto(initial_rto=800 * MS))
+    state = {"dropped": False}
+
+    def drop_first_pure_ack_from_b(packet):
+        if not state["dropped"] and len(packet) == 40:
+            # after handshake: pure ACK for our data
+            if client.connection.state is TcpState.ESTABLISHED and client.connection.bytes_in_flight:
+                state["dropped"] = True
+                return True
+        return False
+
+    def send_it():
+        net.b_if.drop_predicate = drop_first_pure_ack_from_b
+        client.send(b"hello")
+
+    client.on_connect = send_it
+    sim.run(until=30 * SECOND)
+    server_conn = [c for c in net.b.tcp._connections.values()][0]
+    assert server_conn.stats["duplicate_segments"] >= 1
+    assert client.connection.snd_una == client.connection.snd_nxt
+
+
+def test_out_of_order_segments_reassembled(sim, net):
+    """Force reordering by delaying one packet artificially."""
+    received = []
+    def on_accept(conn):
+        TcpSocket(conn).on_data = received.append
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+
+    state = {"held": None}
+
+    def hold_one(packet):
+        if len(packet) > 60 and state["held"] is None:
+            state["held"] = packet
+            # re-inject after 300ms, after the following segment
+            sim.schedule(300 * MS, net.b_if.deliver_input, packet, "ip")
+            return True
+        return False
+
+    net.a_if.drop_predicate = hold_one
+    client.send(b"A" * 512 + b"B" * 512)
+    sim.run(until=20 * SECOND)
+    assert b"".join(received) == b"A" * 512 + b"B" * 512
+
+
+def test_karn_rule_no_rtt_sample_from_retransmission(sim, net):
+    def on_accept(conn):
+        TcpSocket(conn)
+    net.b.tcp.listen(7, on_accept=on_accept)
+    policy = AdaptiveRto(initial_rto=500 * MS)
+    client = TcpSocket.connect(net.a, B_IP, 7, rto_policy=policy)
+    sim.run(until=1 * SECOND)
+    samples_before = client.connection.stats["rtt_samples"]
+
+    dropped = []
+    def drop_once(packet):
+        # any segment carrying payload (IP 20 + TCP 20 + data > 4)
+        if len(packet) > 44 and not dropped:
+            dropped.append(packet)
+            return True
+        return False
+
+    net.a_if.drop_predicate = drop_once
+    client.send(b"retransmitted-data")
+    sim.run(until=10 * SECOND)
+    # the only data segment was retransmitted: no sample taken for it
+    assert client.connection.stats["rtt_samples"] == samples_before
+    assert client.connection.stats["retransmissions"] == 1
+
+
+def test_retry_limit_aborts_connection(sim, net):
+    net.a_if.drop_predicate = lambda packet: True   # black hole
+    closed = []
+    conn = net.a.tcp.connect(B_IP, 7, rto_policy=FixedRto(rto=200 * MS))
+    conn.max_retries = 3
+    conn.on_close = closed.append
+    sim.run(until=60 * SECOND)
+    assert conn.state is TcpState.CLOSED
+    assert closed == ["aborted"]
+
+
+def test_congestion_window_resets_on_timeout(sim, net):
+    def on_accept(conn):
+        TcpSocket(conn)
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7,
+                               rto_policy=AdaptiveRto(initial_rto=500 * MS))
+    sim.run(until=1 * SECOND)
+    client.send(bytes(4096))
+    sim.run(until=2 * SECOND)
+    cwnd_grown = client.connection.cwnd
+    assert cwnd_grown > 512
+    net.a_if.drop_predicate = lambda p: len(p) > 60
+    client.send(bytes(1024))
+    sim.run(until=5 * SECOND)
+    assert client.connection.cwnd == 512
+    assert client.connection.ssthresh >= 1024
+
+
+# ----------------------------------------------------------------------
+# listener behaviour
+# ----------------------------------------------------------------------
+
+def test_listener_spawns_per_connection(sim, net):
+    accepted = []
+    net.b.tcp.listen(80, on_accept=accepted.append)
+    c1 = net.a.tcp.connect(B_IP, 80)
+    c2 = net.a.tcp.connect(B_IP, 80)
+    sim.run(until=2 * SECOND)
+    assert len(accepted) == 2
+    assert c1.established and c2.established
+    assert accepted[0].remote_port != accepted[1].remote_port
+
+
+def test_listener_close_stops_accepting(sim, net):
+    listener = net.b.tcp.listen(80, on_accept=lambda c: None)
+    listener.close()
+    refused = []
+    conn = net.a.tcp.connect(B_IP, 80)
+    conn.on_close = refused.append
+    sim.run(until=2 * SECOND)
+    assert refused == ["connection refused"]
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.binary(min_size=1, max_size=4096))
+def test_transfer_integrity_property(payload):
+    sim = Simulator()
+    net = TcpHarness(sim)
+    received = []
+    def on_accept(conn):
+        TcpSocket(conn).on_data = received.append
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    client.on_connect = lambda: client.send(payload)
+    sim.run(until=30 * SECOND)
+    assert b"".join(received) == payload
+
+
+def test_simultaneous_open(sim, net):
+    """Both ends actively connect to each other's port at once."""
+    conn_a = net.a.tcp.connect(B_IP, 7000, local_port=7000)
+    conn_b = net.b.tcp.connect(A_IP, 7000, local_port=7000)
+    sim.run(until=10 * SECOND)
+    assert conn_a.state is TcpState.ESTABLISHED
+    assert conn_b.state is TcpState.ESTABLISHED
+    got = []
+    conn_b.on_data = got.append
+    conn_a.send(b"both called at once")
+    sim.run(until=20 * SECOND)
+    assert b"".join(got) == b"both called at once"
+
+
+def test_half_close_allows_peer_to_keep_sending(sim, net):
+    """A sends FIN but B may still push data (CLOSE_WAIT semantics)."""
+    server_socks = []
+    def on_accept(conn):
+        server_socks.append(TcpSocket(conn))
+    net.b.tcp.listen(7, on_accept=on_accept)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+    client.close()
+    sim.run(until=2 * SECOND)
+    server = server_socks[0]
+    assert server.connection.state is TcpState.CLOSE_WAIT
+    server.send(b"parting words")
+    sim.run(until=4 * SECOND)
+    assert client.recv() == b"parting words"
+    server.close()
+    sim.run(until=6 * SECOND)
+    assert server.connection.state is TcpState.CLOSED

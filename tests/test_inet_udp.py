@@ -1,0 +1,129 @@
+"""Tests for UDP encoding and stack-level dispatch."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ethernet.deqna import Deqna
+from repro.ethernet.frames import MacAddress
+from repro.ethernet.lan import EthernetLan
+from repro.inet.ether_if import EthernetInterface
+from repro.inet.ip import IPv4Address
+from repro.inet.netstack import NetStack
+from repro.inet.sockets import UdpSocket
+from repro.inet.udp import UdpDatagram, UdpError
+from repro.sim.clock import SECOND
+
+SRC = IPv4Address.parse("128.95.1.1")
+DST = IPv4Address.parse("128.95.1.2")
+
+
+def test_round_trip():
+    datagram = UdpDatagram(1234, 53, b"query")
+    decoded = UdpDatagram.decode(datagram.encode(SRC, DST), SRC, DST)
+    assert decoded == datagram
+
+
+def test_checksum_catches_corruption():
+    wire = bytearray(UdpDatagram(1, 2, b"data!").encode(SRC, DST))
+    wire[-1] ^= 0xFF
+    with pytest.raises(UdpError):
+        UdpDatagram.decode(bytes(wire), SRC, DST)
+
+
+def test_checksum_includes_pseudo_header():
+    wire = UdpDatagram(1, 2, b"data").encode(SRC, DST)
+    with pytest.raises(UdpError):
+        UdpDatagram.decode(wire, SRC, IPv4Address.parse("128.95.1.3"))
+
+
+def test_length_field_trims_padding():
+    wire = UdpDatagram(1, 2, b"abc").encode(SRC, DST) + b"\x00" * 10
+    assert UdpDatagram.decode(wire, SRC, DST).payload == b"abc"
+
+
+def test_short_datagram_rejected():
+    with pytest.raises(UdpError):
+        UdpDatagram.decode(b"\x00" * 7, SRC, DST)
+
+
+@given(st.binary(max_size=1024),
+       st.integers(min_value=0, max_value=65535),
+       st.integers(min_value=0, max_value=65535))
+def test_round_trip_property(payload, sport, dport):
+    datagram = UdpDatagram(sport, dport, payload)
+    decoded = UdpDatagram.decode(datagram.encode(SRC, DST), SRC, DST)
+    assert decoded.payload == payload
+
+
+# ----------------------------------------------------------------------
+# stack-level dispatch
+# ----------------------------------------------------------------------
+
+def two_hosts(sim):
+    lan = EthernetLan(sim)
+    hosts = []
+    for index, ip in ((1, "128.95.1.1"), (2, "128.95.1.2")):
+        stack = NetStack(sim, f"host{index}")
+        nic = Deqna(lan, MacAddress.station(index), f"nic{index}")
+        stack.attach_interface(EthernetInterface(sim, nic), ip)
+        hosts.append(stack)
+    return hosts
+
+
+def test_udp_socket_delivery(sim):
+    h1, h2 = two_hosts(sim)
+    server = UdpSocket(h2, port=53)
+    client = UdpSocket(h1)
+    client.sendto(b"question", "128.95.1.2", 53)
+    sim.run_until_idle()
+    assert len(server.received) == 1
+    payload, source, source_port = server.received[0]
+    assert payload == b"question"
+    assert str(source) == "128.95.1.1"
+    assert source_port == client.port
+
+
+def test_udp_reply_path(sim):
+    h1, h2 = two_hosts(sim)
+    server = UdpSocket(h2, port=53)
+    server.on_datagram = lambda p, src, sport: server.sendto(b"answer", src, sport)
+    client = UdpSocket(h1)
+    client.sendto(b"question", "128.95.1.2", 53)
+    sim.run_until_idle()
+    assert client.received[0][0] == b"answer"
+
+
+def test_unbound_port_elicits_icmp_unreachable(sim):
+    h1, h2 = two_hosts(sim)
+    icmp_seen = []
+    h1.icmp_listeners.append(lambda m, s: icmp_seen.append(m.icmp_type))
+    client = UdpSocket(h1)
+    client.sendto(b"x", "128.95.1.2", 9999)
+    sim.run_until_idle()
+    assert 3 in icmp_seen  # destination unreachable
+    assert h2.counters["udp_no_port"] == 1
+
+
+def test_double_bind_rejected(sim):
+    h1, _h2 = two_hosts(sim)
+    UdpSocket(h1, port=53)
+    with pytest.raises(ValueError):
+        UdpSocket(h1, port=53)
+
+
+def test_close_unbinds(sim):
+    h1, _h2 = two_hosts(sim)
+    socket = UdpSocket(h1, port=53)
+    socket.close()
+    UdpSocket(h1, port=53)  # rebind OK
+
+
+def test_udp_loopback_to_self(sim):
+    h1, _h2 = two_hosts(sim)
+    server = UdpSocket(h1, port=7)
+    client = UdpSocket(h1)
+    client.sendto(b"self", "128.95.1.1", 7)
+    sim.run_until_idle()
+    assert server.received[0][0] == b"self"

@@ -1,0 +1,214 @@
+"""Cross-layer integration tests on the paper's canonical topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ping import Pinger
+from repro.core.topology import (
+    build_digipeater_chain,
+    build_figure1_testbed,
+    build_gateway_testbed,
+    build_two_coast_internet,
+)
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.tcp import AdaptiveRto
+from repro.sim.clock import SECOND
+
+
+# ----------------------------------------------------------------------
+# Figure 1: radio -- TNC -- RS-232 -- host
+# ----------------------------------------------------------------------
+
+def test_figure1_ping_round_trip():
+    tb = build_figure1_testbed(seed=1)
+    pinger = Pinger(tb.host.stack)
+    pinger.send("44.24.0.5", count=2, interval=20 * SECOND)
+    tb.sim.run(until=120 * SECOND)
+    assert pinger.received == 2
+    # At 1200 bps, a 56+28-byte echo each way cannot beat ~1.1 s + keyup.
+    assert min(pinger.rtts_us) > 1 * SECOND
+
+
+def test_figure1_arp_resolves_dynamically():
+    tb = build_figure1_testbed(seed=2)
+    driver = tb.host.interface
+    assert driver.arp.lookup(__import__("repro.inet.ip", fromlist=["IPv4Address"]).IPv4Address.parse("44.24.0.5")) is None
+    pinger = Pinger(tb.host.stack)
+    pinger.send("44.24.0.5", count=1)
+    tb.sim.run(until=60 * SECOND)
+    from repro.inet.ip import IPv4Address
+    entry = driver.arp.lookup(IPv4Address.parse("44.24.0.5"))
+    assert entry is not None
+    assert driver.arp.requests_sent >= 1
+
+
+def test_figure1_driver_stats_reflect_traffic():
+    tb = build_figure1_testbed(seed=3)
+    pinger = Pinger(tb.host.stack)
+    pinger.send("44.24.0.5", count=1)
+    tb.sim.run(until=60 * SECOND)
+    driver = tb.host.interface
+    assert driver.rx_char_interrupts > 0
+    assert driver.frames_ip_in >= 1       # the echo reply
+    assert driver.frames_arp_in >= 1      # the ARP reply
+
+
+# ----------------------------------------------------------------------
+# §2.3 gateway testbed
+# ----------------------------------------------------------------------
+
+def test_gateway_ping_both_directions():
+    tb = build_gateway_testbed(seed=4)
+    from_pc = Pinger(tb.pc.stack)
+    from_pc.send("128.95.1.2", count=1)
+    tb.sim.run(until=120 * SECOND)
+    assert from_pc.received == 1
+    from_ether = Pinger(tb.ether_host)
+    from_ether.send("44.24.0.5", count=1)
+    tb.sim.run(until=tb.sim.now + 120 * SECOND)
+    assert from_ether.received == 1
+    assert tb.gateway.stack.counters["ip_forwarded"] >= 4
+
+
+def test_gateway_fragments_large_ethernet_datagrams_for_radio():
+    """A 1000-byte ping must be fragmented to the radio MTU (256)."""
+    tb = build_gateway_testbed(seed=5)
+    pinger = Pinger(tb.ether_host)
+    pinger.send("44.24.0.5", count=1, payload_size=1000)
+    tb.sim.run(until=400 * SECOND)
+    assert pinger.received == 1
+    assert tb.gateway.stack.counters["frags_sent"] >= 4
+    assert tb.pc.stack.reassembler.reassembled >= 1
+
+
+def test_gateway_tcp_session_full_lifecycle():
+    tb = build_gateway_testbed(seed=6)
+    server_received = []
+    def on_accept(sock):
+        sock.on_data = lambda _d: (
+            server_received.append(sock.recv()),
+            sock.send(b"response"),
+        )
+        sock.on_close = lambda _r: sock.close()   # close our half back
+    TcpServerSocket(tb.ether_host, 23, on_accept)
+    client = TcpSocket.connect(tb.pc.stack, "128.95.1.2", 23,
+                               rto_policy=AdaptiveRto())
+    client.on_connect = lambda: client.send(b"request")
+    tb.sim.run(until=200 * SECOND)
+    assert b"".join(server_received) == b"request"
+    assert client.recv() == b"response"
+    client.close()
+    tb.sim.run(until=tb.sim.now + 200 * SECOND)
+    assert client.connection.state.value in ("TIME_WAIT", "CLOSED")
+
+
+def test_gateway_ttl_decremented_in_transit():
+    tb = build_gateway_testbed(seed=7)
+    seen_ttls = []
+    original = tb.pc.stack._deliver_local
+    def spy(datagram):
+        seen_ttls.append(datagram.ttl)
+        original(datagram)
+    tb.pc.stack._deliver_local = spy
+    pinger = Pinger(tb.ether_host)
+    pinger.send("44.24.0.5", count=1)
+    tb.sim.run(until=120 * SECOND)
+    assert seen_ttls and all(ttl == 29 for ttl in seen_ttls)
+
+
+# ----------------------------------------------------------------------
+# §4.2 two-coast internet
+# ----------------------------------------------------------------------
+
+def test_two_coast_single_route_goes_through_west_gateway():
+    tb = build_two_coast_internet(seed=8)
+    pinger = Pinger(tb.internet_host)
+    pinger.send(tb.EAST_STATION_IP, count=1)
+    tb.sim.run(until=200 * SECOND)
+    assert pinger.received == 1
+    # The west gateway relayed traffic that was never for its coast.
+    assert tb.west_gateway.stack.counters["ip_forwarded"] >= 1
+    assert tb.east_gateway.stack.counters["ip_forwarded"] >= 1
+
+
+def test_two_coast_regional_routes_bypass_west_gateway():
+    tb = build_two_coast_internet(seed=9, regional_routes_at_host=True)
+    pinger = Pinger(tb.internet_host)
+    pinger.send(tb.EAST_STATION_IP, count=1)
+    tb.sim.run(until=200 * SECOND)
+    assert pinger.received == 1
+    assert tb.west_gateway.stack.counters["ip_forwarded"] == 0
+
+
+def test_two_coast_icmp_redirect_installs_host_route():
+    tb = build_two_coast_internet(seed=10, send_redirects=True)
+    pinger = Pinger(tb.internet_host)
+    pinger.send(tb.EAST_STATION_IP, count=3, interval=60 * SECOND)
+    tb.sim.run(until=400 * SECOND)
+    assert pinger.received == 3
+    assert tb.west_gateway.stack.counters["redirects_sent"] >= 1
+    assert tb.internet_host.counters["redirects_followed"] >= 1
+    # After the redirect only the first ping(s) used the west gateway.
+    west_forwards = tb.west_gateway.stack.counters["ip_forwarded"]
+    assert west_forwards < 3 * 2   # strictly fewer than all six crossings
+
+
+def test_two_coast_west_station_reachable_directly():
+    tb = build_two_coast_internet(seed=11)
+    pinger = Pinger(tb.internet_host)
+    pinger.send(tb.WEST_STATION_IP, count=1)
+    tb.sim.run(until=200 * SECOND)
+    assert pinger.received == 1
+    assert tb.east_gateway.stack.counters["ip_forwarded"] == 0
+
+
+# ----------------------------------------------------------------------
+# digipeater chains
+# ----------------------------------------------------------------------
+
+def test_digipeater_chain_delivers_end_to_end():
+    chain = build_digipeater_chain(hops=2, seed=12)
+    pinger = Pinger(chain.source.stack)
+    pinger.send("44.24.0.3", count=1)
+    chain.sim.run(until=300 * SECOND)
+    assert pinger.received == 1
+    assert all(digi.frames_relayed >= 2 for digi in chain.digipeaters)
+
+
+def test_digipeater_chain_hidden_endpoints_cannot_hear_each_other():
+    chain = build_digipeater_chain(hops=2, seed=13)
+    src_name = str(chain.source.callsign)
+    dst_name = str(chain.destination.callsign)
+    src_port = chain.channel.ports[src_name]
+    dst_port = chain.channel.ports[dst_name]
+    assert not chain.channel.hears(dst_port, src_port)
+
+
+def test_digipeater_chain_rejects_more_than_eight():
+    with pytest.raises(ValueError):
+        build_digipeater_chain(hops=9)
+
+
+# ----------------------------------------------------------------------
+# access control end to end
+# ----------------------------------------------------------------------
+
+def test_access_control_blocks_unsolicited_then_allows_after_contact():
+    tb = build_gateway_testbed(seed=14)
+    table = tb.gateway.enable_access_control(entry_ttl=600 * SECOND)
+    # Outside host pings first: blocked at the gateway.
+    outside = Pinger(tb.ether_host)
+    outside.send("44.24.0.5", count=1)
+    tb.sim.run(until=60 * SECOND)
+    assert outside.received == 0
+    assert table.blocked_in >= 1
+    # Amateur initiates contact: reverse direction opens up.
+    amateur = Pinger(tb.pc.stack)
+    amateur.send("128.95.1.2", count=1)
+    tb.sim.run(until=tb.sim.now + 120 * SECOND)
+    assert amateur.received == 1
+    outside2 = Pinger(tb.ether_host)
+    outside2.send("44.24.0.5", count=1)
+    tb.sim.run(until=tb.sim.now + 120 * SECOND)
+    assert outside2.received == 1

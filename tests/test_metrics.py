@@ -1,0 +1,102 @@
+"""Tests for metrics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.counters import CounterSet, delta
+from repro.metrics.stats import (
+    LatencyRecorder,
+    ThroughputMeter,
+    percentile,
+    summarize,
+)
+from repro.sim.clock import SECOND
+
+
+def test_counterset_bump_and_get():
+    counters = CounterSet()
+    counters.bump("x")
+    counters.bump("x", 4)
+    assert counters["x"] == 5
+    assert counters["missing"] == 0
+
+
+def test_counterset_snapshot_delta():
+    counters = CounterSet()
+    counters.bump("a", 3)
+    snapshot = counters.snapshot()
+    counters.bump("a", 2)
+    counters.bump("b")
+    assert counters.delta(snapshot) == {"a": 2, "b": 1}
+
+
+def test_plain_dict_delta():
+    assert delta({"a": 5, "b": 1}, {"a": 3}) == {"a": 2, "b": 1}
+
+
+def test_summarize_basics():
+    summary = summarize([1, 2, 3, 4, 5])
+    assert summary.count == 5
+    assert summary.mean == 3
+    assert summary.minimum == 1 and summary.maximum == 5
+    assert summary.p50 == 3
+
+
+def test_summarize_single_value():
+    summary = summarize([7.0])
+    assert summary.mean == 7.0 and summary.stdev == 0.0
+    assert summary.p99 == 7.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 0.5) == 5
+    assert percentile([0, 10, 20], 0.25) == 5
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=100))
+def test_summary_invariants(values):
+    summary = summarize(values)
+    tolerance = 1e-6 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+    assert summary.minimum <= summary.p50 <= summary.maximum
+    assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance
+    assert summary.p50 <= summary.p90 + tolerance
+    assert summary.p90 <= summary.p99 + tolerance
+
+
+def test_latency_recorder(sim):
+    recorder = LatencyRecorder(sim)
+    recorder.start("a")
+    sim.schedule(2 * SECOND, lambda: recorder.stop("a"))
+    sim.run_until_idle()
+    assert recorder.samples_us == [2 * SECOND]
+    assert recorder.stop("unknown") is None
+    assert recorder.outstanding == 0
+    assert recorder.summary_seconds().mean == 2.0
+
+
+def test_throughput_meter(sim):
+    meter = ThroughputMeter(sim)
+    sim.schedule(1 * SECOND, meter.add, 500)
+    sim.schedule(2 * SECOND, meter.add, 500)
+    sim.run_until_idle()
+    assert meter.bytes == 1000
+    assert meter.bytes_per_second() == pytest.approx(500.0)
+    assert meter.bits_per_second() == pytest.approx(4000.0)
+
+
+def test_throughput_meter_window_reset(sim):
+    meter = ThroughputMeter(sim)
+    meter.add(10_000)
+    sim.schedule(1 * SECOND, meter.reset_window)
+    sim.schedule(2 * SECOND, meter.add, 100)
+    sim.run_until_idle()
+    assert meter.bytes == 10_100
+    assert meter.bytes_per_second() == pytest.approx(100.0)

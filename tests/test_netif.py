@@ -1,0 +1,142 @@
+"""Tests for the BSD-style netif layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.netif.loopback import LoopbackInterface
+from repro.netif.queues import IfQueue, SoftNet
+
+
+# ----------------------------------------------------------------------
+# IfQueue
+# ----------------------------------------------------------------------
+
+def test_ifqueue_fifo():
+    queue = IfQueue(limit=10)
+    for item in "abc":
+        assert queue.enqueue(item)
+    assert queue.dequeue() == "a"
+    assert queue.dequeue() == "b"
+    assert queue.dequeue() == "c"
+    assert queue.dequeue() is None
+
+
+def test_ifqueue_drop_on_overflow():
+    queue = IfQueue(limit=2)
+    assert queue.enqueue(1)
+    assert queue.enqueue(2)
+    assert not queue.enqueue(3)
+    assert queue.drops == 1
+    assert len(queue) == 2
+
+
+def test_ifqueue_high_watermark():
+    queue = IfQueue(limit=10)
+    for item in range(7):
+        queue.enqueue(item)
+    for _ in range(3):
+        queue.dequeue()
+    queue.enqueue(99)
+    assert queue.high_watermark == 7
+
+
+def test_ifqueue_bool_and_len():
+    queue = IfQueue()
+    assert not queue
+    queue.enqueue("x")
+    assert queue and len(queue) == 1
+
+
+# ----------------------------------------------------------------------
+# SoftNet
+# ----------------------------------------------------------------------
+
+def test_softnet_runs_after_current_instant(sim):
+    order = []
+    softnet = SoftNet(sim, lambda: order.append("soft"))
+
+    def interrupt():
+        softnet.post()
+        order.append("interrupt-done")
+
+    sim.schedule(10, interrupt)
+    sim.run_until_idle()
+    assert order == ["interrupt-done", "soft"]
+
+
+def test_softnet_coalesces_posts(sim):
+    softnet = SoftNet(sim, lambda: None)
+
+    def interrupt():
+        softnet.post()
+        softnet.post()
+        softnet.post()
+
+    sim.schedule(10, interrupt)
+    sim.run_until_idle()
+    assert softnet.posts == 3
+    assert softnet.runs == 1
+
+
+def test_softnet_reposts_after_run(sim):
+    softnet = SoftNet(sim, lambda: None)
+    sim.schedule(10, softnet.post)
+    sim.schedule(20, softnet.post)
+    sim.run_until_idle()
+    assert softnet.runs == 2
+
+
+# ----------------------------------------------------------------------
+# NetworkInterface base
+# ----------------------------------------------------------------------
+
+def test_base_ioctl_up_down_mtu(sim):
+    iface = NetworkInterface(sim, "x0", mtu=1500)
+    iface.if_ioctl("down")
+    assert not iface.is_up
+    iface.if_ioctl("up")
+    assert iface.is_up
+    iface.if_ioctl("mtu", 576)
+    assert iface.mtu == 576
+    with pytest.raises(ValueError):
+        iface.if_ioctl("warp-speed")
+
+
+def test_base_if_output_abstract(sim):
+    iface = NetworkInterface(sim, "x0", mtu=1500)
+    with pytest.raises(NotImplementedError):
+        iface.if_output(b"", None)
+
+
+def test_deliver_input_counts_and_dispatches(sim):
+    iface = NetworkInterface(sim, "x0", mtu=1500)
+    seen = []
+    iface.input_handler = lambda packet, inf, proto: seen.append((packet, proto))
+    iface.deliver_input(b"pkt", "ip")
+    assert seen == [(b"pkt", "ip")]
+    assert iface.ipackets == 1
+    assert iface.ibytes == 3
+
+
+# ----------------------------------------------------------------------
+# loopback
+# ----------------------------------------------------------------------
+
+def test_loopback_reflects_output_to_input(sim):
+    lo = LoopbackInterface(sim)
+    seen = []
+    lo.input_handler = lambda packet, inf, proto: seen.append(packet)
+    assert lo.if_output(b"hello", None)
+    assert seen == []          # deferred past the call
+    sim.run_until_idle()
+    assert seen == [b"hello"]
+    assert lo.opackets == 1 and lo.ipackets == 1
+
+
+def test_loopback_down_drops(sim):
+    lo = LoopbackInterface(sim)
+    lo.if_ioctl("down")
+    assert not lo.if_output(b"x", None)
+    assert lo.oerrors == 1

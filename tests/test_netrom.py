@@ -1,0 +1,209 @@
+"""Tests for NET/ROM: wire formats, route gossip, forwarding, IP tunnel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ax25.address import AX25Address
+from repro.inet.netstack import NetStack
+from repro.netrom.backbone import NetRomIpInterface
+from repro.netrom.protocol import (
+    NETROM_PROTO_IP,
+    NETROM_PROTO_TEXT,
+    NetRomError,
+    NetRomPacket,
+    NodesBroadcast,
+    NodesEntry,
+)
+from repro.netrom.routing import MIN_QUALITY, NetRomNode
+from repro.radio.channel import RadioChannel
+from repro.radio.csma import CsmaParameters
+from repro.radio.modem import ModemProfile
+from repro.sim.clock import SECOND
+
+FAST = dict(modem=ModemProfile(bit_rate=9600), csma=CsmaParameters(persistence=1.0))
+
+
+# ----------------------------------------------------------------------
+# wire formats
+# ----------------------------------------------------------------------
+
+def test_packet_round_trip():
+    packet = NetRomPacket(AX25Address("GW7A"), AX25Address("GW2B"),
+                          ttl=7, protocol=NETROM_PROTO_IP, payload=b"ip-bytes")
+    decoded = NetRomPacket.decode(packet.encode())
+    assert decoded == packet
+
+
+def test_packet_decremented():
+    packet = NetRomPacket(AX25Address("A"), AX25Address("B"), 5, 0, b"")
+    assert packet.decremented().ttl == 4
+
+
+def test_packet_decode_rejects_short():
+    with pytest.raises(NetRomError):
+        NetRomPacket.decode(b"\x01\x02")
+
+
+def test_packet_decode_rejects_nodes_broadcast():
+    broadcast = NodesBroadcast("SEAGW", ()).encode()
+    with pytest.raises(NetRomError):
+        NetRomPacket.decode(broadcast)
+
+
+def test_nodes_broadcast_round_trip():
+    entries = (
+        NodesEntry(AX25Address("GW2B"), "EASTGW", AX25Address("NODE1"), 192),
+        NodesEntry(AX25Address("NODE1"), "MIDHOP", AX25Address("NODE1"), 255),
+    )
+    broadcast = NodesBroadcast("SEAGW", entries)
+    decoded = NodesBroadcast.decode(broadcast.encode())
+    assert decoded.sender_alias == "SEAGW"
+    assert len(decoded.entries) == 2
+    assert decoded.entries[0].quality == 192
+    assert decoded.entries[0].destination.matches(AX25Address("GW2B"))
+    assert decoded.entries[0].alias == "EASTGW"
+
+
+def test_nodes_decode_rejects_non_broadcast():
+    with pytest.raises(NetRomError):
+        NodesBroadcast.decode(b"\x00whatever")
+
+
+# ----------------------------------------------------------------------
+# route learning and forwarding
+# ----------------------------------------------------------------------
+
+def build_chain(sim, streams, hops=1):
+    """gwA -- node1 -- ... -- gwB, each link on its own channel."""
+    nodes = [NetRomNode(sim, "GW7A", "SEAGW")]
+    for index in range(hops):
+        nodes.append(NetRomNode(sim, f"NODE{index + 1}", f"MID{index + 1}"))
+    nodes.append(NetRomNode(sim, "GW2B", "EASTGW"))
+    channels = []
+    for left, right in zip(nodes, nodes[1:]):
+        channel = RadioChannel(sim, streams, name=f"ch{len(channels)}")
+        channels.append(channel)
+        left_port = len(left._ports)
+        right_port = len(right._ports)
+        left.add_port(channel, **FAST)
+        right.add_port(channel, **FAST)
+        left.add_neighbour(left_port, right.callsign)
+        right.add_neighbour(right_port, left.callsign)
+    return nodes, channels
+
+
+def test_neighbours_known_immediately(sim, streams):
+    nodes, _ = build_chain(sim, streams, hops=0)
+    a, b = nodes
+    assert str(b.callsign) in a.routes
+    assert a.routes[str(b.callsign)].quality == 255
+
+
+def test_nodes_gossip_propagates_routes(sim, streams):
+    nodes, _ = build_chain(sim, streams, hops=2)
+    for node in nodes:
+        node.start_broadcasting()
+    sim.run(until=200 * SECOND)
+    a = nodes[0]
+    assert "GW2B" in a.routes
+    route = a.routes["GW2B"]
+    assert route.neighbour.matches(AX25Address("NODE1"))
+    assert route.quality < 255   # degraded by distance
+
+
+def test_quality_degrades_per_hop(sim, streams):
+    nodes, _ = build_chain(sim, streams, hops=3)
+    for node in nodes:
+        node.start_broadcasting()
+    sim.run(until=400 * SECOND)
+    a = nodes[0]
+    q1 = a.routes["NODE1"].quality
+    q2 = a.routes["NODE2"].quality
+    q3 = a.routes["NODE3"].quality
+    assert q1 > q2 > q3
+
+
+def test_datagram_traverses_chain(sim, streams):
+    nodes, _ = build_chain(sim, streams, hops=2)
+    for node in nodes:
+        node.start_broadcasting()
+    sim.run(until=200 * SECOND)
+    delivered = []
+    nodes[-1].bind_protocol(NETROM_PROTO_TEXT,
+                            lambda payload, origin: delivered.append((payload, str(origin))))
+    assert nodes[0].send("GW2B", NETROM_PROTO_TEXT, b"across the backbone")
+    sim.run(until=250 * SECOND)
+    assert delivered == [(b"across the backbone", "GW7A")]
+    assert nodes[1].datagrams_forwarded >= 1
+
+
+def test_no_route_drops(sim, streams):
+    node = NetRomNode(sim, "LONELY", "ALONE")
+    assert not node.send("GW2B", NETROM_PROTO_TEXT, b"void")
+    assert node.datagrams_dropped == 1
+
+
+def test_ttl_exhaustion_drops(sim, streams):
+    nodes, _ = build_chain(sim, streams, hops=2)
+    for node in nodes:
+        node.start_broadcasting()
+    sim.run(until=200 * SECOND)
+    nodes[0].send("GW2B", NETROM_PROTO_TEXT, b"short-lived", ttl=1)
+    before = nodes[-1].datagrams_delivered
+    sim.run(until=250 * SECOND)
+    assert nodes[-1].datagrams_delivered == before
+    assert nodes[1].datagrams_dropped >= 1
+
+
+def test_routes_prefer_higher_quality(sim, streams):
+    node = NetRomNode(sim, "HUB", "HUB")
+    channel = RadioChannel(sim, streams)
+    node.add_port(channel, **FAST)
+    node.add_neighbour(0, "NBRLOW", quality=100)
+    node.add_neighbour(0, "NBRHI", quality=200)
+    # Both advertise a route to DEST.
+    node._update_route(AX25Address("DEST"), "DEST", AX25Address("NBRLOW"), 80)
+    node._update_route(AX25Address("DEST"), "DEST", AX25Address("NBRHI"), 150)
+    node._update_route(AX25Address("DEST"), "DEST", AX25Address("NBRLOW"), 90)
+    assert node.routes["DEST"].neighbour.matches(AX25Address("NBRHI"))
+
+
+def test_low_quality_routes_rejected(sim, streams):
+    node = NetRomNode(sim, "HUB", "HUB")
+    node._update_route(AX25Address("DEST"), "DEST", AX25Address("N1"),
+                       MIN_QUALITY - 1)
+    assert "DEST" not in node.routes
+
+
+# ----------------------------------------------------------------------
+# IP over NET/ROM
+# ----------------------------------------------------------------------
+
+def test_ip_interface_round_trip(sim, streams):
+    nodes, _ = build_chain(sim, streams, hops=1)
+    for node in nodes:
+        node.start_broadcasting()
+    sim.run(until=150 * SECOND)
+    stack_a, stack_b = NetStack(sim, "a"), NetStack(sim, "b")
+    if_a = NetRomIpInterface(sim, nodes[0])
+    if_b = NetRomIpInterface(sim, nodes[-1])
+    stack_a.attach_interface(if_a, "44.100.0.1")
+    stack_b.attach_interface(if_b, "44.100.0.2")
+    if_a.map_ip("44.100.0.2", "GW2B")
+    if_b.map_ip("44.100.0.1", "GW7A")
+    from repro.apps.ping import Pinger
+    pinger = Pinger(stack_a)
+    pinger.send("44.100.0.2", count=2, interval=5 * SECOND)
+    sim.run(until=250 * SECOND)
+    assert pinger.received == 2
+
+
+def test_ip_interface_unmapped_next_hop_drops(sim, streams):
+    node = NetRomNode(sim, "GW7A", "SEAGW")
+    stack = NetStack(sim, "a")
+    iface = NetRomIpInterface(sim, node)
+    stack.attach_interface(iface, "44.100.0.1")
+    from repro.inet.ip import IPv4Address
+    assert not iface.if_output(b"packet", IPv4Address.parse("44.100.0.9"))
+    assert iface.unresolved_drops == 1

@@ -1,0 +1,288 @@
+"""Tests for NET/ROM circuits (level 4) and the node shell."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.bbs import BulletinBoard
+from repro.ax25.address import AX25Address
+from repro.core.hosts import TerminalStation
+from repro.netrom import NetRomNode, NodeShell
+from repro.netrom.transport import (
+    CircuitState,
+    NetRomTransport,
+    TransportError,
+    TransportFrame,
+    OP_CONNECT_REQUEST,
+    OP_INFORMATION,
+)
+from repro.radio.channel import RadioChannel
+from repro.radio.modem import ModemProfile
+from repro.sim.clock import SECOND
+
+FAST = dict(modem=ModemProfile(bit_rate=9600))
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+
+def test_transport_frame_round_trip():
+    frame = TransportFrame(3, 77, 5, 6, OP_INFORMATION, b"payload")
+    decoded = TransportFrame.decode(frame.encode())
+    assert decoded == frame
+
+
+def test_transport_frame_too_short():
+    with pytest.raises(TransportError):
+        TransportFrame.decode(b"\x01\x02")
+
+
+def test_refused_flag():
+    frame = TransportFrame(1, 2, 0, 0, 0x80 | 2)
+    assert frame.refused and frame.base_opcode == 2
+
+
+# ----------------------------------------------------------------------
+# circuits between two directly-linked nodes
+# ----------------------------------------------------------------------
+
+def linked_nodes(sim, streams, hops=0):
+    nodes = [NetRomNode(sim, "NODEA", "ALPHA")]
+    for index in range(hops):
+        nodes.append(NetRomNode(sim, f"MID{index + 1}", f"MID{index + 1}"))
+    nodes.append(NetRomNode(sim, "NODEB", "BRAVO"))
+    for left, right in zip(nodes, nodes[1:]):
+        channel = RadioChannel(sim, streams, name=f"l{left.alias}")
+        lp, rp = len(left._ports), len(right._ports)
+        left.add_port(channel, **FAST)
+        right.add_port(channel, **FAST)
+        left.add_neighbour(lp, right.callsign)
+        right.add_neighbour(rp, left.callsign)
+    for node in nodes:
+        node.start_broadcasting()
+    sim.run(until=150 * SECOND)
+    return nodes
+
+
+def test_circuit_connect_and_data(sim, streams):
+    a, b = linked_nodes(sim, streams)
+    ta, tb = NetRomTransport(a), NetRomTransport(b)
+    received = []
+    def accept(circuit):
+        circuit.on_data = received.append
+        return True
+    tb.on_circuit = accept
+    circuit = ta.connect("NODEB")
+    circuit.send(b"over the circuit")
+    sim.run(until=sim.now + 120 * SECOND)
+    assert circuit.established
+    assert b"".join(received) == b"over the circuit"
+    assert tb.circuits_accepted == 1
+
+
+def test_circuit_data_segmented_and_ordered(sim, streams):
+    a, b = linked_nodes(sim, streams)
+    ta, tb = NetRomTransport(a), NetRomTransport(b)
+    received = []
+    tb.on_circuit = lambda c: (setattr(c, "on_data", received.append), True)[1]
+    circuit = ta.connect("NODEB")
+    blob = bytes(range(256)) * 3   # > MAX_INFO, forces segmentation
+    circuit.send(blob)
+    sim.run(until=sim.now + 300 * SECOND)
+    assert b"".join(received) == blob
+    assert circuit.stats["info_sent"] >= 4
+
+
+def test_circuit_refused(sim, streams):
+    a, b = linked_nodes(sim, streams)
+    ta, tb = NetRomTransport(a), NetRomTransport(b)
+    tb.on_circuit = lambda circuit: False
+    closed = []
+    circuit = ta.connect("NODEB")
+    circuit.on_close = closed.append
+    sim.run(until=sim.now + 120 * SECOND)
+    assert closed == ["refused"]
+    assert tb.circuits_refused == 1
+
+
+def test_circuit_close_handshake(sim, streams):
+    a, b = linked_nodes(sim, streams)
+    ta, tb = NetRomTransport(a), NetRomTransport(b)
+    remote_closed = []
+    def accept(circuit):
+        circuit.on_close = remote_closed.append
+        return True
+    tb.on_circuit = accept
+    circuit = ta.connect("NODEB")
+    sim.run(until=sim.now + 60 * SECOND)
+    circuit.close()
+    sim.run(until=sim.now + 60 * SECOND)
+    assert circuit.state is CircuitState.CLOSED
+    assert remote_closed == ["remote closed"]
+
+
+def test_circuit_no_route_gives_up(sim, streams):
+    lone = NetRomNode(sim, "ALONE", "ALONE")
+    transport = NetRomTransport(lone)
+    closed = []
+    circuit = transport.connect("NOBODY")
+    circuit.on_close = closed.append
+    sim.run(until=sim.now + 600 * SECOND)
+    assert closed == ["retry limit"]
+
+
+def test_circuit_across_intermediate_node(sim, streams):
+    nodes = linked_nodes(sim, streams, hops=1)
+    ta, tb = NetRomTransport(nodes[0]), NetRomTransport(nodes[-1])
+    received = []
+    tb.on_circuit = lambda c: (setattr(c, "on_data", received.append), True)[1]
+    circuit = ta.connect("NODEB")
+    circuit.send(b"two hops")
+    sim.run(until=sim.now + 300 * SECOND)
+    assert b"".join(received) == b"two hops"
+    assert nodes[1].datagrams_forwarded > 0
+
+
+def test_send_on_closed_circuit_raises(sim, streams):
+    lone = NetRomNode(sim, "ALONE", "ALONE")
+    transport = NetRomTransport(lone)
+    circuit = transport.connect("NOBODY")
+    circuit._enter_closed("test")
+    with pytest.raises(TransportError):
+        circuit.send(b"nope")
+
+
+# ----------------------------------------------------------------------
+# the node shell and the three-connect chain
+# ----------------------------------------------------------------------
+
+def build_node_network(sim, streams):
+    modem = ModemProfile(bit_rate=1200)
+    user_ch = RadioChannel(sim, streams, name="user")
+    backbone = RadioChannel(sim, streams, name="bb")
+    remote_ch = RadioChannel(sim, streams, name="remote")
+    node_a = NetRomNode(sim, "SEA7N", "SEA")
+    node_b = NetRomNode(sim, "TAC7N", "TAC")
+    node_a.add_port(user_ch, modem=modem)
+    node_a.add_port(backbone, modem=modem)
+    node_b.add_port(remote_ch, modem=modem)
+    node_b.add_port(backbone, modem=modem)
+    node_a.add_neighbour(1, "TAC7N")
+    node_b.add_neighbour(1, "SEA7N")
+    shell_a, shell_b = NodeShell(node_a), NodeShell(node_b)
+    node_a.start_broadcasting()
+    node_b.start_broadcasting()
+    return user_ch, remote_ch, node_a, node_b, shell_a, shell_b
+
+
+def test_shell_nodes_listing_shows_alias(sim, streams):
+    user_ch, _remote, _a, _b, _sa, _sb = build_node_network(sim, streams)
+    term = TerminalStation(sim, user_ch, "KD7NM")
+    sim.at(10 * SECOND, term.type_line, "connect SEA7N")
+    sim.at(90 * SECOND, term.type_line, "NODES")
+    sim.run(until=200 * SECOND)
+    screen = term.screen_text()
+    assert "TAC" in screen and "TAC7N" in screen
+
+
+def test_shell_unknown_command_help(sim, streams):
+    user_ch, _remote, _a, _b, _sa, _sb = build_node_network(sim, streams)
+    term = TerminalStation(sim, user_ch, "KD7NM")
+    sim.at(10 * SECOND, term.type_line, "connect SEA7N")
+    sim.at(90 * SECOND, term.type_line, "FROB")
+    sim.run(until=200 * SECOND)
+    assert "NODES CONNECT INFO BYE" in term.screen_text()
+
+
+def test_shell_bye_disconnects(sim, streams):
+    user_ch, _remote, _a, _b, shell_a, _sb = build_node_network(sim, streams)
+    term = TerminalStation(sim, user_ch, "KD7NM")
+    sim.at(10 * SECOND, term.type_line, "connect SEA7N")
+    sim.at(90 * SECOND, term.type_line, "BYE")
+    sim.run(until=250 * SECOND)
+    assert "73" in term.screen_text()
+    assert "DISCONNECTED" in term.screen_text()
+
+
+def test_three_connect_chain_reaches_bbs(sim, streams):
+    user_ch, remote_ch, _a, _b, _sa, _sb = build_node_network(sim, streams)
+    bbs = BulletinBoard(sim, remote_ch, "W0RLI",
+                        modem=ModemProfile(bit_rate=1200))
+    term = TerminalStation(sim, user_ch, "KD7NM")
+    script = [
+        (10, "connect SEA7N"),     # connect 1: local node
+        (120, "CONNECT TAC"),      # connect 2: far node, by alias
+        (220, "CONNECT W0RLI"),    # connect 3: the destination
+        (400, "S N7AKR"),
+        (460, "across the node net"),
+        (500, "/EX"),
+        (650, "B"),
+    ]
+    for t, line in script:
+        sim.at(t * SECOND, term.type_line, line)
+    sim.run(until=900 * SECOND)
+    screen = term.screen_text()
+    assert "trying node TAC7N via NET/ROM" in screen
+    assert "[W0RLI BBS]" in screen
+    assert "Message saved" in screen
+    assert bbs.messages and bbs.messages[0].body == "across the node net"
+    # the BBS saw the *node* as the connecting station -- the defining
+    # (and limiting) property of NET/ROM access the paper contrasts
+    # with IP end-to-end connectivity
+    assert bbs.messages[0].origin == "TAC7N"
+
+
+def test_shell_unknown_target(sim, streams):
+    user_ch, _remote, _a, _b, _sa, _sb = build_node_network(sim, streams)
+    term = TerminalStation(sim, user_ch, "KD7NM")
+    sim.at(10 * SECOND, term.type_line, "connect SEA7N")
+    sim.at(90 * SECOND, term.type_line, "CONNECT !!!!")
+    sim.run(until=200 * SECOND)
+    assert "unknown" in term.screen_text()
+
+
+# ----------------------------------------------------------------------
+# property tests on the wire formats
+# ----------------------------------------------------------------------
+
+from hypothesis import given, strategies as st
+
+from repro.netrom.protocol import NodesBroadcast, NodesEntry
+
+_callsigns = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789",
+                     min_size=1, max_size=6)
+
+
+@given(st.binary(max_size=300), st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+def test_transport_frame_property(payload, tx, rx):
+    frame = TransportFrame(1, 2, tx, rx, OP_INFORMATION, payload)
+    assert TransportFrame.decode(frame.encode()) == frame
+
+
+@given(st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", min_size=1, max_size=6),
+       st.lists(st.tuples(_callsigns, _callsigns,
+                          st.integers(min_value=0, max_value=255)),
+                max_size=10))
+def test_nodes_broadcast_property(alias, entry_specs):
+    entries = tuple(
+        NodesEntry(AX25Address(dest), dest, AX25Address(neighbour), quality)
+        for dest, neighbour, quality in entry_specs
+    )
+    broadcast = NodesBroadcast(alias, entries)
+    decoded = NodesBroadcast.decode(broadcast.encode())
+    assert decoded.sender_alias == alias
+    assert len(decoded.entries) == len(entries)
+    for got, want in zip(decoded.entries, entries):
+        assert got.destination.matches(want.destination)
+        assert got.quality == want.quality
+
+
+def test_pipe_remote_labels(sim, streams):
+    user_ch, _remote, node_a, _b, shell_a, _sb = build_node_network(sim, streams)
+    term = TerminalStation(sim, user_ch, "KD7NM")
+    sim.at(10 * SECOND, term.type_line, "connect SEA7N")
+    sim.run(until=60 * SECOND)
+    session = next(iter(shell_a._sessions.values()))
+    assert session.pipe.remote_label == "KD7NM"

@@ -1,0 +1,162 @@
+"""Tests for the CSMA radio station and modem timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio.channel import RadioChannel
+from repro.radio.csma import CsmaParameters
+from repro.radio.modem import ModemProfile
+from repro.radio.station import RadioStation
+from repro.sim.clock import MS, SECOND
+from repro.sim.rand import RandomStreams
+
+
+# ----------------------------------------------------------------------
+# modem profile
+# ----------------------------------------------------------------------
+
+def test_modem_airtime_1200bps():
+    modem = ModemProfile(bit_rate=1200, txdelay=300 * MS, txtail=50 * MS)
+    assert modem.data_airtime(150) == 1 * SECOND  # 150 bytes = 1200 bits
+    assert modem.frame_airtime(150) == 1 * SECOND + 350 * MS
+
+
+def test_modem_kiss_parameter_updates():
+    modem = ModemProfile()
+    assert modem.with_kiss_txdelay(25).txdelay == 250 * MS
+    assert modem.with_kiss_txtail(3).txtail == 30 * MS
+
+
+def test_modem_validation():
+    with pytest.raises(ValueError):
+        ModemProfile(bit_rate=0)
+    with pytest.raises(ValueError):
+        ModemProfile(txdelay=-1)
+    with pytest.raises(ValueError):
+        ModemProfile(bit_error_rate=1.0)
+
+
+# ----------------------------------------------------------------------
+# CSMA parameters
+# ----------------------------------------------------------------------
+
+def test_csma_from_kiss_bytes():
+    params = CsmaParameters.from_kiss(63, 10)
+    assert params.persistence == 64 / 256
+    assert params.slot_time == 100 * MS
+
+
+def test_csma_validation():
+    with pytest.raises(ValueError):
+        CsmaParameters(persistence=0.0)
+    with pytest.raises(ValueError):
+        CsmaParameters(slot_time=-1)
+    with pytest.raises(ValueError):
+        CsmaParameters.from_kiss(256, 1)
+
+
+# ----------------------------------------------------------------------
+# station behaviour
+# ----------------------------------------------------------------------
+
+def make_pair(sim, streams, **kwargs):
+    channel = RadioChannel(sim, streams)
+    received = []
+    a = RadioStation(sim, channel, "A", **kwargs)
+    b = RadioStation(sim, channel, "B", on_frame=received.append)
+    return channel, a, b, received
+
+
+def test_frame_delivered_after_csma_and_airtime(sim, streams):
+    _ch, a, _b, received = make_pair(
+        sim, streams, csma=CsmaParameters(persistence=1.0),
+        modem=ModemProfile(bit_rate=1200),
+    )
+    a.send_frame(b"x" * 30)
+    sim.run_until_idle()
+    assert received == [b"x" * 30]
+    # p=1 means immediate key-up: exactly the frame airtime.
+    assert sim.now == a.modem.frame_airtime(30)
+
+
+def test_station_defers_while_channel_busy(sim, streams):
+    channel = RadioChannel(sim, streams)
+    received = []
+    a = RadioStation(sim, channel, "A", csma=CsmaParameters(persistence=1.0))
+    RadioStation(sim, channel, "B", on_frame=received.append)
+    blocker = channel.attach("X", lambda p: None)
+    blocker.transmit(b"noise", airtime=2 * SECOND)
+    # Offer the frame after the carrier is detectable (DCD settled).
+    sim.schedule(channel.carrier_detect_delay + 1, a.send_frame, b"polite")
+    sim.run_until_idle()
+    assert received == [b"noise", b"polite"]  # waited, then sent cleanly
+    assert channel.total_collisions == 0
+    assert sim.now >= 2 * SECOND
+
+
+def test_queue_limit_drops(sim, streams):
+    _ch, a, _b, _received = make_pair(sim, streams, queue_limit=2)
+    assert a.send_frame(b"1")
+    # Station may have started on frame 1 already; fill the queue.
+    a.send_frame(b"2")
+    a.send_frame(b"3")
+    results = [a.send_frame(b"overflow") for _ in range(3)]
+    assert not all(results)
+    assert a.queue_drops >= 1
+
+
+def test_fifo_ordering(sim, streams):
+    _ch, a, _b, received = make_pair(sim, streams)
+    for index in range(5):
+        a.send_frame(bytes([index]))
+    sim.run_until_idle()
+    assert received == [bytes([i]) for i in range(5)]
+
+
+def test_full_duplex_ignores_carrier(sim, streams):
+    channel = RadioChannel(sim, streams)
+    a = RadioStation(sim, channel, "A",
+                     csma=CsmaParameters(persistence=1.0, full_duplex=True))
+    channel.attach("B", lambda p: None)
+    blocker = channel.attach("X", lambda p: None)
+    blocker.transmit(b"noise", airtime=10 * SECOND)
+    a.send_frame(b"now")
+    sim.run_until_idle()
+    # A keyed immediately despite the busy channel: collision happened.
+    assert channel.total_collisions >= 1
+    assert sim.now <= 11 * SECOND
+
+
+def test_two_contending_stations_both_eventually_deliver(sim, streams):
+    channel = RadioChannel(sim, streams)
+    got_a, got_b = [], []
+    a = RadioStation(sim, channel, "A", on_frame=got_a.append,
+                     csma=CsmaParameters(persistence=0.4))
+    b = RadioStation(sim, channel, "B", on_frame=got_b.append,
+                     csma=CsmaParameters(persistence=0.4))
+    for index in range(5):
+        a.send_frame(b"from-a-%d" % index)
+        b.send_frame(b"from-b-%d" % index)
+    sim.run_until_idle(max_events=500_000)
+    assert len(got_b) == 5   # everything from A arrived at B
+    assert len(got_a) == 5
+
+
+def test_deterministic_with_same_seed():
+    def run(seed):
+        from repro.sim.engine import Simulator
+        sim = Simulator()
+        streams = RandomStreams(seed=seed)
+        channel = RadioChannel(sim, streams)
+        got = []
+        a = RadioStation(sim, channel, "A", csma=CsmaParameters(persistence=0.3))
+        RadioStation(sim, channel, "B",
+                     on_frame=lambda p: got.append(sim.now))
+        for _ in range(3):
+            a.send_frame(b"frame")
+        sim.run_until_idle()
+        return got
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)

@@ -1,0 +1,155 @@
+"""Tests for the serial line and tty layer."""
+
+from __future__ import annotations
+
+from repro.serialio.line import SerialLine
+from repro.serialio.tty import Tty
+from repro.sim.clock import SECOND
+
+import pytest
+
+
+def test_byte_time_8n1(sim):
+    line = SerialLine(sim, baud=9600)
+    assert line.byte_time == round(10 * SECOND / 9600)
+
+
+def test_bytes_arrive_one_per_interrupt_with_spacing(sim):
+    line = SerialLine(sim, baud=1200)
+    arrivals = []
+    line.b.on_receive(lambda byte: arrivals.append((sim.now, byte)))
+    line.a.write(b"abc")
+    sim.run_until_idle()
+    assert [byte for _t, byte in arrivals] == [ord("a"), ord("b"), ord("c")]
+    times = [t for t, _ in arrivals]
+    spacing = {times[1] - times[0], times[2] - times[1]}
+    assert spacing == {line.byte_time}
+
+
+def test_writes_queue_behind_in_flight_bytes(sim):
+    line = SerialLine(sim, baud=9600)
+    arrivals = []
+    line.b.on_receive(lambda byte: arrivals.append(sim.now))
+    line.a.write(b"xx")
+    line.a.write(b"y")  # same instant: must serialise after the first two
+    sim.run_until_idle()
+    assert arrivals == [line.byte_time, 2 * line.byte_time, 3 * line.byte_time]
+
+
+def test_directions_are_independent(sim):
+    line = SerialLine(sim, baud=9600)
+    a_got, b_got = [], []
+    line.a.on_receive(lambda byte: a_got.append(byte))
+    line.b.on_receive(lambda byte: b_got.append(byte))
+    line.a.write(b"to-b")
+    line.b.write(b"to-a")
+    sim.run_until_idle()
+    assert bytes(b_got) == b"to-b"
+    assert bytes(a_got) == b"to-a"
+    # Full duplex: both directions finish at the same time.
+    assert sim.now == 4 * line.byte_time
+
+
+def test_tx_busy_and_backlog(sim):
+    line = SerialLine(sim, baud=9600)
+    line.a.write(bytes(10))
+    assert line.a.tx_busy
+    assert line.a.tx_backlog_bytes == 10
+    sim.run(until=5 * line.byte_time)
+    assert line.a.tx_backlog_bytes == 5
+    sim.run_until_idle()
+    assert not line.a.tx_busy
+    assert line.a.tx_backlog_bytes == 0
+
+
+def test_write_returns_completion_time(sim):
+    line = SerialLine(sim, baud=9600)
+    done = line.a.write(bytes(3))
+    assert done == 3 * line.byte_time
+
+
+def test_invalid_baud_rejected(sim):
+    with pytest.raises(ValueError):
+        SerialLine(sim, baud=0)
+
+
+def test_counters(sim):
+    line = SerialLine(sim, baud=9600)
+    line.a.write(b"12345")
+    sim.run_until_idle()
+    assert line.a.bytes_sent == 5
+    assert line.b.bytes_received == 5
+
+
+# ----------------------------------------------------------------------
+# tty
+# ----------------------------------------------------------------------
+
+def test_tty_interrupt_handler_gets_every_char(sim):
+    line = SerialLine(sim, baud=9600)
+    tty = Tty(line.b)
+    got = []
+    tty.hook_interrupt(got.append)
+    line.a.write(b"chars")
+    sim.run_until_idle()
+    assert bytes(got) == b"chars"
+    assert tty.rx_interrupts == 5
+
+
+def test_tty_without_handler_queues_input(sim):
+    line = SerialLine(sim, baud=9600)
+    tty = Tty(line.b)
+    line.a.write(b"queued")
+    sim.run_until_idle()
+    assert tty.input_queue.read() == b"queued"
+
+
+def test_tty_unhook_restores_queueing(sim):
+    line = SerialLine(sim, baud=9600)
+    tty = Tty(line.b)
+    tty.hook_interrupt(lambda byte: None)
+    tty.unhook_interrupt()
+    line.a.write(b"x")
+    sim.run_until_idle()
+    assert tty.input_queue.read() == b"x"
+
+
+def test_tty_input_queue_overflow_drops(sim):
+    line = SerialLine(sim, baud=9600)
+    tty = Tty(line.b)
+    tty.input_queue.limit = 4
+    line.a.write(b"123456")
+    sim.run_until_idle()
+    assert tty.input_queue.read() == b"1234"
+    assert tty.input_queue.dropped == 2
+
+
+def test_tty_input_queue_readable_callback(sim):
+    line = SerialLine(sim, baud=9600)
+    tty = Tty(line.b)
+    pokes = []
+    tty.input_queue.on_readable = lambda: pokes.append(sim.now)
+    line.a.write(b"ab")
+    sim.run_until_idle()
+    assert len(pokes) == 2
+
+
+def test_tty_partial_read(sim):
+    line = SerialLine(sim, baud=9600)
+    tty = Tty(line.b)
+    line.a.write(b"abcdef")
+    sim.run_until_idle()
+    assert tty.input_queue.read(max_bytes=2) == b"ab"
+    assert tty.input_queue.read() == b"cdef"
+
+
+def test_throughput_capacity(sim):
+    line = SerialLine(sim, baud=9600)
+    assert line.throughput_bytes_per_second() == 960.0
+
+
+def test_tty_put_bytes(sim):
+    line = SerialLine(sim, baud=9600)
+    tty = Tty(line.b)
+    tty.input_queue.put_bytes(b"abc")
+    assert tty.input_queue.read() == b"abc"

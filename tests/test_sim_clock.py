@@ -1,0 +1,39 @@
+"""Tests for time units and formatting."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import MS, SECOND, format_time, seconds, us_to_seconds
+
+
+def test_units():
+    assert SECOND == 1_000_000
+    assert MS == 1000
+
+
+def test_seconds_round_trip():
+    assert seconds(1.5) == 1_500_000
+    assert us_to_seconds(1_500_000) == 1.5
+
+
+def test_seconds_rounds():
+    assert seconds(0.0000015) == 2  # 1.5us rounds to 2
+
+
+def test_format_time_units():
+    assert format_time(250) == "250us"
+    assert format_time(2500) == "2.500ms"
+    assert format_time(2_500_000) == "2.500000s"
+
+
+def test_format_time_boundaries():
+    assert format_time(999) == "999us"
+    assert format_time(1000) == "1.000ms"
+    assert format_time(999_999) == "999.999ms"
+    assert format_time(1_000_000) == "1.000000s"
+
+
+@given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_seconds_us_round_trip_close(value):
+    assert abs(us_to_seconds(seconds(value)) - value) <= 1e-6

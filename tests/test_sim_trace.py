@@ -1,0 +1,56 @@
+"""Tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.sim.trace import NullTracer, Tracer
+
+
+def test_records_carry_sim_time(sim, tracer):
+    sim.schedule(500, tracer.log, "radio.tx", "A", "keyed")
+    sim.run_until_idle()
+    assert tracer.records[0].time == 500
+
+
+def test_select_by_category_prefix(sim, tracer):
+    tracer.log("radio.tx", "A", "one")
+    tracer.log("radio.rx", "B", "two")
+    tracer.log("tcp.rexmit", "C", "three")
+    assert len(tracer.select(category="radio")) == 2
+    assert len(tracer.select(category="radio.tx")) == 1
+    assert len(tracer.select(category="tcp")) == 1
+
+
+def test_select_by_source_and_since(sim, tracer):
+    tracer.log("x", "A", "early")
+    sim.schedule(100, tracer.log, "x", "A", "late")
+    sim.run_until_idle()
+    assert len(tracer.select(source="A")) == 2
+    assert len(tracer.select(source="A", since=50)) == 1
+    assert tracer.select(source="B") == []
+
+
+def test_count(sim, tracer):
+    for _ in range(3):
+        tracer.log("a.b", "S", "m")
+    assert tracer.count(category="a") == 3
+    assert tracer.count(source="S") == 3
+    assert tracer.count(source="T") == 0
+
+
+def test_subscribe_live_tap(sim, tracer):
+    seen = []
+    tracer.subscribe(lambda record: seen.append(record.message))
+    tracer.log("x", "A", "hello", extra=1)
+    assert seen == ["hello"]
+
+
+def test_render_includes_details(sim, tracer):
+    tracer.log("radio.tx", "N7AKR", "keyed", bytes=42)
+    text = tracer.render()
+    assert "radio.tx" in text and "N7AKR" in text and "bytes=42" in text
+
+
+def test_null_tracer_discards(sim):
+    tracer = NullTracer(sim)
+    tracer.log("x", "A", "m")
+    assert tracer.records == []

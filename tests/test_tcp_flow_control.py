@@ -1,0 +1,216 @@
+"""Tests for TCP zero-window handling and ICMP source quench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.tcp import AdaptiveRto, TcpState
+from repro.sim.clock import MS, SECOND
+
+from tests.test_inet_tcp import TcpHarness, B_IP
+
+
+@pytest.fixture
+def net(sim):
+    return TcpHarness(sim)
+
+
+def _echo_server(net, collector):
+    sockets = []
+    def on_accept(conn):
+        sock = TcpSocket(conn)
+        sock.on_data = lambda _d: collector.append(sock.recv())
+        sockets.append(sock)
+    net.b.tcp.listen(7, on_accept=on_accept)
+    return sockets
+
+
+# ----------------------------------------------------------------------
+# zero window / persist timer
+# ----------------------------------------------------------------------
+
+def test_zero_window_stalls_sender(sim, net):
+    received = []
+    server_socks = _echo_server(net, received)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+    server_conn = server_socks[0].connection
+    # The receiver closes its window (application stops reading).
+    server_conn.set_receive_window(0)
+    sim.run(until=2 * SECOND)
+    client.send(bytes(2048))
+    sim.run(until=4 * SECOND)
+    # Nothing beyond the first probe-ish trickle may cross.
+    assert sum(map(len, received)) == 0
+    assert client.connection.bytes_unsent > 0
+
+
+def test_window_reopen_update_resumes_transfer(sim, net):
+    received = []
+    server_socks = _echo_server(net, received)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+    server_conn = server_socks[0].connection
+    server_conn.set_receive_window(0)
+    sim.run(until=2 * SECOND)
+    client.send(bytes(2048))
+    sim.run(until=4 * SECOND)
+    # Application drains; window reopens with an immediate update.
+    server_conn.set_receive_window(4096)
+    sim.run(until=60 * SECOND)
+    assert sum(map(len, received)) == 2048
+
+
+def test_persist_probe_fires_while_window_closed(sim, net):
+    received = []
+    server_socks = _echo_server(net, received)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+    server_socks[0].connection.set_receive_window(0)
+    sim.run(until=2 * SECOND)
+    client.send(bytes(512))
+    # Long silence with a closed window: probes must fire.
+    sim.run(until=30 * SECOND)
+    assert client.connection.stats["window_probes"] >= 1
+    # and the connection survives
+    assert client.connection.state is TcpState.ESTABLISHED
+
+
+def test_probe_discovers_silently_reopened_window(sim, net):
+    """The reopening ACK is lost; only the probe can unstick the sender."""
+    received = []
+    server_socks = _echo_server(net, received)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    sim.run(until=1 * SECOND)
+    server_conn = server_socks[0].connection
+
+    server_conn.set_receive_window(0)
+    sim.run(until=2 * SECOND)
+    client.send(bytes(1024))
+    sim.run(until=3 * SECOND)
+
+    # Drop the window-update ACK the server sends on reopen.
+    dropping = {"armed": True}
+    def drop_update(packet):
+        if dropping["armed"] and len(packet) == 40:
+            dropping["armed"] = False
+            return True
+        return False
+    net.b_if.drop_predicate = drop_update
+    server_conn.set_receive_window(4096)
+    sim.run(until=4 * SECOND)
+    net.b_if.drop_predicate = None
+
+    # Without persist probing this would deadlock forever.
+    sim.run(until=120 * SECOND)
+    assert sum(map(len, received)) == 1024
+    assert client.connection.stats["window_probes"] >= 1
+
+
+def test_no_probes_when_window_open(sim, net):
+    received = []
+    _echo_server(net, received)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    client.on_connect = lambda: client.send(bytes(4096))
+    sim.run(until=60 * SECOND)
+    assert client.connection.stats["window_probes"] == 0
+    assert sum(map(len, received)) == 4096
+
+
+# ----------------------------------------------------------------------
+# source quench
+# ----------------------------------------------------------------------
+
+def test_source_quench_shrinks_cwnd(sim, net):
+    received = []
+    _echo_server(net, received)
+    client = TcpSocket.connect(net.a, B_IP, 7)
+    client.on_connect = lambda: client.send(bytes(8192))
+    sim.run(until=5 * SECOND)
+    grown = client.connection.cwnd
+    assert grown > 512
+
+    # Fabricate the quench a congested gateway would send.
+    from repro.inet import icmp
+    from repro.inet.ip import IPv4Datagram, PROTO_TCP
+    from repro.inet.tcp import TcpSegment, FLAG_ACK
+    seg = TcpSegment(client.connection.local_port, 7,
+                     client.connection.snd_nxt, 0, FLAG_ACK, 0)
+    offending = IPv4Datagram(
+        source=net.a_if.address, destination=B_IP, protocol=PROTO_TCP,
+        payload=seg.encode(net.a_if.address, B_IP),
+    )
+    net.b.send_icmp(icmp.source_quench(offending), net.a_if.address)
+    sim.run(until=6 * SECOND)
+    assert client.connection.cwnd == client.connection._effective_mss()
+    assert client.connection.stats["quench_received"] == 1
+
+
+def test_gateway_emits_quench_when_radio_backlogged():
+    """End to end: fast sender, slow radio, quench threshold set."""
+    from repro.core.topology import build_gateway_testbed
+    tb = build_gateway_testbed(seed=77)
+    tb.gateway.stack.quench_threshold = 400   # bytes on the DZ line
+
+    received = []
+    def on_accept(sock):
+        sock.on_data = lambda _d: received.append(sock.recv())
+    TcpServerSocket(tb.pc.stack, 2000, on_accept)
+    client = TcpSocket.connect(tb.ether_host, "44.24.0.5", 2000,
+                               rto_policy=AdaptiveRto())
+    client.connection.max_retries = 100
+    client.on_connect = lambda: client.send(bytes(4096))
+    tb.sim.run(until=3600 * SECOND)
+    assert sum(map(len, received)) == 4096
+    assert tb.gateway.stack.counters["quench_sent"] >= 1
+    assert client.connection.stats["quench_received"] >= 1
+
+
+# ----------------------------------------------------------------------
+# traceroute
+# ----------------------------------------------------------------------
+
+def test_traceroute_through_gateway():
+    from repro.core.topology import build_gateway_testbed
+    from repro.apps.traceroute import Traceroute
+    tb = build_gateway_testbed(seed=78)
+    done = []
+    trace = Traceroute(tb.ether_host, "44.24.0.5", on_complete=done.append)
+    trace.start()
+    tb.sim.run(until=600 * SECOND)
+    assert done
+    hops = done[0]
+    assert len(hops) == 2
+    assert str(hops[0].address) == "128.95.1.1"   # the gateway
+    assert str(hops[1].address) == "44.24.0.5"
+    assert hops[1].reached
+    assert "destination" in trace.render()
+
+
+def test_traceroute_two_coast_dogleg():
+    from repro.core.topology import build_two_coast_internet
+    from repro.apps.traceroute import Traceroute
+    tb = build_two_coast_internet(seed=79)
+    done = []
+    trace = Traceroute(tb.internet_host, tb.EAST_STATION_IP,
+                       on_complete=done.append)
+    trace.start()
+    tb.sim.run(until=900 * SECOND)
+    assert done
+    addresses = [str(hop.address) for hop in done[0]]
+    # The §4.2 problem, visible: west gateway, east gateway, destination.
+    assert addresses == ["192.12.33.10", "192.12.33.20", "44.56.0.5"]
+
+
+def test_traceroute_unreachable_gives_up():
+    from repro.core.topology import build_gateway_testbed
+    from repro.apps.traceroute import Traceroute
+    tb = build_gateway_testbed(seed=80)
+    done = []
+    trace = Traceroute(tb.ether_host, "99.1.2.3", max_ttl=3,
+                       probe_timeout=5 * SECOND, on_complete=done.append)
+    trace.start()
+    tb.sim.run(until=300 * SECOND)
+    assert done
+    assert not any(hop.reached for hop in done[0])

@@ -1,0 +1,281 @@
+"""Tests for the TNC models: KISS TNC, address filter, ROM TNC, digipeater."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ax25.address import AX25Address, AX25Path
+from repro.ax25.defs import PID_ARPA_IP, PID_NO_L3
+from repro.ax25.frames import AX25Frame
+from repro.core.hosts import TerminalStation
+from repro.kiss import commands
+from repro.kiss.framing import KissDeframer, frame as kiss_frame
+from repro.radio.channel import RadioChannel
+from repro.radio.csma import CsmaParameters
+from repro.serialio.line import SerialLine
+from repro.sim.clock import MS, SECOND
+from repro.tnc.digipeater import Digipeater
+from repro.tnc.filtering import frame_is_for_station
+from repro.tnc.kiss_tnc import KissTnc
+
+ME = AX25Address("NT7GW")
+PEER = AX25Address("KB7DZ")
+
+
+def make_tnc(sim, streams, address_filter=False):
+    channel = RadioChannel(sim, streams)
+    line = SerialLine(sim, baud=9600)
+    tnc = KissTnc(sim, channel, line.b, "NT7GW", callsign=ME,
+                  address_filter=address_filter,
+                  csma=CsmaParameters(persistence=1.0))
+    host_rx = KissDeframer()
+    line.a.on_receive(host_rx.push_byte)
+    return channel, line, tnc, host_rx
+
+
+# ----------------------------------------------------------------------
+# KISS TNC: host -> air
+# ----------------------------------------------------------------------
+
+def test_data_record_transmitted_on_air(sim, streams):
+    channel, line, tnc, _rx = make_tnc(sim, streams)
+    heard = []
+    channel.attach("monitor", heard.append)
+    frame = AX25Frame.ui(PEER, ME, PID_ARPA_IP, b"payload").encode()
+    line.a.write(kiss_frame(commands.type_byte(commands.CMD_DATA), frame))
+    sim.run_until_idle()
+    assert heard == [frame]
+    assert tnc.frames_to_air == 1
+
+
+def test_kiss_parameter_commands_applied(sim, streams):
+    _channel, line, tnc, _rx = make_tnc(sim, streams)
+    line.a.write(kiss_frame(commands.type_byte(commands.CMD_TXDELAY), b"\x0a"))
+    line.a.write(kiss_frame(commands.type_byte(commands.CMD_PERSIST), b"\x3f"))
+    line.a.write(kiss_frame(commands.type_byte(commands.CMD_SLOTTIME), b"\x05"))
+    line.a.write(kiss_frame(commands.type_byte(commands.CMD_FULLDUP), b"\x01"))
+    sim.run_until_idle()
+    assert tnc.station.modem.txdelay == 100 * MS
+    assert tnc.station.csma.persistence == 64 / 256
+    assert tnc.station.csma.slot_time == 50 * MS
+    assert tnc.station.csma.full_duplex
+    assert tnc.command_records == 4
+
+
+def test_empty_data_record_counted_bad(sim, streams):
+    _channel, line, tnc, _rx = make_tnc(sim, streams)
+    line.a.write(kiss_frame(commands.type_byte(commands.CMD_DATA), b""))
+    sim.run_until_idle()
+    assert tnc.bad_records == 1
+    assert tnc.frames_to_air == 0
+
+
+# ----------------------------------------------------------------------
+# KISS TNC: air -> host (the §3 behaviour)
+# ----------------------------------------------------------------------
+
+def _on_air_frame(dest, path=AX25Path()):
+    return AX25Frame.ui(dest, PEER, PID_ARPA_IP, b"x" * 20, path).encode()
+
+
+def test_promiscuous_tnc_passes_everything(sim, streams):
+    channel, _line, tnc, host_rx = make_tnc(sim, streams, address_filter=False)
+    other = channel.attach("other", lambda p: None)
+    other.transmit(_on_air_frame(ME), airtime=10 * MS)
+    sim.run_until_idle()
+    other.transmit(_on_air_frame(AX25Address("W9NOT")), airtime=10 * MS)
+    sim.run_until_idle()
+    assert tnc.frames_to_host == 2            # even the one not for us
+    assert len(host_rx.frames) == 2
+
+
+def test_filtering_tnc_drops_other_destinations(sim, streams):
+    channel, _line, tnc, host_rx = make_tnc(sim, streams, address_filter=True)
+    other = channel.attach("other", lambda p: None)
+    other.transmit(_on_air_frame(ME), airtime=10 * MS)
+    sim.run_until_idle()
+    other.transmit(_on_air_frame(AX25Address("W9NOT")), airtime=10 * MS)
+    sim.run_until_idle()
+    other.transmit(_on_air_frame(AX25Address("QST")), airtime=10 * MS)
+    sim.run_until_idle()
+    assert tnc.frames_to_host == 2            # ours + broadcast
+    assert tnc.frames_filtered == 1
+
+
+def test_filter_passes_frames_we_must_digipeat(sim, streams):
+    # the filter must pass a frame whose next digipeater hop is us
+    path = AX25Path.of(str(ME))
+    raw = AX25Frame.ui(AX25Address("W9FAR"), PEER, PID_ARPA_IP, b"x", path).encode()
+    assert frame_is_for_station(raw, ME)
+    # but not one whose pending hop is someone else
+    path2 = AX25Path.of("K3MC")
+    raw2 = AX25Frame.ui(AX25Address("W9FAR"), PEER, PID_ARPA_IP, b"x", path2).encode()
+    assert not frame_is_for_station(raw2, ME)
+
+
+def test_filter_rejects_garbage(sim):
+    assert not frame_is_for_station(b"\x00\x01", ME)
+
+
+# ----------------------------------------------------------------------
+# digipeater
+# ----------------------------------------------------------------------
+
+def test_digipeater_relays_with_h_bit(sim, streams):
+    channel = RadioChannel(sim, streams)
+    digi = Digipeater(sim, channel, "WB7DIG",
+                      csma=CsmaParameters(persistence=1.0))
+    heard = []
+    channel.attach("monitor", heard.append)
+    src = channel.attach("src", lambda p: None)
+    frame = AX25Frame.ui(PEER, ME, PID_ARPA_IP, b"relay me",
+                         AX25Path.of("WB7DIG"))
+    src.transmit(frame.encode(), airtime=10 * MS)
+    sim.run_until_idle()
+    assert digi.frames_relayed == 1
+    relayed = [AX25Frame.decode(p) for p in heard
+               if AX25Frame.decode(p).path.fully_repeated]
+    assert len(relayed) == 1
+    assert relayed[0].info == b"relay me"
+
+
+def test_digipeater_ignores_frames_not_routed_through_it(sim, streams):
+    channel = RadioChannel(sim, streams)
+    digi = Digipeater(sim, channel, "WB7DIG")
+    src = channel.attach("src", lambda p: None)
+    src.transmit(AX25Frame.ui(PEER, ME, PID_ARPA_IP, b"direct").encode(),
+                 airtime=10 * MS)
+    sim.schedule(20 * MS, src.transmit,
+                 AX25Frame.ui(PEER, ME, PID_ARPA_IP, b"other digi",
+                              AX25Path.of("K3MC")).encode(), 30 * MS)
+    sim.run_until_idle()
+    assert digi.frames_relayed == 0
+    assert digi.frames_ignored == 2
+
+
+def test_digipeater_does_not_relay_twice(sim, streams):
+    channel = RadioChannel(sim, streams)
+    digi = Digipeater(sim, channel, "WB7DIG",
+                      csma=CsmaParameters(persistence=1.0))
+    src = channel.attach("src", lambda p: None)
+    path = AX25Path.of("WB7DIG").mark_repeated(AX25Address("WB7DIG"))
+    src.transmit(
+        AX25Frame.ui(PEER, ME, PID_ARPA_IP, b"already done", path).encode(),
+        airtime=10 * MS,
+    )
+    sim.run_until_idle()
+    assert digi.frames_relayed == 0
+
+
+# ----------------------------------------------------------------------
+# ROM TNC command interpreter
+# ----------------------------------------------------------------------
+
+def test_rom_tnc_help_and_unknown_command(sim, streams):
+    channel = RadioChannel(sim, streams)
+    term = TerminalStation(sim, channel, "KD7NM")
+    term.type_line("HELP")
+    term.type_line("FLURB")
+    sim.run_until_idle()
+    screen = term.screen_text()
+    assert "MYCALL CONNECT" in screen
+    assert "What?" in screen
+
+
+def test_rom_tnc_mycall_change(sim, streams):
+    channel = RadioChannel(sim, streams)
+    term = TerminalStation(sim, channel, "KD7NM")
+    term.type_line("MYCALL N0CALL-3")
+    sim.run_until_idle()
+    assert str(term.tnc.callsign) == "N0CALL-3"
+    term.type_line("MYCALL")
+    sim.run_until_idle()
+    assert "MYCALL N0CALL-3" in term.screen_text()
+
+
+def test_rom_tnc_unproto_beacon(sim, streams):
+    channel = RadioChannel(sim, streams)
+    heard = []
+    channel.attach("monitor", heard.append)
+    term = TerminalStation(sim, channel, "KD7NM")
+    term.type_line("UNPROTO BEACON")
+    term.type_line("CONVERSE")
+    term.type_line("packet radio lives")
+    sim.run_until_idle()
+    frames = [AX25Frame.decode(p) for p in heard]
+    ui = [f for f in frames if f.info.startswith(b"packet radio lives")]
+    assert len(ui) == 1
+    assert str(ui[0].destination) == "BEACON"
+    assert ui[0].pid == PID_NO_L3
+
+
+def test_rom_tnc_mheard_tracks_stations(sim, streams):
+    channel = RadioChannel(sim, streams)
+    term = TerminalStation(sim, channel, "KD7NM")
+    other = channel.attach("other", lambda p: None)
+    other.transmit(AX25Frame.ui(AX25Address("CQ"), PEER, PID_NO_L3, b"hi").encode(),
+                   airtime=10 * MS)
+    sim.run_until_idle()
+    term.type_line("MHEARD")
+    sim.run_until_idle()
+    assert "KB7DZ" in term.screen_text()
+
+
+def test_rom_tnc_ctrl_c_leaves_converse(sim, streams):
+    channel = RadioChannel(sim, streams)
+    term = TerminalStation(sim, channel, "KD7NM")
+    term.type_line("CONVERSE")
+    sim.run_until_idle()
+    assert term.tnc.converse
+    term.press_ctrl_c()
+    sim.run_until_idle()
+    assert not term.tnc.converse
+
+
+def test_two_rom_tncs_connect_and_chat(sim, streams):
+    channel = RadioChannel(sim, streams)
+    alice = TerminalStation(sim, channel, "ALICE")
+    bob = TerminalStation(sim, channel, "BOB")
+    sim.at(1 * SECOND, lambda: alice.type_line("connect BOB"))
+    sim.at(30 * SECOND, lambda: alice.type_line("hello bob"))
+    sim.at(60 * SECOND, lambda: bob.type_line("hello alice"))
+    sim.run(until=120 * SECOND)
+    assert "CONNECTED to BOB" in alice.screen_text()
+    assert "hello bob" in bob.screen_text()
+    assert "hello alice" in alice.screen_text()
+
+
+def test_kiss_tnc_serial_backlog_measures_queued_bytes(sim, streams):
+    channel, _line, tnc, _rx = make_tnc(sim, streams)
+    other = channel.attach("other", lambda p: None)
+    # several frames land back to back; the 9600 bps line queues them
+    frame = _on_air_frame(ME)
+    other.transmit(frame, airtime=10 * MS)
+    sim.run(until=11 * MS)
+    assert tnc.serial_backlog_bytes > 0
+    sim.run_until_idle()
+    assert tnc.serial_backlog_bytes == 0
+
+
+def test_rom_tnc_connect_refused_reports_disconnect(sim, streams):
+    channel = RadioChannel(sim, streams)
+    term = TerminalStation(sim, channel, "KD7NM")
+    # nobody answers: SABM retries exhaust and the TNC reports it
+    term.type_line("connect W9GHO")
+    sim.run_until_idle(max_events=2_000_000)
+    screen = term.screen_text()
+    assert "trying W9GHO" in screen
+    assert "DISCONNECTED" in screen and "retry limit" in screen
+
+
+def test_rom_tnc_connect_usage_errors(sim, streams):
+    channel = RadioChannel(sim, streams)
+    term = TerminalStation(sim, channel, "KD7NM")
+    term.type_line("CONNECT")
+    term.type_line("CONNECT !!!")
+    term.type_line("DISCONNECT")
+    sim.run_until_idle()
+    screen = term.screen_text()
+    assert "usage: CONNECT" in screen
+    assert "invalid callsign" in screen
+    assert "not connected" in screen

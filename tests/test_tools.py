@@ -1,0 +1,196 @@
+"""Tests for the operator tools: axdump and netstat."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ping import Pinger
+from repro.ax25.address import AX25Address, AX25Path
+from repro.ax25.defs import PID_ARPA_ARP, PID_ARPA_IP, PID_NETROM, PID_NO_L3
+from repro.ax25.frames import AX25Frame
+from repro.core.topology import build_gateway_testbed
+from repro.inet.arp import ARP_REQUEST, ArpPacket, HRD_AX25
+from repro.inet.icmp import echo_request
+from repro.inet.ip import IPv4Address, IPv4Datagram, PROTO_ICMP, PROTO_UDP
+from repro.inet.udp import UdpDatagram
+from repro.netrom.protocol import NetRomPacket, NodesBroadcast, NodesEntry
+from repro.sim.clock import SECOND
+from repro.tools.axdump import ChannelMonitor, decode_ax25_frame, decode_ip_packet
+from repro.tools.netstat import (
+    format_arp_table,
+    format_interfaces,
+    format_netstat,
+    format_routes,
+)
+
+SRC = AX25Address("KB7DZ")
+DST = AX25Address("NT7GW")
+IP_A = IPv4Address.parse("44.24.0.5")
+IP_B = IPv4Address.parse("128.95.1.2")
+
+
+def ip_bytes(proto=PROTO_ICMP, payload=None):
+    if payload is None:
+        payload = echo_request(1, 2, b"ping!").encode()
+    return IPv4Datagram(source=IP_A, destination=IP_B, protocol=proto,
+                        payload=payload, identification=5).encode()
+
+
+# ----------------------------------------------------------------------
+# axdump decoding
+# ----------------------------------------------------------------------
+
+def test_decode_icmp_in_ip_in_ax25():
+    frame = AX25Frame.ui(DST, SRC, PID_ARPA_IP, ip_bytes())
+    lines = decode_ax25_frame(frame.encode())
+    text = "\n".join(lines)
+    assert "ax25 KB7DZ>NT7GW" in text
+    assert "44.24.0.5>128.95.1.2" in text
+    assert "echo request" in text
+
+
+def test_decode_udp():
+    udp = UdpDatagram(2049, 8778, b"QUERY N7AKR").encode(IP_A, IP_B)
+    lines = decode_ip_packet(ip_bytes(proto=PROTO_UDP, payload=udp))
+    assert any("udp 2049>8778" in line for line in lines)
+
+
+def test_decode_tcp():
+    from repro.inet.tcp import FLAG_SYN, TcpSegment
+    seg = TcpSegment(1024, 23, 100, 0, FLAG_SYN, 4096).encode(IP_A, IP_B)
+    from repro.inet.ip import PROTO_TCP
+    lines = decode_ip_packet(ip_bytes(proto=PROTO_TCP, payload=seg))
+    assert any("tcp" in line and "SYN" in line for line in lines)
+
+
+def test_decode_arp_request():
+    packet = ArpPacket(HRD_AX25, ARP_REQUEST, SRC.encode(last=True), IP_A,
+                       bytes(7), IP_B)
+    frame = AX25Frame.ui(AX25Address("QST"), SRC, PID_ARPA_ARP, packet.encode())
+    text = "\n".join(decode_ax25_frame(frame.encode()))
+    assert "who-has 128.95.1.2 tell 44.24.0.5" in text
+
+
+def test_decode_netrom_nodes_and_datagram():
+    broadcast = NodesBroadcast("SEA", (
+        NodesEntry(AX25Address("TAC7N"), "TAC", AX25Address("TAC7N"), 255),
+    ))
+    frame = AX25Frame.ui(AX25Address("NODES"), SRC, PID_NETROM,
+                         broadcast.encode())
+    text = "\n".join(decode_ax25_frame(frame.encode()))
+    assert "NODES from SEA" in text and "1 routes" in text
+
+    packet = NetRomPacket(SRC, DST, 7, 0x0C, ip_bytes())
+    frame = AX25Frame.ui(DST, SRC, PID_NETROM, packet.encode())
+    text = "\n".join(decode_ax25_frame(frame.encode()))
+    assert "NET/ROM" in text and "echo request" in text
+
+
+def test_decode_plain_text():
+    frame = AX25Frame.ui(DST, SRC, PID_NO_L3, b"hello old man\r")
+    text = "\n".join(decode_ax25_frame(frame.encode()))
+    assert "text 'hello old man'" in text
+
+
+def test_decode_garbage_graceful():
+    assert "undecodable" in decode_ax25_frame(b"\x00\x01\x02")[0]
+    assert "undecodable" in decode_ip_packet(b"\x45\x00")[0]
+
+
+def test_channel_monitor_captures_live_traffic():
+    tb = build_gateway_testbed(seed=91)
+    monitor = ChannelMonitor(tb.channel)
+    pinger = Pinger(tb.pc.stack)
+    pinger.send("128.95.1.2", count=1)
+    tb.sim.run(until=120 * SECOND)
+    assert pinger.received == 1
+    log = monitor.render()
+    assert monitor.frames_heard >= 4          # arp req/rep + echo req/rep
+    assert "who-has" in log
+    assert "echo request" in log and "echo reply" in log
+
+
+# ----------------------------------------------------------------------
+# netstat reports
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def busy_testbed():
+    tb = build_gateway_testbed(seed=92)
+    pinger = Pinger(tb.pc.stack)
+    pinger.send("128.95.1.2", count=2, interval=30 * SECOND)
+    tb.sim.run(until=200 * SECOND)
+    assert pinger.received == 2
+    return tb
+
+
+def test_format_interfaces(busy_testbed):
+    text = format_interfaces(busy_testbed.gateway.stack)
+    assert "qe0" in text and "pr0" in text and "lo0" in text
+    assert "POINTOPOINT" not in text.split("\n")[1]  # header sanity
+    assert "UP" in text
+
+
+def test_format_routes(busy_testbed):
+    text = format_routes(busy_testbed.ether_host)
+    assert "44.0.0.0" in text
+    assert "128.95.1.1" in text     # the gateway
+    assert "net" in text
+
+
+def test_format_arp_table(busy_testbed):
+    gw_text = format_arp_table(busy_testbed.gateway.stack)
+    assert "44.24.0.5" in gw_text       # learned over the radio
+    assert "128.95.1.2" in gw_text      # learned over the Ethernet
+    empty = format_arp_table(busy_testbed.pc.stack)
+    assert "44.24.0.28" in empty
+
+
+def test_format_arp_table_shows_digi_path(sim):
+    from repro.core.topology import build_digipeater_chain
+    chain = build_digipeater_chain(hops=1, seed=93)
+    text = format_arp_table(chain.source.stack)
+    assert "permanent" in text
+    assert "via WB7R-1" in text
+
+
+def test_format_netstat(busy_testbed):
+    text = format_netstat(busy_testbed.gateway.stack)
+    assert "forwarded" in text
+    assert "--- microvax ---" in text
+    # the gateway forwarded the pings
+    import re
+    forwarded = int(re.search(r"(\d+) forwarded", text).group(1))
+    assert forwarded >= 4
+
+
+def test_format_netstat_lists_tcp_connections():
+    from repro.inet.sockets import TcpServerSocket, TcpSocket
+    tb = build_gateway_testbed(seed=94)
+    TcpServerSocket(tb.ether_host, 23, lambda sock: None)
+    TcpSocket.connect(tb.pc.stack, "128.95.1.2", 23)
+    tb.sim.run(until=120 * SECOND)
+    text = format_netstat(tb.pc.stack)
+    assert "ESTABLISHED" in text
+    assert "128.95.1.2:23" in text
+
+
+def test_decode_ip_fragment_tail_has_no_payload_parse():
+    from repro.inet.ip import fragment
+    udp = UdpDatagram(5, 6, bytes(500)).encode(IP_A, IP_B)
+    datagram = IPv4Datagram(source=IP_A, destination=IP_B,
+                            protocol=PROTO_UDP, payload=udp,
+                            identification=3)
+    pieces = fragment(datagram, mtu=256)
+    tail_lines = decode_ip_packet(pieces[-1].encode())
+    assert len(tail_lines) == 1            # header only, no UDP parse
+    assert "frag" in tail_lines[0]
+
+
+def test_decode_source_quench():
+    from repro.inet.icmp import source_quench
+    quench = source_quench(IPv4Datagram(
+        source=IP_A, destination=IP_B, protocol=PROTO_ICMP,
+        payload=bytes(16), identification=4))
+    lines = decode_ip_packet(ip_bytes(payload=quench.encode()))
+    assert any("source quench" in line for line in lines)
