@@ -6,18 +6,64 @@ software: event-loop throughput, codec speed, and end-to-end simulation
 cost.  They exist so a change that makes the simulator 10x slower is
 caught by the same `pytest benchmarks/ --benchmark-only` run that
 checks the science.
+
+Each test records its headline rate (events/sec, frames/sec, ...) and a
+module-teardown fixture writes them to ``BENCH_perf.json`` through the
+harness's results writer, so the repo's performance trajectory is
+tracked across PRs alongside the ``python -m repro sweep`` outputs.
 """
 
 from __future__ import annotations
 
+from typing import Dict
+
+import pytest
+
 from repro.ax25.address import AX25Address, AX25Path
 from repro.ax25.defs import PID_ARPA_IP
 from repro.ax25.frames import AX25Frame
+from repro.harness.results import bench_json_path, write_bench_json
 from repro.inet.ip import IPv4Address, IPv4Datagram, PROTO_TCP
 from repro.inet.tcp import FLAG_ACK, TcpSegment
 from repro.kiss.framing import KissDeframer, frame as kiss_frame
 from repro.sim.clock import SECOND
 from repro.sim.engine import Simulator
+
+#: case name -> metrics dict, filled in as the benches run.
+_PERF_RESULTS: Dict[str, Dict[str, float]] = {}
+
+
+def _record(case: str, benchmark, **rates: float) -> None:
+    """Stash one bench's rates for the module-level JSON artifact."""
+    metrics = dict(rates)
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        metrics["mean_seconds_per_round"] = float(stats.stats.mean)
+    _PERF_RESULTS[case] = metrics
+
+
+def _mean_seconds(benchmark) -> float:
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:  # e.g. --benchmark-disable
+        return float("nan")
+    return float(stats.stats.mean)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    """Write BENCH_perf.json after the module's benches have run."""
+    yield
+    if not _PERF_RESULTS:
+        return
+    runs = [
+        {"params": {"case": case}, "seed": 0, "metrics": metrics}
+        for case, metrics in sorted(_PERF_RESULTS.items())
+    ]
+    write_bench_json(
+        bench_json_path("perf"),
+        {"bench": "perf", "spec": {"source": "benchmarks/test_perf_microbench.py"},
+         "runs": runs},
+    )
 
 
 def test_perf_event_loop_throughput(benchmark):
@@ -36,6 +82,8 @@ def test_perf_event_loop_throughput(benchmark):
         return state["count"]
 
     assert benchmark(run) == 10_000
+    _record("event_loop", benchmark,
+            events_per_s=10_000 / _mean_seconds(benchmark))
 
 
 def test_perf_kiss_deframe_64k_stream(benchmark):
@@ -52,6 +100,9 @@ def test_perf_kiss_deframe_64k_stream(benchmark):
 
     frames = benchmark(run)
     assert frames > 200
+    _record("kiss_deframe", benchmark,
+            bytes_per_s=len(stream) / _mean_seconds(benchmark),
+            frames_per_s=frames / _mean_seconds(benchmark))
 
 
 def test_perf_ax25_codec(benchmark):
@@ -69,6 +120,8 @@ def test_perf_ax25_codec(benchmark):
         return total
 
     assert benchmark(run) == 500 * 200
+    _record("ax25_codec", benchmark,
+            frames_per_s=500 / _mean_seconds(benchmark))
 
 
 def test_perf_ip_tcp_codec(benchmark):
@@ -90,6 +143,8 @@ def test_perf_ip_tcp_codec(benchmark):
         return total
 
     assert benchmark(run) == 300 * 512
+    _record("ip_tcp_codec", benchmark,
+            segments_per_s=300 / _mean_seconds(benchmark))
 
 
 def test_perf_full_gateway_session(benchmark):
@@ -97,11 +152,17 @@ def test_perf_full_gateway_session(benchmark):
     from repro.apps.ping import Pinger
     from repro.core.topology import build_gateway_testbed
 
+    state = {"events": 0}
+
     def run():
         tb = build_gateway_testbed(seed=1)
         pinger = Pinger(tb.pc.stack)
         pinger.send("128.95.1.2", count=2, interval=30 * SECOND)
         tb.sim.run(until=200 * SECOND)
+        state["events"] = tb.sim.events_executed
         return pinger.received
 
     assert benchmark(run) == 2
+    _record("full_gateway_session", benchmark,
+            sim_events_per_s=state["events"] / _mean_seconds(benchmark),
+            sim_events=float(state["events"]))

@@ -6,7 +6,15 @@ directory, so an installed copy of the library can demonstrate itself:
     python -m repro quickstart     # Figure 1 ping
     python -m repro gateway        # §2.3 telnet session over the gateway
     python -m repro observatory    # axdump + netstat on a live gateway
+    python -m repro sweep ...      # parallel seeded experiment sweeps
     python -m repro list           # show this list
+
+``sweep`` is the experiment harness: it fans a seed sweep of a named
+experiment (e3, a3, soak, perf) across worker processes, prints
+mean +/- 95% CI per grid point, and writes a machine-readable
+``BENCH_<name>.json``:
+
+    python -m repro sweep --bench e3 --seeds 8 --procs 4
 
 The fuller scenarios (BBS, emergency net, NET/ROM node network, ...)
 live as scripts in the repository's examples/ directory.
@@ -14,8 +22,9 @@ live as scripts in the repository's examples/ directory.
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 
 def _quickstart() -> None:
@@ -65,6 +74,88 @@ def _observatory() -> None:
     print(format_netstat(testbed.gateway.stack))
 
 
+def _sweep(argv: List[str]) -> int:
+    """``python -m repro sweep``: run a seeded experiment sweep."""
+    from repro.harness import (
+        EXPERIMENTS,
+        SweepSpec,
+        bench_json_path,
+        run_sweep,
+        write_bench_json,
+    )
+    from repro.harness.runner import seeds_from_count
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Fan a seeded experiment sweep across worker "
+                    "processes and write BENCH_<name>.json.",
+    )
+    parser.add_argument("--bench", default=None,
+                        help="experiment name (see --list)")
+    parser.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="number of seeds (default: per experiment)")
+    parser.add_argument("--seed-base", type=int, default=1,
+                        help="first seed value (default: 1)")
+    parser.add_argument("--procs", type=int, default=1,
+                        help="worker processes (default: 1)")
+    parser.add_argument("--out", default=None,
+                        help="results path (default: ./BENCH_<name>.json)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list or args.bench is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            experiment = EXPERIMENTS[name]
+            print(f"  {name:6s} {experiment.description} "
+                  f"[{len(experiment.grid)} grid points, "
+                  f"default {experiment.default_seed_count} seeds]")
+        return 0 if args.list else 2
+    if args.bench not in EXPERIMENTS:
+        print(f"unknown bench {args.bench!r}; try --list", file=sys.stderr)
+        return 2
+
+    if args.seeds is not None and args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.procs < 1:
+        print("--procs must be >= 1", file=sys.stderr)
+        return 2
+
+    experiment = EXPERIMENTS[args.bench]
+    seed_count = (args.seeds if args.seeds is not None
+                  else experiment.default_seed_count)
+    spec = SweepSpec(
+        bench=args.bench,
+        seeds=seeds_from_count(seed_count, base=args.seed_base),
+        procs=args.procs,
+    )
+    total = len(experiment.grid) * seed_count
+    print(f"sweep {args.bench}: {len(experiment.grid)} grid points x "
+          f"{seed_count} seeds = {total} runs on {args.procs} process(es)")
+
+    done = {"count": 0}
+
+    def progress(record) -> None:
+        done["count"] += 1
+        print(f"  [{done['count']:3d}/{total}] seed={record.seed} "
+              f"{record.params} ({record.wall_seconds:.2f}s)")
+
+    result = run_sweep(spec, progress=progress)
+
+    print(f"\n{args.bench}: mean ± 95% CI over {seed_count} seeds")
+    for key, params in result.grid_points():
+        print(f"  {params}")
+        for name, stat in sorted(result.aggregates[key].items()):
+            print(f"    {name:28s} {stat.render()}")
+    out = args.out or bench_json_path(args.bench)
+    path = write_bench_json(out, result)
+    print(f"\nwall {result.wall_seconds:.1f}s, "
+          f"{result.workers_used} worker process(es); wrote {path}")
+    return 0
+
+
 SCENARIOS: Dict[str, Callable[[], None]] = {
     "quickstart": _quickstart,
     "gateway": _gateway,
@@ -75,13 +166,15 @@ SCENARIOS: Dict[str, Callable[[], None]] = {
 def main(argv: list) -> int:
     """Dispatch to a scenario; returns a process exit code."""
     name = argv[1] if len(argv) > 1 else "list"
+    if name == "sweep":
+        return _sweep(argv[2:])
     if name in SCENARIOS:
         SCENARIOS[name]()
         return 0
     if name not in ("list", "-h", "--help"):
         print(f"unknown scenario {name!r}", file=sys.stderr)
     print(__doc__.strip())
-    print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)))
+    print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)), "+ sweep")
     print("richer versions live in examples/*.py")
     return 0 if name in ("list", "-h", "--help") else 2
 

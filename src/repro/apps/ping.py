@@ -25,6 +25,7 @@ class Pinger:
         Pinger._next_ident += 1
         self.ident = Pinger._next_ident
         self._sent_at: Dict[int, int] = {}
+        self._next_sequence = 0
         self.rtts_us: List[int] = []
         self.sent = 0
         self.received = 0
@@ -36,12 +37,16 @@ class Pinger:
         destination = IPv4Address.coerce(destination)
         for index in range(count):
             self.sim.schedule(
-                index * interval, self._send_one, destination, index,
+                index * interval, self.send_one, destination,
                 payload_size, label="ping",
             )
 
-    def _send_one(self, destination: IPv4Address, sequence: int,
-                  payload_size: int) -> None:
+    def send_one(self, destination: "IPv4Address | str",
+                 payload_size: int = 56) -> None:
+        """Send a single echo request now (sequence numbers never repeat)."""
+        destination = IPv4Address.coerce(destination)
+        sequence = self._next_sequence
+        self._next_sequence += 1
         self._sent_at[sequence] = self.sim.now
         self.sent += 1
         message = icmp_mod.echo_request(self.ident, sequence, b"\x2a" * payload_size)

@@ -10,6 +10,9 @@
   gateway; optional regional host routes / ICMP redirects fix it.
 * :func:`build_digipeater_chain` -- a linear chain of digipeaters for
   ablation A2 (throughput vs hop count on one frequency).
+* :func:`synthesize_stations` -- grow any radio channel from the
+  paper's hand-placed hosts to an N-station population (used by the
+  workload layer to scale scenarios).
 """
 
 from __future__ import annotations
@@ -250,6 +253,50 @@ def build_two_coast_internet(
         sim, streams, tracer, backbone, west_channel, east_channel,
         internet_host, west_gateway, east_gateway, west_station, east_station,
     )
+
+
+def synthesize_stations(
+    sim: Simulator,
+    channel: RadioChannel,
+    count: int,
+    tracer: Optional[Tracer] = None,
+    modem: Optional[ModemProfile] = None,
+    serial_baud: int = 9600,
+    csma: Optional[CsmaParameters] = None,
+    default_gateway: Optional[str] = None,
+    callsign_prefix: str = "WL",
+    subnet: str = "44.24",
+    start_index: int = 0,
+) -> List[PcHost]:
+    """Mass-produce IP-speaking radio stations on an existing channel.
+
+    The canonical testbeds place the paper's two or three hand-named
+    hosts; this grows the population to ``count`` additional stations
+    with generated callsigns (``WL0``, ``WL1``, ...) and addresses from
+    ``subnet``.3-octet space starting at ``.1.1`` (clear of the .0.x
+    addresses the canonical testbeds use).  When ``default_gateway`` is
+    given, every station routes off-subnet traffic through it -- the
+    §2.3 "isolated PC" configuration, N times over.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    stations: List[PcHost] = []
+    for offset in range(count):
+        index = start_index + offset
+        if index >= 200 * 250:
+            raise ValueError("station index exhausts the subnet")
+        callsign = f"{callsign_prefix}{index}"
+        if len(callsign) > 6:
+            raise ValueError(f"callsign {callsign!r} exceeds 6 characters")
+        ip = f"{subnet}.{1 + index // 200}.{1 + index % 200}"
+        host = make_radio_host(
+            sim, channel, f"sta{index}", callsign, ip,
+            tracer=tracer, modem=modem, serial_baud=serial_baud, csma=csma,
+        )
+        if default_gateway is not None:
+            host.stack.routes.set_default(host.interface, default_gateway)
+        stations.append(host)
+    return stations
 
 
 @dataclass

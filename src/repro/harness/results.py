@@ -1,0 +1,109 @@
+"""Machine-readable benchmark results: the ``BENCH_*.json`` files.
+
+One file per bench, written at the repository root (or wherever the
+caller points), so the repo's performance trajectory can be tracked
+across PRs by diffing or plotting these files.  The schema is stable
+and flat on purpose:
+
+.. code-block:: json
+
+    {
+      "bench": "e3",
+      "schema": 1,
+      "spec": {"seeds": [1, 2], "procs": 4, "grid": [...]},
+      "runs": [
+        {"params": {...}, "seed": 1, "metrics": {...},
+         "runtime": {"pid": 123, "wall_seconds": 0.8}}
+      ],
+      "aggregates": [
+        {"params": {...}, "metrics": {"m": {"n": 2, "mean": ..,
+          "stdev": .., "ci95": .., "min": .., "max": ..}}}
+      ]
+    }
+
+Per-seed ``metrics`` are seed-deterministic (identical across re-runs
+and worker layouts); ``runtime`` is diagnostic only and excluded from
+any reproducibility comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.harness.runner import SweepResult
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def bench_json_path(bench: str, directory: Union[str, Path] = ".") -> Path:
+    """The conventional results path for a bench: ``BENCH_<name>.json``."""
+    return Path(directory) / f"BENCH_{bench}.json"
+
+
+def sweep_to_dict(result: SweepResult) -> Dict[str, object]:
+    """Shape a :class:`SweepResult` into the stable JSON schema."""
+    runs: List[Dict[str, object]] = [
+        {
+            "params": record.params,
+            "seed": record.seed,
+            "metrics": record.metrics,
+            "runtime": {
+                "pid": record.pid,
+                "wall_seconds": round(record.wall_seconds, 6),
+            },
+        }
+        for record in result.records
+    ]
+    aggregates: List[Dict[str, object]] = [
+        {
+            "params": params,
+            "metrics": {
+                name: stat.as_dict()
+                for name, stat in sorted(result.aggregates[key].items())
+            },
+        }
+        for key, params in result.grid_points()
+    ]
+    return {
+        "bench": result.spec.bench,
+        "schema": SCHEMA_VERSION,
+        "spec": {
+            "seeds": list(result.spec.seeds),
+            "procs": result.spec.procs,
+            "grid": [dict(params) for params in
+                     (result.spec.grid or
+                      [p for _, p in result.grid_points()])],
+        },
+        "runtime": {
+            "wall_seconds": round(result.wall_seconds, 6),
+            "workers_used": result.workers_used,
+        },
+        "runs": runs,
+        "aggregates": aggregates,
+    }
+
+
+def write_bench_json(
+    path: Union[str, Path],
+    payload: Union[SweepResult, Dict[str, object]],
+    bench: Optional[str] = None,
+) -> Path:
+    """Write a results file; accepts a sweep result or a pre-shaped dict.
+
+    The pre-shaped-dict form is for callers outside the sweep runner
+    (e.g. the pytest perf microbench) that assemble ``runs`` manually;
+    ``bench`` and the schema version are stamped in for them.
+    """
+    if isinstance(payload, SweepResult):
+        document = sweep_to_dict(payload)
+    else:
+        document = dict(payload)
+        document.setdefault("schema", SCHEMA_VERSION)
+        if bench is not None:
+            document.setdefault("bench", bench)
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -21,7 +21,7 @@ class CounterSet:
         self._counts[name] = self._counts.get(name, 0) + amount
 
     def get(self, name: str) -> int:
-        """Look up an item; None when absent."""
+        """Look up a counter; 0 when it was never bumped."""
         return self._counts.get(name, 0)
 
     def snapshot(self) -> Dict[str, int]:

@@ -1,0 +1,70 @@
+"""Workload generation: seeded traffic models and declarative scenarios.
+
+The paper's performance discussion (§3 channel load, §4.1 retransmission
+storms, §4.2 regional gateways) is all about behaviour *under offered
+load*.  This package provides the load: composable arrival processes
+(:mod:`repro.workload.arrivals`), traffic generators that drive the
+existing stack through its public interfaces
+(:mod:`repro.workload.generators`), and a declarative
+:class:`~repro.workload.scenario.Scenario` spec that synthesizes
+N-station populations on any canonical testbed
+(:mod:`repro.workload.scenario`).
+
+Everything draws randomness from the testbed's named
+:class:`~repro.sim.rand.RandomStreams`, so a seed fully determines the
+offered load, byte for byte -- the property the experiment harness
+(:mod:`repro.harness`) relies on when it fans seeds across worker
+processes.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    FixedArrivals,
+    OnOffArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+    arrival_schedule,
+    make_arrivals,
+)
+from repro.workload.generators import (
+    BbsTerminalGenerator,
+    DiscardServer,
+    PingGenerator,
+    TcpTransferGenerator,
+    TrafficGenerator,
+    UdpBlastGenerator,
+    UdpSink,
+    UiChatterGenerator,
+)
+from repro.workload.scenario import (
+    GeneratorMix,
+    Scenario,
+    ScenarioRun,
+    build_scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstArrivals",
+    "FixedArrivals",
+    "OnOffArrivals",
+    "ParetoArrivals",
+    "PoissonArrivals",
+    "arrival_schedule",
+    "make_arrivals",
+    "BbsTerminalGenerator",
+    "DiscardServer",
+    "PingGenerator",
+    "TcpTransferGenerator",
+    "TrafficGenerator",
+    "UdpBlastGenerator",
+    "UdpSink",
+    "UiChatterGenerator",
+    "GeneratorMix",
+    "Scenario",
+    "ScenarioRun",
+    "build_scenario",
+    "run_scenario",
+]

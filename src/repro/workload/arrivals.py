@@ -1,0 +1,228 @@
+"""Interarrival-time processes for traffic generation.
+
+An :class:`ArrivalProcess` answers one question -- "how long until the
+next arrival?" -- in integer microseconds, drawing any randomness from
+a ``random.Random`` handed in by the caller (always a named stream from
+:class:`~repro.sim.rand.RandomStreams`, never the global module, so the
+offered load is part of the seeded universe).
+
+The processes cover the classic traffic shapes:
+
+* :class:`PoissonArrivals` -- memoryless, the textbook offered-load model;
+* :class:`OnOffArrivals` -- bursty Markov-modulated on/off (talk-spurts
+  on a voice channel, a user typing then thinking);
+* :class:`ParetoArrivals` -- heavy-tailed interarrivals (self-similar
+  LAN traffic, long silences punctuated by clumps);
+* :class:`FixedArrivals` -- deterministic period, for calibration;
+* :class:`BurstArrivals` -- everything at once, the worst-case
+  contention burst the A3 ablation keys on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.sim.clock import SECOND, seconds
+
+
+class ArrivalProcess:
+    """Base class: a stream of interarrival gaps in microseconds."""
+
+    def next_gap(self) -> int:
+        """Microseconds from the previous arrival to the next one."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable parameterisation."""
+        return type(self).__name__
+
+
+class FixedArrivals(ArrivalProcess):
+    """Deterministic arrivals every ``interval`` microseconds."""
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = int(interval)
+
+    def next_gap(self) -> int:
+        return self.interval
+
+    def describe(self) -> str:
+        return f"fixed({self.interval / SECOND:.3f}s)"
+
+
+class BurstArrivals(ArrivalProcess):
+    """All arrivals at the same instant (gap 0): a synchronized burst.
+
+    After ``count`` arrivals (when given) the process goes silent for
+    good, so a schedule of a bounded burst terminates on its own.
+    """
+
+    #: Gap used once a bounded burst is exhausted: ~31 simulated years.
+    SILENT = 10**15
+
+    def __init__(self, count: Optional[int] = None) -> None:
+        if count is not None and count <= 0:
+            raise ValueError("count must be positive")
+        self.count = count
+        self._emitted = 0
+
+    def next_gap(self) -> int:
+        if self.count is not None and self._emitted >= self.count:
+            return self.SILENT
+        self._emitted += 1
+        return 0
+
+    def describe(self) -> str:
+        suffix = "" if self.count is None else f"x{self.count}"
+        return f"burst{suffix}"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential interarrivals at ``rate_per_second`` (a Poisson process)."""
+
+    def __init__(self, rng: random.Random, rate_per_second: float) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self.rng = rng
+        self.rate = rate_per_second
+
+    def next_gap(self) -> int:
+        return max(1, seconds(self.rng.expovariate(self.rate)))
+
+    def describe(self) -> str:
+        return f"poisson({self.rate:.3g}/s)"
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Markov-modulated on/off bursts.
+
+    While ON, arrivals are Poisson at ``on_rate_per_second``; the ON
+    dwell is exponential with mean ``mean_on_seconds``, then the source
+    goes silent for an exponential OFF dwell with mean
+    ``mean_off_seconds``.  Long-run mean rate is
+    ``on_rate * on / (on + off)``.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        on_rate_per_second: float,
+        mean_on_seconds: float = 10.0,
+        mean_off_seconds: float = 30.0,
+    ) -> None:
+        if on_rate_per_second <= 0:
+            raise ValueError("on rate must be positive")
+        if mean_on_seconds <= 0 or mean_off_seconds < 0:
+            raise ValueError("dwell times must be positive")
+        self.rng = rng
+        self.on_rate = on_rate_per_second
+        self.mean_on = mean_on_seconds
+        self.mean_off = mean_off_seconds
+        # Time left in the current ON period, microseconds.
+        self._on_remaining = seconds(rng.expovariate(1.0 / mean_on_seconds))
+
+    def next_gap(self) -> int:
+        gap = 0
+        while True:
+            step = seconds(self.rng.expovariate(self.on_rate))
+            if step <= self._on_remaining:
+                self._on_remaining -= step
+                return max(1, gap + step)
+            # The ON period ends before the next arrival: burn the rest
+            # of it, sleep through an OFF dwell, start a fresh ON period.
+            gap += self._on_remaining
+            if self.mean_off > 0:
+                gap += seconds(self.rng.expovariate(1.0 / self.mean_off))
+            self._on_remaining = seconds(
+                self.rng.expovariate(1.0 / self.mean_on)
+            )
+
+    def describe(self) -> str:
+        return (f"onoff({self.on_rate:.3g}/s on, "
+                f"{self.mean_on:.3g}s/{self.mean_off:.3g}s)")
+
+
+class ParetoArrivals(ArrivalProcess):
+    """Heavy-tailed (Pareto) interarrivals with a target mean gap.
+
+    ``shape`` (alpha) must exceed 1 so the mean exists; the classic
+    self-similar-traffic regime is 1 < alpha < 2, where the variance is
+    infinite and arrivals clump at every timescale.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        mean_gap_seconds: float,
+        shape: float = 1.5,
+    ) -> None:
+        if shape <= 1:
+            raise ValueError("shape must be > 1 for a finite mean")
+        if mean_gap_seconds <= 0:
+            raise ValueError("mean gap must be positive")
+        self.rng = rng
+        self.shape = shape
+        # Scale xm chosen so E[X] = xm * alpha / (alpha - 1) == mean.
+        self.scale_seconds = mean_gap_seconds * (shape - 1) / shape
+
+    def next_gap(self) -> int:
+        return max(1, seconds(self.rng.paretovariate(self.shape)
+                              * self.scale_seconds))
+
+    def describe(self) -> str:
+        return f"pareto(a={self.shape:.3g}, xm={self.scale_seconds:.3g}s)"
+
+
+def make_arrivals(
+    kind: str,
+    rng: random.Random,
+    rate_per_minute: float,
+) -> ArrivalProcess:
+    """Build a process by name with a common mean-rate parameterisation.
+
+    ``kind`` is one of ``poisson``, ``onoff``, ``pareto``, ``fixed``,
+    ``burst``.  For every kind but ``burst`` the long-run mean rate is
+    ``rate_per_minute`` arrivals per minute, so scenario specs can swap
+    traffic shapes without changing offered load.
+    """
+    if kind == "burst":
+        return BurstArrivals()
+    if rate_per_minute <= 0:
+        raise ValueError("rate_per_minute must be positive")
+    rate = rate_per_minute / 60.0
+    if kind == "poisson":
+        return PoissonArrivals(rng, rate)
+    if kind == "fixed":
+        return FixedArrivals(seconds(1.0 / rate))
+    if kind == "onoff":
+        # ON a third of the time; triple the ON rate keeps the mean.
+        return OnOffArrivals(rng, 3.0 * rate,
+                             mean_on_seconds=10.0, mean_off_seconds=20.0)
+    if kind == "pareto":
+        return ParetoArrivals(rng, mean_gap_seconds=1.0 / rate)
+    raise ValueError(f"unknown arrival kind {kind!r}")
+
+
+def arrival_schedule(
+    process: ArrivalProcess,
+    duration: int,
+    start: int = 0,
+    limit: Optional[int] = None,
+) -> List[int]:
+    """Materialise absolute arrival times in ``[start, start + duration)``.
+
+    Useful for tests (the determinism guarantee is "same seed, same
+    schedule") and for pre-computing offered load without a simulator.
+    """
+    times: List[int] = []
+    now = start
+    while True:
+        now += process.next_gap()
+        if now >= start + duration:
+            return times
+        times.append(now)
+        if limit is not None and len(times) >= limit:
+            return times

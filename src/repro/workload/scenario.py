@@ -1,0 +1,302 @@
+"""Declarative workload scenarios over the canonical testbeds.
+
+A :class:`Scenario` is a value object: topology name, station count,
+generator mix, duration, seed.  :func:`build_scenario` turns it into a
+live simulation -- it builds the named testbed from
+:mod:`repro.core.topology`, synthesizes the station population, wires
+one traffic generator per station according to the mix, and parks
+sinks (UDP sink, TCP discard, a BBS for terminal users) on the far
+side.  :func:`run_scenario` runs it and returns a flat metrics dict.
+
+Populations are mixed on purpose: the paper's channel carried IP users
+(KA9Q PCs), legacy AX.25 chatter, and terminal users on BBSs all at
+once, and the §3 slowdown only shows up when the traffic that is *not*
+for you shares the frequency with the traffic that is.
+
+Same seed, same scenario => identical offered load and identical
+end-of-run metrics; the experiment harness leans on this when it fans
+seeds across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.bbs import BulletinBoard
+from repro.ax25.address import AX25Address
+from repro.ax25.defs import PID_NO_L3
+from repro.ax25.frames import AX25Frame
+from repro.core.hosts import TerminalStation
+from repro.core.topology import (
+    build_figure1_testbed,
+    build_gateway_testbed,
+    synthesize_stations,
+)
+from repro.radio.modem import ModemProfile
+from repro.radio.station import RadioStation
+from repro.sim.clock import seconds
+from repro.workload.arrivals import make_arrivals
+from repro.workload.generators import (
+    BbsTerminalGenerator,
+    DiscardServer,
+    PingGenerator,
+    TcpTransferGenerator,
+    TrafficGenerator,
+    UdpBlastGenerator,
+    UdpSink,
+    UiChatterGenerator,
+)
+
+#: Topology names accepted by :class:`Scenario`.
+TOPOLOGIES = ("gateway", "figure1")
+
+#: Generator kinds accepted in a :class:`GeneratorMix`.
+GENERATOR_KINDS = ("ping", "udp", "tcp", "chatter", "bbs")
+
+
+@dataclass(frozen=True)
+class GeneratorMix:
+    """One component of a traffic mix.
+
+    ``fraction`` is the share of the station population running this
+    generator; fractions are normalised over the whole mix, so
+    ``(GeneratorMix("ping", 1), GeneratorMix("chatter", 3))`` puts a
+    quarter of the stations on ping and the rest on chatter.
+    """
+
+    kind: str
+    fraction: float = 1.0
+    arrivals: str = "poisson"
+    rate_per_minute: float = 6.0
+    payload_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.kind not in GENERATOR_KINDS:
+            raise ValueError(f"unknown generator kind {self.kind!r}")
+        if self.fraction <= 0:
+            raise ValueError("fraction must be positive")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, reproducible workload description."""
+
+    name: str = "scenario"
+    topology: str = "gateway"
+    stations: int = 10
+    duration_seconds: float = 300.0
+    mix: Tuple[GeneratorMix, ...] = (GeneratorMix("ping"),)
+    seed: int = 0
+    bit_rate: int = 1200
+    serial_baud: int = 9600
+    tnc_address_filter: bool = False
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.stations < 1:
+            raise ValueError("a scenario needs at least one station")
+        if not self.mix:
+            raise ValueError("a scenario needs a non-empty mix")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """The same scenario in a different seeded universe."""
+        return replace(self, seed=seed)
+
+    def station_allocation(self) -> List[GeneratorMix]:
+        """Which mix component each of the N stations runs.
+
+        Largest-remainder allocation over normalised fractions; always
+        sums to exactly ``stations`` and is a pure function of the spec.
+        """
+        total = sum(component.fraction for component in self.mix)
+        exact = [self.stations * c.fraction / total for c in self.mix]
+        counts = [int(value) for value in exact]
+        remainders = sorted(
+            range(len(self.mix)),
+            key=lambda i: (exact[i] - counts[i], -i),
+            reverse=True,
+        )
+        for i in range(self.stations - sum(counts)):
+            counts[remainders[i % len(self.mix)]] += 1
+        allocation: List[GeneratorMix] = []
+        for component, count in zip(self.mix, counts):
+            allocation.extend([component] * count)
+        return allocation
+
+
+@dataclass
+class ScenarioRun:
+    """A built (but not yet run) scenario: live testbed + generators."""
+
+    scenario: Scenario
+    testbed: object
+    target_ip: str
+    generators: List[TrafficGenerator]
+    udp_sink: Optional[UdpSink] = None
+    discard: Optional[DiscardServer] = None
+    bbs: Optional[BulletinBoard] = None
+    extra_stations: List[object] = field(default_factory=list)
+
+    @property
+    def sim(self):
+        """The simulator of the underlying testbed."""
+        return self.testbed.sim
+
+    def run(self) -> Dict[str, float]:
+        """Run for the scenario's duration and return the metrics."""
+        for generator in self.generators:
+            generator.start()
+        self.sim.run(until=self.sim.now
+                     + seconds(self.scenario.duration_seconds))
+        return self.results()
+
+    def results(self) -> Dict[str, float]:
+        """Aggregate generator, sink and channel metrics, flat."""
+        out: Dict[str, float] = {}
+        rtts: List[float] = []
+        for generator in self.generators:
+            for key, value in generator.metrics().items():
+                if key == "ping_mean_rtt_s":
+                    rtts.append(value)  # means do not sum
+                else:
+                    out[key] = out.get(key, 0.0) + value
+        if rtts:
+            out["ping_mean_rtt_s"] = sum(rtts) / len(rtts)
+        if self.udp_sink is not None:
+            out["udp_sink_datagrams"] = float(self.udp_sink.datagrams)
+            out["udp_sink_bytes"] = float(self.udp_sink.bytes)
+        if self.discard is not None:
+            out["tcp_sink_connections"] = float(self.discard.connections)
+            out["tcp_sink_bytes"] = float(self.discard.bytes)
+        channel = self.testbed.channel
+        out["channel_transmissions"] = float(channel.total_transmissions)
+        out["channel_collisions"] = float(channel.total_collisions)
+        out["channel_utilisation"] = float(channel.utilisation())
+        gateway = getattr(self.testbed, "gateway", None)
+        if gateway is not None:
+            out["gateway_ip_forwarded"] = float(
+                gateway.stack.counters["ip_forwarded"])
+            # The §3 observables: what the promiscuous TNC costs the
+            # host side (and what the proposed filter saves).
+            out["gateway_serial_bytes_to_host"] = float(
+                gateway.radio.serial.b.bytes_sent)
+            out["gateway_tnc_frames_to_host"] = float(
+                gateway.radio.tnc.frames_to_host)
+            out["gateway_tnc_frames_filtered"] = float(
+                gateway.radio.tnc.frames_filtered)
+            out["gateway_driver_discards"] = float(
+                gateway.radio_interface.frames_not_for_us)
+        out["events_executed"] = float(self.sim.events_executed)
+        return out
+
+
+def build_scenario(scenario: Scenario) -> ScenarioRun:
+    """Materialise a :class:`Scenario` into a live simulation."""
+    modem = ModemProfile(bit_rate=scenario.bit_rate)
+    if scenario.topology == "gateway":
+        testbed = build_gateway_testbed(
+            seed=scenario.seed, bit_rate=scenario.bit_rate,
+            serial_baud=scenario.serial_baud,
+            tnc_address_filter=scenario.tnc_address_filter,
+        )
+        target_stack = testbed.ether_host
+        target_ip = testbed.ETHER_HOST_IP
+        default_gateway: Optional[str] = testbed.GATEWAY_RADIO_IP
+    else:  # figure1
+        testbed = build_figure1_testbed(
+            seed=scenario.seed, bit_rate=scenario.bit_rate,
+            serial_baud=scenario.serial_baud,
+        )
+        target_stack = testbed.peer.stack
+        target_ip = "44.24.0.5"
+        default_gateway = None
+
+    sim = testbed.sim
+    streams = testbed.streams
+    allocation = scenario.station_allocation()
+    run = ScenarioRun(scenario=scenario, testbed=testbed,
+                      target_ip=target_ip, generators=[])
+
+    ip_kinds = [m for m in allocation if m.kind in ("ping", "udp", "tcp")]
+    hosts = synthesize_stations(
+        sim, testbed.channel, len(ip_kinds), tracer=testbed.tracer,
+        modem=modem, serial_baud=scenario.serial_baud,
+        default_gateway=default_gateway,
+    )
+    if any(m.kind == "udp" for m in allocation):
+        run.udp_sink = UdpSink(target_stack)
+    if any(m.kind == "tcp" for m in allocation):
+        run.discard = DiscardServer(target_stack)
+    if any(m.kind == "bbs" for m in allocation):
+        run.bbs = BulletinBoard(sim, testbed.channel, "W0RLI",
+                                tracer=testbed.tracer)
+
+    duration = seconds(scenario.duration_seconds)
+    host_iter = iter(hosts)
+    # Chatter stations ragchew in pairs (CH2 -> CH5, CH5 -> CH2, ...):
+    # third-party traffic the gateway's TNC hears but that is not for
+    # it -- exactly the load §3 says swamps the promiscuous firmware.
+    # (Broadcast QST frames would legitimately pass the §3 filter.)
+    chatter_indices = [i for i, c in enumerate(allocation)
+                       if c.kind == "chatter"]
+    chatter_peer_of = {}
+    for position, index in enumerate(chatter_indices):
+        partner = position + 1 if position % 2 == 0 else position - 1
+        if partner >= len(chatter_indices):
+            partner = 0 if len(chatter_indices) > 1 else position
+        chatter_peer_of[index] = f"CH{chatter_indices[partner]}"
+    for index, component in enumerate(allocation):
+        rng = streams.stream(f"workload/{component.kind}/{index}")
+        arrivals = make_arrivals(component.arrivals, rng,
+                                 component.rate_per_minute)
+        generator: TrafficGenerator
+        if component.kind in ("ping", "udp", "tcp"):
+            host = next(host_iter)
+            if component.kind == "ping":
+                generator = PingGenerator(
+                    sim, host.stack, target_ip, arrivals,
+                    payload_size=component.payload_bytes, duration=duration,
+                )
+            elif component.kind == "udp":
+                generator = UdpBlastGenerator(
+                    sim, host.stack, target_ip, arrivals,
+                    payload_bytes=component.payload_bytes, duration=duration,
+                )
+            else:
+                generator = TcpTransferGenerator(
+                    sim, host.stack, target_ip, arrivals,
+                    transfer_bytes=max(256, component.payload_bytes),
+                    duration=duration,
+                )
+        elif component.kind == "chatter":
+            callsign = f"CH{index}"
+            station = RadioStation(sim, testbed.channel, callsign,
+                                   modem=modem)
+            frame = AX25Frame.ui(
+                AX25Address.parse(chatter_peer_of[index]),
+                AX25Address.parse(callsign), PID_NO_L3,
+                b"\x2a" * component.payload_bytes,
+            ).encode()
+            generator = UiChatterGenerator(sim, station, frame, arrivals,
+                                           duration=duration)
+            run.extra_stations.append(station)
+        else:  # bbs
+            terminal = TerminalStation(sim, testbed.channel, f"KT{index}",
+                                       tracer=testbed.tracer)
+            generator = BbsTerminalGenerator(
+                sim, terminal, "W0RLI", arrivals,
+                rng=streams.stream(f"workload/bbs-think/{index}"),
+                duration=duration,
+            )
+            run.extra_stations.append(terminal)
+        run.generators.append(generator)
+    return run
+
+
+def run_scenario(scenario: Scenario) -> Dict[str, float]:
+    """Build and run a scenario; the one-call entry point."""
+    return build_scenario(scenario).run()

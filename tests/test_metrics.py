@@ -23,6 +23,15 @@ def test_counterset_bump_and_get():
     assert counters["missing"] == 0
 
 
+def test_counterset_get_absent_returns_zero_not_none():
+    # Regression: the docstring used to claim "None when absent", but
+    # the method has always returned 0 (callers do arithmetic on it).
+    counters = CounterSet()
+    assert counters.get("never-bumped") == 0
+    assert counters.get("never-bumped") is not None
+    assert "0 when" in CounterSet.get.__doc__
+
+
 def test_counterset_snapshot_delta():
     counters = CounterSet()
     counters.bump("a", 3)
