@@ -22,7 +22,6 @@ from repro.kiss import commands
 from repro.kiss.framing import FEND, FESC, frame as kiss_frame
 from repro.serialio.line import SerialLine
 from repro.serialio.tty import Tty
-from repro.sim.clock import SECOND
 from repro.sim.engine import Simulator
 
 from benchmarks.conftest import report

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.apps.ping import Pinger
 from repro.core.topology import build_figure1_testbed
-from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.sockets import TcpSocket
 from repro.inet.tcp import AdaptiveRto
 from repro.radio.modem import ModemProfile
 from repro.sim.clock import MS, SECOND

@@ -14,7 +14,6 @@ take over.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps.ping import Pinger
 from repro.core.topology import build_figure1_testbed

@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.core.topology import build_gateway_testbed
 from repro.inet.sockets import TcpServerSocket, TcpSocket
 from repro.inet.tcp import AdaptiveRto, FixedRto
-from repro.sim.clock import MS, SECOND
+from repro.sim.clock import SECOND
 
 from benchmarks.conftest import report
 

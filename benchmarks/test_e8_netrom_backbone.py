@@ -20,7 +20,6 @@ from repro.inet.netstack import NetStack
 from repro.netrom.backbone import NetRomIpInterface
 from repro.netrom.routing import NetRomNode
 from repro.radio.channel import RadioChannel
-from repro.radio.csma import CsmaParameters
 from repro.radio.modem import ModemProfile
 from repro.sim.clock import SECOND
 from repro.sim.engine import Simulator

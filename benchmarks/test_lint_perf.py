@@ -1,0 +1,72 @@
+"""reprolint performance microbenchmark.
+
+The lint gate runs on every CI push, so it must stay cheap: a full-repo
+pass (parse + three AST passes over ~100 files) has to finish well
+inside a generous wall-clock bound.  The measured rate is written to
+``BENCH_lint.json`` through the PR 1 results schema so the linter's
+cost is tracked across PRs like every other hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis import LintEngine, load_baseline
+from repro.harness.results import bench_json_path, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+#: Generous ceiling for one full-repo lint, seconds.  Typical runs are
+#: well under a second; the bound only exists to catch an accidentally
+#: quadratic pass before it ships.
+FULL_LINT_BUDGET_SECONDS = 20.0
+
+_RESULTS: Dict[str, Dict[str, float]] = {}
+
+
+def test_full_repo_lint_under_budget(benchmark):
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+
+    def run():
+        engine = LintEngine(baseline=baseline)
+        return engine.lint_paths([SRC_ROOT])
+
+    report = benchmark(run)
+    assert report.new_findings == []
+    assert report.files_scanned > 80
+
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        mean = float(stats.stats.mean)
+    else:  # --benchmark-disable: fall back to one timed run
+        started = time.perf_counter()
+        run()
+        mean = time.perf_counter() - started
+    assert mean < FULL_LINT_BUDGET_SECONDS, (
+        f"full-repo lint took {mean:.2f}s, budget "
+        f"{FULL_LINT_BUDGET_SECONDS}s")
+    _RESULTS["full_repo_lint"] = {
+        "files": float(report.files_scanned),
+        "mean_seconds": mean,
+        "files_per_s": report.files_scanned / mean if mean else 0.0,
+        "budget_seconds": FULL_LINT_BUDGET_SECONDS,
+    }
+
+
+def test_emit_bench_json():
+    """Write BENCH_lint.json from whatever ran above."""
+    assert _RESULTS, "lint bench must run before the JSON emitter"
+    runs = [
+        {"params": {"case": case}, "seed": 0, "metrics": metrics}
+        for case, metrics in sorted(_RESULTS.items())
+    ]
+    write_bench_json(
+        bench_json_path("lint"),
+        {"bench": "lint",
+         "spec": {"source": "benchmarks/test_lint_perf.py"},
+         "runs": runs},
+    )
+    assert bench_json_path("lint").exists()

@@ -7,6 +7,7 @@ directory, so an installed copy of the library can demonstrate itself:
     python -m repro gateway        # §2.3 telnet session over the gateway
     python -m repro observatory    # axdump + netstat on a live gateway
     python -m repro sweep ...      # parallel seeded experiment sweeps
+    python -m repro lint ...       # reprolint static-analysis gate
     python -m repro list           # show this list
 
 ``sweep`` is the experiment harness: it fans a seed sweep of a named
@@ -15,6 +16,12 @@ mean +/- 95% CI per grid point, and writes a machine-readable
 ``BENCH_<name>.json``:
 
     python -m repro sweep --bench e3 --seeds 8 --procs 4
+
+``lint`` is the reprolint static-analysis gate: AST passes for
+determinism, sim-safety, and protocol invariants, exiting nonzero on
+any finding not baselined or inline-suppressed:
+
+    python -m repro lint src --format json
 
 The fuller scenarios (BBS, emergency net, NET/ROM node network, ...)
 live as scripts in the repository's examples/ directory.
@@ -168,13 +175,17 @@ def main(argv: list) -> int:
     name = argv[1] if len(argv) > 1 else "list"
     if name == "sweep":
         return _sweep(argv[2:])
+    if name == "lint":
+        from repro.analysis.cli import main as lint_main
+        return lint_main(argv[2:])
     if name in SCENARIOS:
         SCENARIOS[name]()
         return 0
     if name not in ("list", "-h", "--help"):
         print(f"unknown scenario {name!r}", file=sys.stderr)
     print(__doc__.strip())
-    print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)), "+ sweep")
+    print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)),
+          "+ sweep, lint")
     print("richer versions live in examples/*.py")
     return 0 if name in ("list", "-h", "--help") else 2
 

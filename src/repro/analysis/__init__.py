@@ -1,0 +1,40 @@
+"""reprolint: the repo's own static-analysis framework.
+
+Three AST passes encode the correctness rules the reproduction depends
+on — determinism (every run a pure function of its seed), sim-safety
+(no host-blocking calls or counter bypasses inside the event loop), and
+protocol invariants (one source of truth for KISS/AX.25 constants).
+``python -m repro lint`` runs them as a CI gate.
+
+>>> from repro.analysis import LintEngine
+>>> report = LintEngine().lint_source("import time\\nt = time.time()\\n")
+>>> [f.rule for f in report.new_findings]
+['DET002']
+"""
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import LintEngine, LintReport, list_rules
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    PASS_REGISTRY,
+    LintPass,
+    ModuleInfo,
+    Rule,
+    register_pass,
+    rule_table,
+)
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintPass",
+    "LintReport",
+    "ModuleInfo",
+    "PASS_REGISTRY",
+    "Rule",
+    "list_rules",
+    "load_baseline",
+    "register_pass",
+    "rule_table",
+    "write_baseline",
+]

@@ -1,0 +1,75 @@
+"""Baseline files: grandfather old findings, gate only on new ones.
+
+A baseline is a checked-in JSON file of finding fingerprints.  Findings
+whose fingerprint appears in the baseline are reported separately and do
+not fail the run, so the lint gate can be turned on before the last
+legacy violation is fixed.  Fingerprints are line-insensitive (file +
+rule + message), surviving unrelated edits that move code around.
+
+The repo convention is an *empty* baseline at ``lint-baseline.json`` —
+every finding fixed or inline-suppressed with justification — but the
+mechanism is kept so future passes can land strict-by-default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Union
+
+from repro.analysis.findings import Finding
+
+#: Bump when the baseline layout changes incompatibly.
+BASELINE_SCHEMA = 1
+
+#: Conventional path, relative to the repository root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or wrong-schema baseline files."""
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """Fingerprints recorded in ``path``; empty set if it is absent."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(document, dict) or "findings" not in document:
+        raise BaselineError(f"baseline {path} lacks a 'findings' list")
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} has schema {document.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA}")
+    fingerprints: Set[str] = set()
+    for entry in document["findings"]:
+        if isinstance(entry, str):
+            fingerprints.add(entry)
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            fingerprints.add(str(entry["fingerprint"]))
+        else:
+            raise BaselineError(f"unintelligible baseline entry {entry!r}")
+    return fingerprints
+
+
+def write_baseline(path: Union[str, Path],
+                   findings: Iterable[Finding]) -> Path:
+    """Record ``findings`` as the new grandfathered set."""
+    entries: List[dict] = [
+        {
+            "fingerprint": finding.fingerprint(),
+            "file": finding.file,
+            "rule": finding.rule,
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    path = Path(path)
+    path.write_text(json.dumps(
+        {"schema": BASELINE_SCHEMA, "findings": entries},
+        indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,73 @@
+"""``python -m repro lint``: the CI gate front-end.
+
+Exit codes: 0 clean (no findings outside baseline/suppressions),
+1 new findings or parse errors, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import (
+    BaselineError,
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import LintEngine, list_rules
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Run the reprolint static-analysis passes "
+                    "(determinism, sim-safety, protocol invariants).",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file of grandfathered findings "
+                             f"(default: ./{DEFAULT_BASELINE_NAME} "
+                             "when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else Path(DEFAULT_BASELINE_NAME)
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    engine = LintEngine(baseline=baseline)
+    report = engine.lint_paths(paths, display_root=Path.cwd())
+
+    if args.write_baseline:
+        recorded = report.new_findings + report.baselined
+        write_baseline(baseline_path, recorded)
+        print(f"wrote {len(recorded)} finding(s) to {baseline_path}")
+        return 0
+
+    print(report.render_json() if args.format == "json"
+          else report.render_text())
+    return report.exit_code

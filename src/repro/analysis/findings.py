@@ -1,0 +1,69 @@
+"""Structured lint findings.
+
+Every reprolint pass reports :class:`Finding` records rather than
+printing: the engine owns rendering (text or JSON), suppression
+filtering, and baseline subtraction.  A finding's :meth:`fingerprint`
+deliberately excludes the line number so a baseline entry survives
+unrelated edits that shift code up or down the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+#: Severity levels, most severe first (used for report ordering).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: where, which rule, and what is wrong."""
+
+    file: str       #: posix-style path as scanned (stable across runs)
+    line: int       #: 1-based line number
+    col: int        #: 0-based column offset
+    rule: str       #: rule id, e.g. ``DET001``
+    severity: str   #: ``error`` or ``warning``
+    message: str    #: human-readable explanation with the fix hint
+
+    def render(self) -> str:
+        """One classic compiler-style diagnostic line."""
+        return (f"{self.file}:{self.line}:{self.col + 1}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used by the baseline file."""
+        digest = hashlib.sha256(
+            f"{self.file}|{self.rule}|{self.message}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready shape (includes the fingerprint for baselines)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (the fingerprint is recomputed)."""
+        return cls(
+            file=str(data["file"]),
+            line=int(data["line"]),       # type: ignore[arg-type]
+            col=int(data["col"]),         # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+        )
+
+    def sort_key(self) -> tuple:
+        """Order findings file-then-line for stable reports."""
+        return (self.file, self.line, self.col, self.rule)

@@ -1,0 +1,75 @@
+"""Resolve call targets back to qualified names.
+
+The determinism and sim-safety passes both need to know that ``t.time()``
+is really ``time.time()`` after ``import time as t``, and that
+``sleep(1)`` is ``time.sleep`` after ``from time import sleep`` — while
+*not* confusing a local variable or simulated object named ``socket``
+with the stdlib module.  :class:`ImportMap` records what a module
+imported; :func:`call_qualname` walks an attribute chain and substitutes
+the import table at its root.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+class ImportMap:
+    """Local name -> fully qualified imported name for one module."""
+
+    def __init__(self) -> None:
+        self.names: Dict[str, str] = {}
+
+    @classmethod
+    def collect(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; map it to the top module.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports.names[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports.names[local] = f"{node.module}.{alias.name}"
+        return imports
+
+    def resolve(self, root: str) -> Optional[str]:
+        """Qualified name a bare local name refers to, if imported."""
+        return self.names.get(root)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains; None for anything fancier."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def call_qualname(call: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Qualified name of a call target, resolved through the imports.
+
+    Returns None when the target's root is not an imported name — a
+    local variable, attribute of ``self``, or builtin — except that
+    bare builtins come back verbatim (``open``, ``input``) so passes
+    can match them explicitly.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    resolved = imports.resolve(root)
+    if resolved is None:
+        # Not imported: only meaningful for single-name builtins.
+        return name if "." not in name else None
+    return f"{resolved}.{rest}" if rest else resolved

@@ -1,0 +1,11 @@
+"""Built-in reprolint passes.
+
+Importing this package registers every pass with the registry; the
+engine then instantiates them per run.
+"""
+
+from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.invariants import ProtocolInvariantPass
+from repro.analysis.passes.simsafety import SimSafetyPass
+
+__all__ = ["DeterminismPass", "SimSafetyPass", "ProtocolInvariantPass"]

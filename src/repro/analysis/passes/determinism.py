@@ -1,0 +1,201 @@
+"""Determinism pass: keep every run a pure function of its seed.
+
+The sweep runner asserts per-seed metrics are byte-identical across
+worker layouts; these rules catch the ways that property silently dies.
+
+* **DET001 global-random-call** — drawing from the process-global
+  :mod:`random` RNG couples unrelated components and breaks stream
+  isolation.  Use a named stream from
+  :class:`repro.sim.rand.RandomStreams` (or any ``random.Random``
+  passed in as an ``rng`` parameter); constructing ``random.Random``
+  instances is fine and is how ``sim/rand.py`` (allowlisted) works.
+* **DET002 wall-clock-call** — ``time.time()``, ``datetime.now()``,
+  ``uuid.uuid4()``, ``os.urandom()``... inject the host's clock or
+  entropy pool into the model.  Simulated time is ``sim.now``.
+  ``time.perf_counter()`` is deliberately *not* flagged: measuring how
+  long a run took is diagnostic metadata, excluded from reproducibility
+  comparisons by the harness schema.
+* **DET003 unordered-set-iteration** — iterating a ``set`` (or a union
+  or comprehension of sets, or ``set(d.keys())``) feeds hash order into
+  whatever consumes the loop; with ``PYTHONHASHSEED`` unpinned, string
+  hashes differ per process and so does the order.  Wrap the set in
+  ``sorted(...)``.  Plain dict iteration is allowed — insertion order
+  is deterministic in Python 3.7+.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.imports import ImportMap, call_qualname
+from repro.analysis.registry import (
+    LintPass,
+    ModuleInfo,
+    Rule,
+    register_pass,
+)
+
+#: Functions on the module-global RNG (random.Random methods re-exported
+#: as module functions).  ``random.Random`` itself is the sanctioned way
+#: to build private streams and is not listed.
+GLOBAL_RNG_FUNCTIONS = frozenset({
+    "random", "seed", "randint", "randrange", "uniform", "choice",
+    "choices", "shuffle", "sample", "getrandbits", "randbytes",
+    "gauss", "normalvariate", "expovariate", "paretovariate",
+    "betavariate", "vonmisesvariate", "triangular", "lognormvariate",
+    "weibullvariate", "binomialvariate", "getstate", "setstate",
+})
+
+#: Qualified call names that read the host clock or entropy pool.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom",
+})
+
+RULE_GLOBAL_RANDOM = Rule(
+    id="DET001", name="global-random-call", severity="error",
+    summary="call into the process-global random RNG; use a named "
+            "RandomStreams stream or an injected random.Random instead",
+)
+RULE_WALL_CLOCK = Rule(
+    id="DET002", name="wall-clock-call", severity="error",
+    summary="wall-clock or host-entropy call in seeded code; simulated "
+            "time is sim.now (perf_counter for diagnostics is exempt)",
+)
+RULE_SET_ITERATION = Rule(
+    id="DET003", name="unordered-set-iteration", severity="error",
+    summary="iteration over a set feeds hash order downstream; wrap "
+            "the set in sorted(...)",
+)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Expressions that evaluate to a set with data-dependent order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _set_aliases(tree: ast.Module) -> frozenset:
+    """Names only ever assigned set-valued expressions.
+
+    Catches ``keys = set(a) | set(b)`` followed by ``for k in keys``;
+    a name that is *ever* rebound to a non-set expression is dropped so
+    reuse of a generic name elsewhere cannot false-positive.
+    """
+    set_named = set()
+    otherwise = set()
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                value = node.value
+                (set_named if _is_set_expr(value)
+                 else otherwise).add(target.id)
+    return frozenset(set_named - otherwise)
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[Tuple[ast.AST, ast.AST]]:
+    """(iterable expression, node to report) pairs that consume order."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter, generator.iter
+        elif isinstance(node, ast.Call):
+            func = node.func
+            ordered_consumer = (
+                isinstance(func, ast.Name)
+                and func.id in ("list", "tuple", "enumerate", "iter")
+            ) or (
+                isinstance(func, ast.Attribute) and func.attr == "join"
+            )
+            if ordered_consumer and node.args:
+                yield node.args[0], node.args[0]
+
+
+@register_pass
+class DeterminismPass(LintPass):
+    """Flags nondeterminism relative to the seeded universe."""
+
+    name = "determinism"
+    rules = (RULE_GLOBAL_RANDOM, RULE_WALL_CLOCK, RULE_SET_ITERATION)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        imports = ImportMap.collect(module.tree)
+        findings: List[Finding] = []
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                qualname = call_qualname(node, imports)
+                if qualname is not None:
+                    findings.extend(self._check_call(module, node, qualname))
+            elif isinstance(node, ast.ImportFrom):
+                findings.extend(self._check_import_from(module, node))
+
+        set_aliases = _set_aliases(module.tree)
+        for iterable, site in _iteration_sites(module.tree):
+            aliased = (isinstance(iterable, ast.Name)
+                       and iterable.id in set_aliases)
+            if _is_set_expr(iterable) or aliased:
+                findings.append(self.finding(
+                    module, site, RULE_SET_ITERATION,
+                    "iterating a set exposes hash order "
+                    "(PYTHONHASHSEED-dependent for strings); "
+                    "wrap it in sorted(...)",
+                ))
+        return iter(findings)
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call,
+                    qualname: str) -> Iterator[Finding]:
+        root, _, attr = qualname.partition(".")
+        if root == "random" and attr in GLOBAL_RNG_FUNCTIONS:
+            yield self.finding(
+                module, node, RULE_GLOBAL_RANDOM,
+                f"random.{attr}() draws from the process-global RNG; "
+                "take a random.Random (rng parameter) or a "
+                "RandomStreams stream instead",
+            )
+        elif qualname in WALL_CLOCK_CALLS:
+            yield self.finding(
+                module, node, RULE_WALL_CLOCK,
+                f"{qualname}() reads the host clock/entropy; simulation "
+                "code must derive every value from the seed "
+                "(sim.now for time)",
+            )
+        elif root == "secrets":
+            yield self.finding(
+                module, node, RULE_WALL_CLOCK,
+                f"{qualname}() uses the OS entropy pool; seeded code "
+                "must use RandomStreams",
+            )
+
+    def _check_import_from(self, module: ModuleInfo,
+                           node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module != "random" or node.level:
+            return
+        for alias in node.names:
+            if alias.name in GLOBAL_RNG_FUNCTIONS:
+                yield self.finding(
+                    module, node, RULE_GLOBAL_RANDOM,
+                    f"'from random import {alias.name}' binds a "
+                    "global-RNG function; import random.Random and "
+                    "seed a private instance",
+                )

@@ -1,0 +1,203 @@
+"""Protocol-invariant pass: one source of truth for on-air constants.
+
+The KISS framing bytes and AX.25 constants are protocol law; the paper's
+driver and every module above it must agree on them bit-for-bit.  The
+canonical values live in :mod:`repro.kiss.framing` (FEND/FESC/TFEND/
+TFESC) and :mod:`repro.ax25.defs` (PIDs, control bytes, SSID masks,
+address-extension bit).  This pass imports those modules — the running
+truth, not a copy — and cross-checks everything else against them.
+
+* **PROTO001 divergent-protocol-constant** — a module assigns a name
+  that *is* a canonical constant (or a known alias like the SLIP
+  escape set, which RFC 1055 shares byte-for-byte with KISS) to a
+  different value.  ``FEND = 0xDB`` elsewhere is a wire-format bug, not
+  a style choice.
+* **PROTO002 rehardcoded-protocol-byte** — a bare integer literal equal
+  to a KISS framing byte or an AX.25 PID appears outside the canonical
+  defining modules.  Even when the value is currently right, the copy
+  can't follow the definition; import the named constant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    LintPass,
+    ModuleInfo,
+    Rule,
+    register_pass,
+)
+
+
+#: Wire-format names policed by PROTO001.  Tunable defaults
+#: (DEFAULT_WINDOW, DEFAULT_RETRIES, ...) are excluded: TCP legitimately
+#: has its own DEFAULT_WINDOW with different semantics, and renaming a
+#: tunable is a design decision, not a wire-format violation.
+_WIRE_NAME_PREFIXES = ("PID_", "U_", "S_", "SSID_", "ADDR_")
+_WIRE_NAMES = frozenset({
+    "FEND", "FESC", "TFEND", "TFESC",
+    "CONTROL_UI", "PF_BIT",
+    "MAX_DIGIPEATERS", "ADDRESS_BLOCK_LEN", "CALLSIGN_MAX",
+})
+
+
+def _is_wire_constant(name: str) -> bool:
+    return name in _WIRE_NAMES or name.startswith(_WIRE_NAME_PREFIXES)
+
+
+def canonical_constants() -> Dict[str, int]:
+    """Name -> value table read live from the defining modules."""
+    from repro.ax25 import defs as ax25_defs
+    from repro.kiss import framing as kiss_framing
+
+    table: Dict[str, int] = {}
+    for module in (kiss_framing, ax25_defs):
+        for name, value in vars(module).items():
+            if name.isupper() and isinstance(value, int) \
+                    and not isinstance(value, bool) \
+                    and _is_wire_constant(name):
+                table[name] = value
+    return table
+
+
+#: Alternate spellings used by sibling protocols that must stay equal to
+#: the canonical byte (SLIP's escape set is identical to KISS's).
+ALIASES: Dict[str, str] = {
+    "SLIP_END": "FEND",
+    "SLIP_ESC": "FESC",
+    "SLIP_ESC_END": "TFEND",
+    "SLIP_ESC_ESC": "TFESC",
+    "PID_IP": "PID_ARPA_IP",
+    "PID_ARP": "PID_ARPA_ARP",
+}
+
+#: Literals policed by PROTO002: values where a silent re-hardcode is a
+#: wire-format time bomb.  Small generic masks (0x01, 0x0F, ...) are
+#: excluded on purpose — flagging every bit-twiddle would drown signal.
+KISS_BYTE_VALUES = frozenset(
+    {0xC0, 0xDB, 0xDC, 0xDD})  # reprolint: disable=PROTO002 -- the rule's
+#   own lookup table must spell the bytes it polices; importing the
+#   constants here would make the checker assume what it verifies.
+PID_VALUES = frozenset(
+    {0xCC, 0xCD, 0xCF})  # reprolint: disable=PROTO002 -- ditto
+
+RULE_DIVERGENT = Rule(
+    id="PROTO001", name="divergent-protocol-constant", severity="error",
+    summary="module redefines a canonical protocol constant with a "
+            "different value than kiss/framing.py / ax25/defs.py",
+)
+RULE_REHARDCODED = Rule(
+    id="PROTO002", name="rehardcoded-protocol-byte", severity="warning",
+    summary="bare KISS/PID byte literal outside the defining module; "
+            "import the named constant instead",
+)
+
+
+def _int_value(node: ast.AST) -> Optional[int]:
+    """Integer value of a literal expression (handles unary minus)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _int_value(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+@register_pass
+class ProtocolInvariantPass(LintPass):
+    """Cross-checks literals against the canonical protocol constants."""
+
+    name = "protocol-invariants"
+    rules = (RULE_DIVERGENT, RULE_REHARDCODED)
+
+    def __init__(self) -> None:
+        self._canonical = canonical_constants()
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        constant_assignment_values: List[ast.AST] = []
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                findings.extend(self._check_assignment(
+                    module, node, node.targets[0].id))
+                constant_assignment_values.append(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and isinstance(node.target, ast.Name):
+                findings.extend(self._check_assignment(
+                    module, node, node.target.id))
+                constant_assignment_values.append(node.value)
+
+        checked = set(map(id, constant_assignment_values))
+        for node in ast.walk(module.tree):
+            if id(node) in checked:
+                # Named constant definitions are PROTO001 territory.
+                continue
+            value = None
+            if isinstance(node, ast.Constant):
+                value = _int_value(node)
+            if value is None or not self._written_in_hex(module, node):
+                continue
+            findings.extend(self._check_literal(module, node, value))
+        return iter(findings)
+
+    @staticmethod
+    def _written_in_hex(module: ModuleInfo, node: ast.AST) -> bool:
+        """True when the literal is spelled ``0x..`` in the source.
+
+        Protocol byte re-hardcodes are written in hex; the same values
+        in decimal are almost always something else entirely (FTP's
+        reply code 220 is not TFEND, 192 in an IP classful-address
+        threshold is not FEND).
+        """
+        line_index = getattr(node, "lineno", 0) - 1
+        if not 0 <= line_index < len(module.lines):
+            return True  # no source (synthetic tree): assume hex
+        text = module.lines[line_index][getattr(node, "col_offset", 0):]
+        return text[:2].lower() == "0x"
+
+    # ------------------------------------------------------------------
+
+    def _check_assignment(self, module: ModuleInfo, node: ast.AST,
+                          name: str) -> Iterator[Finding]:
+        canonical_name = ALIASES.get(name, name)
+        if canonical_name not in self._canonical:
+            return
+        expected = self._canonical[canonical_name]
+        value = _int_value(node.value)  # type: ignore[attr-defined]
+        if value is None or value == expected:
+            return
+        source = ("kiss/framing.py" if canonical_name in
+                  ("FEND", "FESC", "TFEND", "TFESC") else "ax25/defs.py")
+        yield self.finding(
+            module, node, RULE_DIVERGENT,
+            f"{name} = 0x{value:02X} diverges from the canonical "
+            f"{canonical_name} = 0x{expected:02X} in {source}; "
+            "import the constant instead of redefining it",
+        )
+
+    def _check_literal(self, module: ModuleInfo, node: ast.AST,
+                       value: int) -> Iterator[Finding]:
+        if value in KISS_BYTE_VALUES:
+            names = [name for name, val in self._canonical.items()
+                     if val == value and name in
+                     ("FEND", "FESC", "TFEND", "TFESC")]
+            yield self.finding(
+                module, node, RULE_REHARDCODED,
+                f"bare literal 0x{value:02X} re-hardcodes KISS framing "
+                f"byte {'/'.join(names)}; import it from "
+                "repro.kiss.framing",
+            )
+        elif value in PID_VALUES:
+            names = sorted(name for name, val in self._canonical.items()
+                           if val == value and name.startswith("PID"))
+            yield self.finding(
+                module, node, RULE_REHARDCODED,
+                f"bare literal 0x{value:02X} re-hardcodes AX.25 PID "
+                f"{'/'.join(names)}; import it from repro.ax25.defs",
+            )

@@ -1,0 +1,118 @@
+"""Sim-safety pass: keep the event loop virtual and the metrics honest.
+
+Everything under ``src/repro`` (bar the allowlisted harness and this
+framework) runs inside, or is scheduled onto, the discrete-event
+``sim.engine`` loop.  A real ``time.sleep`` or socket read there stalls
+the *host*, not the model, and a counter bumped around
+:class:`repro.metrics.counters.CounterSet` escapes snapshot/delta
+accounting.
+
+* **SIM001 blocking-call-in-sim** — real-world blocking primitives
+  (``time.sleep``, stdlib ``socket``, ``subprocess``, ``os.system``,
+  builtin ``open``/``input``) inside simulation code.  The simulated
+  ``repro.inet.sockets`` objects are, of course, fine.
+* **SIM002 raw-counter-mutation** — writing ``x.counters[...] += 1``
+  or calling dict mutators on a ``.counters`` attribute bypasses
+  ``CounterSet.bump`` and breaks snapshot/delta bookkeeping (and plain
+  dicts KeyError on first bump).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.imports import ImportMap, call_qualname
+from repro.analysis.registry import (
+    LintPass,
+    ModuleInfo,
+    Rule,
+    register_pass,
+)
+
+#: Exact qualified names that block the host.
+BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.system", "os.popen", "os.wait", "os.waitpid",
+    "select.select", "select.poll", "open", "input",
+})
+
+#: Any call into these stdlib modules blocks (or may block) the host.
+BLOCKING_MODULES = frozenset({
+    "socket", "subprocess", "requests", "urllib", "http", "ftplib",
+    "telnetlib",
+})
+
+#: Methods on a ``.counters`` attribute that mutate it behind
+#: CounterSet's back when the attribute is a plain dict.
+DICT_MUTATORS = frozenset({"update", "setdefault", "pop", "clear"})
+
+RULE_BLOCKING = Rule(
+    id="SIM001", name="blocking-call-in-sim", severity="error",
+    summary="host-blocking call (sleep/socket/subprocess/file I/O) in "
+            "simulation code; model it as sim events instead",
+)
+RULE_COUNTER_MUTATION = Rule(
+    id="SIM002", name="raw-counter-mutation", severity="error",
+    summary="direct mutation of a .counters mapping; use "
+            "CounterSet.bump() so snapshot/delta stay correct",
+)
+
+
+@register_pass
+class SimSafetyPass(LintPass):
+    """Flags host-blocking calls and counter-accounting bypasses."""
+
+    name = "sim-safety"
+    rules = (RULE_BLOCKING, RULE_COUNTER_MUTATION)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        imports = ImportMap.collect(module.tree)
+        findings: List[Finding] = []
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node, imports))
+            elif isinstance(node, ast.AugAssign):
+                if self._is_counters_subscript(node.target):
+                    findings.append(self._counter_finding(module, node))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if self._is_counters_subscript(target):
+                        findings.append(self._counter_finding(module, node))
+        return iter(findings)
+
+    # ------------------------------------------------------------------
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call,
+                    imports: ImportMap) -> Iterator[Finding]:
+        qualname = call_qualname(node, imports)
+        if qualname is not None:
+            root = qualname.partition(".")[0]
+            if qualname in BLOCKING_CALLS or root in BLOCKING_MODULES:
+                yield self.finding(
+                    module, node, RULE_BLOCKING,
+                    f"{qualname}() blocks the host process; simulation "
+                    "code must express waits and I/O as scheduled "
+                    "events on sim.engine",
+                )
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in DICT_MUTATORS
+                and self._is_counters_attr(func.value)):
+            yield self._counter_finding(module, node)
+
+    @staticmethod
+    def _is_counters_attr(node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "counters"
+
+    def _is_counters_subscript(self, node: ast.AST) -> bool:
+        return (isinstance(node, ast.Subscript)
+                and self._is_counters_attr(node.value))
+
+    def _counter_finding(self, module: ModuleInfo, node: ast.AST) -> Finding:
+        return self.finding(
+            module, node, RULE_COUNTER_MUTATION,
+            "mutating .counters directly bypasses CounterSet.bump(); "
+            "bump(name, amount) keeps snapshot/delta accounting exact",
+        )

@@ -17,6 +17,8 @@ IP-over-AX.25 (what the gateway actually forwards) uses UI frames with
 
 from repro.ax25.address import AX25Address, AX25Path, AddressError
 from repro.ax25.defs import (
+    ADDR_C_OR_H_BIT,
+    ADDR_EXTENSION_BIT,
     CONTROL_UI,
     FrameType,
     MAX_DIGIPEATERS,
@@ -24,16 +26,22 @@ from repro.ax25.defs import (
     PID_ARPA_IP,
     PID_NETROM,
     PID_NO_L3,
+    SSID_MASK,
+    SSID_RESERVED_BITS,
 )
 from repro.ax25.frames import AX25Frame, FrameError
 from repro.ax25.lapb import LapbConnection, LapbEndpoint, LapbState
 
 __all__ = [
+    "ADDR_C_OR_H_BIT",
+    "ADDR_EXTENSION_BIT",
     "AX25Address",
     "AX25Frame",
     "AX25Path",
     "AddressError",
     "CONTROL_UI",
+    "SSID_MASK",
+    "SSID_RESERVED_BITS",
     "FrameError",
     "FrameType",
     "LapbConnection",

@@ -20,7 +20,15 @@ import re
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.ax25.defs import ADDRESS_BLOCK_LEN, CALLSIGN_MAX, MAX_DIGIPEATERS
+from repro.ax25.defs import (
+    ADDR_C_OR_H_BIT,
+    ADDR_EXTENSION_BIT,
+    ADDRESS_BLOCK_LEN,
+    CALLSIGN_MAX,
+    MAX_DIGIPEATERS,
+    SSID_MASK,
+    SSID_RESERVED_BITS,
+)
 
 
 class AddressError(ValueError):
@@ -84,13 +92,13 @@ class AX25Address:
         """
         padded = self.callsign.ljust(CALLSIGN_MAX)
         block = bytearray((ord(char) << 1) & 0xFF for char in padded)
-        ssid_byte = 0x60 | ((self.ssid & 0x0F) << 1)
+        ssid_byte = SSID_RESERVED_BITS | ((self.ssid & SSID_MASK) << 1)
         if command:
-            ssid_byte |= 0x80
+            ssid_byte |= ADDR_C_OR_H_BIT
         if self.repeated:
-            ssid_byte |= 0x80
+            ssid_byte |= ADDR_C_OR_H_BIT
         if last:
-            ssid_byte |= 0x01
+            ssid_byte |= ADDR_EXTENSION_BIT
         block.append(ssid_byte)
         return bytes(block)
 
@@ -107,16 +115,16 @@ class AX25Address:
             raise AddressError(f"address block must be 7 bytes, got {len(block)}")
         chars = []
         for byte in block[:CALLSIGN_MAX]:
-            if byte & 0x01:
+            if byte & ADDR_EXTENSION_BIT:
                 raise AddressError("extension bit set inside callsign bytes")
             chars.append(chr(byte >> 1))
         callsign = "".join(chars).rstrip()
         if not callsign:
             raise AddressError("empty callsign in address block")
         ssid_byte = block[CALLSIGN_MAX]
-        ssid = (ssid_byte >> 1) & 0x0F
-        last = bool(ssid_byte & 0x01)
-        top_bit = bool(ssid_byte & 0x80)
+        ssid = (ssid_byte >> 1) & SSID_MASK
+        last = bool(ssid_byte & ADDR_EXTENSION_BIT)
+        top_bit = bool(ssid_byte & ADDR_C_OR_H_BIT)
         return cls(callsign, ssid, repeated=top_bit), last, top_bit
 
     # ------------------------------------------------------------------

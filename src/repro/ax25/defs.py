@@ -30,6 +30,28 @@ DEFAULT_WINDOW = 4
 DEFAULT_RETRIES = 10
 
 # ----------------------------------------------------------------------
+# Address-field bit layout.  Each 7-byte address block carries six
+# callsign characters shifted left one bit, then an SSID byte packing
+# these fields.  Canonical here so reprolint's protocol-invariant pass
+# can cross-check any module that touches the wire format.
+# ----------------------------------------------------------------------
+
+#: 4-bit SSID within the SSID byte (before the <<1 shift).
+SSID_MASK = 0x0F
+
+#: The two reserved bits of the SSID byte, transmitted as ones.
+SSID_RESERVED_BITS = 0x60
+
+#: Top bit of the SSID byte: the C (command/response) bit on
+#: destination/source blocks, the H (has-been-repeated) bit on
+#: digipeater blocks.
+ADDR_C_OR_H_BIT = 0x80
+
+#: Bit 0 of every address byte; set only on the final block's SSID byte
+#: to mark the end of the address field.
+ADDR_EXTENSION_BIT = 0x01
+
+# ----------------------------------------------------------------------
 # PID (protocol identifier) values -- the layer-3 demultiplexing byte the
 # paper's driver inspects to decide whether a frame carries IP.
 # ----------------------------------------------------------------------

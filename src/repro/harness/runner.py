@@ -20,7 +20,7 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.metrics.stats import Aggregate, aggregate
 

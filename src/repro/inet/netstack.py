@@ -32,6 +32,7 @@ from repro.inet.ip import (
     fragment,
 )
 from repro.inet.routing import Route, RoutingTable
+from repro.metrics.counters import CounterSet
 from repro.inet.tcp import TcpProtocol, TcpSegment
 from repro.inet.udp import UdpDatagram, UdpError
 from repro.netif.ifnet import NetworkInterface
@@ -81,23 +82,16 @@ class NetStack:
         self._next_ident = 1
         self._udp_ephemeral = 2048
 
-        self.counters = {
-            "ip_received": 0,
-            "ip_delivered": 0,
-            "ip_forwarded": 0,
-            "ip_forward_filtered": 0,
-            "ip_no_route": 0,
-            "ip_ttl_expired": 0,
-            "ip_bad": 0,
-            "icmp_received": 0,
-            "icmp_echo_replied": 0,
-            "redirects_sent": 0,
-            "redirects_followed": 0,
-            "quench_sent": 0,
-            "udp_received": 0,
-            "udp_no_port": 0,
-            "frags_sent": 0,
-        }
+        #: Protocol event accounting.  A CounterSet (not a plain dict)
+        #: so snapshot/delta windows work and reprolint SIM002 holds;
+        #: pre-seeded so netstat renders the full table on a quiet host.
+        self.counters = CounterSet((
+            "ip_received", "ip_delivered", "ip_forwarded",
+            "ip_forward_filtered", "ip_no_route", "ip_ttl_expired",
+            "ip_bad", "icmp_received", "icmp_echo_replied",
+            "redirects_sent", "redirects_followed", "quench_sent",
+            "udp_received", "udp_no_port", "frags_sent",
+        ))
 
     # ------------------------------------------------------------------
     # interface management
@@ -152,11 +146,11 @@ class NetStack:
             self._ip_input(packet, interface)
 
     def _ip_input(self, packet: bytes, interface: NetworkInterface) -> None:
-        self.counters["ip_received"] += 1
+        self.counters.bump("ip_received")
         try:
             datagram = IPv4Datagram.decode(packet)
         except IPError:
-            self.counters["ip_bad"] += 1
+            self.counters.bump("ip_bad")
             return
         if self.tracer is not None:
             self.tracer.log("ip.rx", self.hostname, str(datagram),
@@ -167,13 +161,13 @@ class NetStack:
         if self.ip_forwarding:
             self._forward(datagram, interface)
         else:
-            self.counters["ip_no_route"] += 1
+            self.counters.bump("ip_no_route")
 
     def _deliver_local(self, datagram: IPv4Datagram) -> None:
         whole = self.reassembler.input(datagram, self.sim.now)
         if whole is None:
             return
-        self.counters["ip_delivered"] += 1
+        self.counters.bump("ip_delivered")
         if whole.protocol == PROTO_ICMP:
             self._icmp_input(whole)
         elif whole.protocol == PROTO_UDP:
@@ -188,24 +182,24 @@ class NetStack:
 
     def _forward(self, datagram: IPv4Datagram, in_iface: NetworkInterface) -> None:
         if self.forward_filter is not None and not self.forward_filter(datagram, in_iface):
-            self.counters["ip_forward_filtered"] += 1
+            self.counters.bump("ip_forward_filtered")
             return
         if datagram.ttl <= 1:
-            self.counters["ip_ttl_expired"] += 1
+            self.counters.bump("ip_ttl_expired")
             self._send_icmp(icmp_mod.time_exceeded(datagram), datagram.source)
             return
         route = self.routes.lookup(datagram.destination)
         if route is None:
-            self.counters["ip_no_route"] += 1
+            self.counters.bump("ip_no_route")
             self._send_icmp(
                 icmp_mod.unreachable(icmp_mod.UNREACH_NET, datagram), datagram.source
             )
             return
         forwarded = datagram.decremented()
-        self.counters["ip_forwarded"] += 1
+        self.counters.bump("ip_forwarded")
         if (self.quench_threshold is not None
                 and route.interface.output_backlog > self.quench_threshold):
-            self.counters["quench_sent"] += 1
+            self.counters.bump("quench_sent")
             self._send_icmp(icmp_mod.source_quench(datagram), datagram.source)
         if self.tracer is not None:
             self.tracer.log("ip.forward", self.hostname, str(forwarded),
@@ -219,7 +213,7 @@ class NetStack:
         ):
             # Packet leaves the way it came: the sender has a better first
             # hop.  Tell it (ICMP redirect), but forward this one anyway.
-            self.counters["redirects_sent"] += 1
+            self.counters.bump("redirects_sent")
             self._send_icmp(
                 icmp_mod.redirect(route.gateway, datagram), datagram.source
             )
@@ -272,7 +266,7 @@ class NetStack:
             return True
         route = self.routes.lookup(destination)
         if route is None:
-            self.counters["ip_no_route"] += 1
+            self.counters.bump("ip_no_route")
             return False
         datagram = IPv4Datagram(
             source=source or self.source_address_for(route),
@@ -299,7 +293,7 @@ class NetStack:
             )
             return False
         if len(pieces) > 1:
-            self.counters["frags_sent"] += len(pieces)
+            self.counters.bump("frags_sent", len(pieces))
         ok = True
         for piece in pieces:
             if not route.interface.if_output(piece.encode(), next_hop):
@@ -322,13 +316,13 @@ class NetStack:
         self._send_icmp(message, IPv4Address.coerce(destination))
 
     def _icmp_input(self, datagram: IPv4Datagram) -> None:
-        self.counters["icmp_received"] += 1
+        self.counters.bump("icmp_received")
         try:
             message = icmp_mod.IcmpMessage.decode(datagram.payload)
         except icmp_mod.IcmpError:
             return
         if message.icmp_type == icmp_mod.ICMP_ECHO_REQUEST:
-            self.counters["icmp_echo_replied"] += 1
+            self.counters.bump("icmp_echo_replied")
             self._send_icmp(icmp_mod.echo_reply(message), datagram.source)
         elif message.icmp_type == icmp_mod.ICMP_REDIRECT:
             self._handle_redirect(message)
@@ -348,7 +342,7 @@ class NetStack:
         route = self.routes.lookup(gateway)
         if route is None:
             return
-        self.counters["redirects_followed"] += 1
+        self.counters.bump("redirects_followed")
         self.routes.add_host_route(target, route.interface, gateway)
 
     # ------------------------------------------------------------------
@@ -407,10 +401,10 @@ class NetStack:
             )
         except UdpError:
             return
-        self.counters["udp_received"] += 1
+        self.counters.bump("udp_received")
         handler = self._udp_bindings.get(udp.destination_port)
         if handler is None:
-            self.counters["udp_no_port"] += 1
+            self.counters.bump("udp_no_port")
             self._send_icmp(
                 icmp_mod.unreachable(icmp_mod.UNREACH_PORT, datagram),
                 datagram.source,

@@ -2,19 +2,27 @@
 
 Benchmarks often need "how many X happened during the measurement
 window"; :class:`CounterSet` wraps a dict of counters with snapshotting
-so warm-up traffic can be excluded.
+so warm-up traffic can be excluded.  It is the *only* sanctioned way to
+account events in simulation code — reprolint's SIM002 rule flags raw
+dict mutation — and it behaves as a read-only mapping so formatting and
+aggregation code can treat it like the plain dict it replaced.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
 
 class CounterSet:
-    """A dict of integer counters with snapshot arithmetic."""
+    """A dict of integer counters with snapshot arithmetic.
 
-    def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
+    ``names`` pre-seeds counters at zero, which keeps "which counters
+    exist" self-documenting for consumers that render the full table
+    (e.g. ``tools/netstat``) before any traffic has flowed.
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._counts: Dict[str, int] = {name: 0 for name in names}
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a named counter."""
@@ -30,13 +38,33 @@ class CounterSet:
 
     def delta(self, baseline: Mapping[str, int]) -> Dict[str, int]:
         """Counts accumulated since ``baseline`` (a prior snapshot)."""
-        keys = set(self._counts) | set(baseline)
+        keys = sorted(set(self._counts) | set(baseline))
         return {
             key: self._counts.get(key, 0) - baseline.get(key, 0) for key in keys
         }
 
+    # -- read-only mapping surface -------------------------------------
+
     def __getitem__(self, name: str) -> int:
         return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._counts
+
+    def keys(self) -> Iterable[str]:
+        return self._counts.keys()
+
+    def values(self) -> Iterable[int]:
+        return self._counts.values()
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        return self._counts.items()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
@@ -44,6 +72,6 @@ class CounterSet:
 
 
 def delta(current: Mapping[str, int], baseline: Mapping[str, int]) -> Dict[str, int]:
-    """Difference of two plain counter dicts (e.g. NetStack.counters)."""
-    keys = set(current) | set(baseline)
+    """Difference of two counter mappings (snapshots or CounterSets)."""
+    keys = sorted(set(current) | set(baseline))
     return {key: current.get(key, 0) - baseline.get(key, 0) for key in keys}

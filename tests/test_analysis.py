@@ -1,0 +1,329 @@
+"""Tests for the reprolint static-analysis framework.
+
+Each rule gets positive (must flag) and negative (must stay silent)
+snippets; then the framework features — inline suppression, baseline
+subtraction, JSON round trip — and finally the gate itself: the repo's
+own ``src/`` tree must lint clean, and a seeded violation must fail.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintEngine,
+    load_baseline,
+    rule_table,
+    write_baseline,
+)
+from repro.analysis.baseline import BaselineError
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def rules_hit(source: str) -> list:
+    """Rule ids reprolint reports for an in-memory snippet."""
+    report = LintEngine().lint_source(source)
+    return [finding.rule for finding in report.new_findings]
+
+
+# ----------------------------------------------------------------------
+# determinism pass
+# ----------------------------------------------------------------------
+
+def test_det001_flags_global_rng_calls():
+    assert "DET001" in rules_hit(
+        "import random\nx = random.random()\n")
+    assert "DET001" in rules_hit(
+        "import random\nrandom.seed(7)\n")
+    assert "DET001" in rules_hit(  # aliased import still resolves
+        "import random as rnd\nx = rnd.randint(1, 6)\n")
+    assert "DET001" in rules_hit(  # from-import of a global-RNG function
+        "from random import shuffle\n")
+
+
+def test_det001_allows_private_random_instances():
+    assert rules_hit(
+        "import random\nrng = random.Random(42)\nx = rng.random()\n") == []
+    assert rules_hit(  # rng parameter pattern used across workload/
+        "def draw(rng):\n    return rng.expovariate(2.0)\n") == []
+    assert rules_hit("from random import Random\n") == []
+
+
+def test_det002_flags_wall_clock_and_entropy():
+    assert "DET002" in rules_hit("import time\nt = time.time()\n")
+    assert "DET002" in rules_hit(
+        "from datetime import datetime\nnow = datetime.now()\n")
+    assert "DET002" in rules_hit("import uuid\nu = uuid.uuid4()\n")
+    assert "DET002" in rules_hit("import os\nb = os.urandom(8)\n")
+    assert "DET002" in rules_hit(
+        "import secrets\nt = secrets.token_hex()\n")
+
+
+def test_det002_allows_perf_counter_and_unrelated_time_attrs():
+    # Wall-duration diagnostics are excluded from reproducibility
+    # comparisons by the results schema; perf_counter is sanctioned.
+    assert rules_hit("import time\nt = time.perf_counter()\n") == []
+    # An object that happens to have a .time() method is not the clock.
+    assert rules_hit("t = sim.clock.time()\n") == []
+
+
+def test_det003_flags_set_iteration():
+    assert "DET003" in rules_hit("for x in {1, 2, 3}:\n    pass\n")
+    assert "DET003" in rules_hit("out = list(set(items))\n")
+    assert "DET003" in rules_hit(
+        "keys = set(a) | set(b)\nd = {k: a[k] for k in keys}\n")
+    assert "DET003" in rules_hit("text = ','.join(set(names))\n")
+
+
+def test_det003_allows_sorted_sets_and_dict_iteration():
+    assert rules_hit("for x in sorted(set(items)):\n    pass\n") == []
+    assert rules_hit("for k, v in mapping.items():\n    pass\n") == []
+    assert rules_hit(  # membership tests don't consume order
+        "allowed = set(names)\nok = probe in allowed\n") == []
+
+
+# ----------------------------------------------------------------------
+# sim-safety pass
+# ----------------------------------------------------------------------
+
+def test_sim001_flags_blocking_calls():
+    assert "SIM001" in rules_hit("import time\ntime.sleep(1)\n")
+    assert "SIM001" in rules_hit(
+        "import socket\ns = socket.socket()\n")
+    assert "SIM001" in rules_hit(
+        "import subprocess\nsubprocess.run(['ls'])\n")
+    assert "SIM001" in rules_hit("fh = open('x.bin', 'rb')\n")
+
+
+def test_sim001_allows_simulated_io():
+    # The simulated socket API lives in repro.inet.sockets; calls on
+    # those objects (or anything that isn't the stdlib module) pass.
+    assert rules_hit(
+        "from repro.inet.sockets import TcpSocket\n"
+        "s = TcpSocket.connect(stack, '44.0.0.1', 23)\n") == []
+    assert rules_hit("record = path.read_text()\n") == []
+
+
+def test_sim002_flags_raw_counter_mutation():
+    assert "SIM002" in rules_hit("self.counters['ip_received'] += 1\n")
+    assert "SIM002" in rules_hit("stack.counters['x'] = 5\n")
+    assert "SIM002" in rules_hit("stack.counters.update({'x': 1})\n")
+
+
+def test_sim002_allows_counterset_usage():
+    assert rules_hit("self.counters.bump('ip_received')\n") == []
+    assert rules_hit("n = stack.counters['ip_received']\n") == []
+    assert rules_hit("snapshot = stack.counters.snapshot()\n") == []
+
+
+# ----------------------------------------------------------------------
+# protocol-invariant pass
+# ----------------------------------------------------------------------
+
+def test_proto001_flags_divergent_constants():
+    hits = rules_hit("FEND = 0xC1\n")
+    assert hits == ["PROTO001"]
+    assert "PROTO001" in rules_hit("PID_NETROM = 0xCE\n")
+    # Aliases from sibling protocols are held to the shared value.
+    assert "PROTO001" in rules_hit("SLIP_END = 0xC1\n")
+    assert "PROTO001" in rules_hit("SSID_MASK = 0x1F\n")
+
+
+def test_proto001_allows_correct_and_unrelated_constants():
+    assert rules_hit("FEND = 0xC0\n") == []
+    assert rules_hit("SLIP_END = 0xC0\n") == []
+    # Tunables with generic names are not wire-format law (TCP has its
+    # own DEFAULT_WINDOW, unrelated to LAPB's k parameter).
+    assert rules_hit("DEFAULT_WINDOW = 4096\n") == []
+    assert rules_hit("MY_LIMIT = 0x7F\n") == []
+
+
+def test_proto002_flags_hex_rehardcodes_only():
+    assert "PROTO002" in rules_hit("if byte == 0xC0:\n    pass\n")
+    assert "PROTO002" in rules_hit("frame = bytes((0xDB, 0xDC))\n")
+    # The same values written in decimal mean something else (FTP's
+    # reply 220, classful-address threshold 192) and must pass.
+    assert rules_hit("reply(220, 'service ready')\n") == []
+    assert rules_hit("if top < 192:\n    pass\n") == []
+
+
+# ----------------------------------------------------------------------
+# framework: suppressions, baseline, JSON
+# ----------------------------------------------------------------------
+
+def test_inline_suppression_silences_named_rule():
+    source = ("import time\n"
+              "t = time.time()  # reprolint: disable=DET002 -- wall\n")
+    report = LintEngine().lint_source(source)
+    assert report.new_findings == []
+    assert report.suppressed == 1
+
+
+def test_inline_suppression_is_rule_specific():
+    source = ("import time\n"
+              "t = time.time()  # reprolint: disable=DET001\n")
+    assert [f.rule for f in
+            LintEngine().lint_source(source).new_findings] == ["DET002"]
+
+
+def test_inline_suppression_all_and_multiple_rules():
+    assert LintEngine().lint_source(
+        "import time\n"
+        "t = time.time()  # reprolint: disable=all\n").new_findings == []
+    assert LintEngine().lint_source(
+        "import time\n"
+        "time.sleep(time.time())  "
+        "# reprolint: disable=DET002,SIM001\n").new_findings == []
+
+
+def test_parse_suppressions_table():
+    table = parse_suppressions([
+        "x = 1",
+        "y = 2  # reprolint: disable=DET001, sim002 -- justification",
+    ])
+    assert table == {2: {"DET001", "SIM002"}}
+
+
+def test_baseline_round_trip(tmp_path):
+    finding = Finding(file="pkg/mod.py", line=3, col=0, rule="DET002",
+                      severity="error", message="time.time() ...")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [finding])
+    assert load_baseline(path) == {finding.fingerprint()}
+    # fingerprints survive the finding moving to another line
+    moved = Finding(file="pkg/mod.py", line=99, col=4, rule="DET002",
+                    severity="error", message="time.time() ...")
+    assert moved.fingerprint() == finding.fingerprint()
+
+
+def test_baseline_subtracts_old_findings(tmp_path):
+    source = "import time\nt = time.time()\n"
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(source)
+    first = LintEngine().lint_paths([dirty])
+    assert [f.rule for f in first.new_findings] == ["DET002"]
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.new_findings)
+    second = LintEngine(
+        baseline=load_baseline(baseline_path)).lint_paths([dirty])
+    assert second.new_findings == []
+    assert [f.rule for f in second.baselined] == ["DET002"]
+    assert second.exit_code == 0
+
+
+def test_missing_baseline_is_empty_and_bad_baseline_raises(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == set()
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(broken)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"schema": 99, "findings": []}))
+    with pytest.raises(BaselineError):
+        load_baseline(wrong)
+
+
+def test_finding_json_schema_round_trip():
+    finding = Finding(file="a.py", line=10, col=4, rule="SIM001",
+                      severity="error", message="time.sleep() blocks")
+    clone = Finding.from_dict(json.loads(json.dumps(finding.to_dict())))
+    assert clone == finding
+    assert finding.to_dict()["fingerprint"] == finding.fingerprint()
+
+
+def test_report_json_shape(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    report = LintEngine().lint_paths([dirty])
+    document = json.loads(report.render_json())
+    assert document["schema"] == 1
+    assert document["summary"]["new"] == 1
+    assert document["summary"]["files_scanned"] == 1
+    entry = document["findings"][0]
+    assert entry["rule"] == "DET002"
+    assert Finding.from_dict(entry) == report.new_findings[0]
+
+
+def test_rule_table_covers_all_three_passes():
+    table = rule_table()
+    assert {"DET001", "DET002", "DET003",
+            "SIM001", "SIM002",
+            "PROTO001", "PROTO002"} <= set(table)
+    for rule in table.values():
+        assert rule.severity in ("error", "warning")
+        assert rule.summary
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    report = LintEngine().lint_paths([bad])
+    assert report.parse_errors and report.exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# the gate itself
+# ----------------------------------------------------------------------
+
+def test_repo_src_lints_clean():
+    """The checked-in tree must be free of new findings."""
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    report = LintEngine(baseline=baseline).lint_paths([SRC_ROOT])
+    rendered = "\n".join(f.render() for f in report.new_findings)
+    assert report.new_findings == [], f"lint regressions:\n{rendered}"
+    assert report.files_scanned > 80
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean)]) == 0
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert lint_main([str(dirty)]) == 1
+    assert lint_main([str(tmp_path / "nowhere")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(dirty), "--baseline", str(baseline),
+                      "--write-baseline"]) == 0
+    assert lint_main([str(dirty), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "DET001" in out and "PROTO002" in out
+
+
+def test_module_entry_point_gates_seeded_violation(tmp_path):
+    """``python -m repro lint`` fails on a stray time.time()."""
+    scratch = tmp_path / "scratch.py"
+    scratch.write_text("import time\nSTAMP = time.time()\n")
+    env_src = str(SRC_ROOT)
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(scratch),
+         "--format", "json"],
+        capture_output=True, text=True, cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 1, completed.stderr
+    document = json.loads(completed.stdout)
+    assert document["summary"]["new"] == 1
+    assert document["findings"][0]["rule"] == "DET002"

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps.axgateway import Ax25ApplicationGateway
 from repro.apps.bbs import BulletinBoard
@@ -20,7 +19,6 @@ from repro.core.topology import build_gateway_testbed
 from repro.ethernet.lan import EthernetLan
 from repro.radio.channel import RadioChannel
 from repro.sim.clock import SECOND
-from repro.sim.rand import RandomStreams
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,6 @@ from repro.kiss import commands
 from repro.kiss.framing import FEND, KissDeframer, frame as kiss_frame
 from repro.serialio.line import SerialLine
 from repro.serialio.tty import Tty
-from repro.sim.clock import SECOND
 
 MY_CALL = AX25Address("NT7GW")
 PEER_CALL = AX25Address("KB7DZ")

@@ -14,7 +14,6 @@ from repro.ethernet.frames import (
     MacAddress,
 )
 from repro.ethernet.lan import EthernetLan
-from repro.sim.clock import SECOND
 
 
 # ----------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import pytest
 
@@ -10,7 +10,6 @@ from repro.ax25.address import AX25Address, AX25Path
 from repro.inet.arp import (
     ARP_REPLY,
     ARP_REQUEST,
-    ArpEntry,
     ArpError,
     ArpPacket,
     ArpService,
@@ -18,7 +17,6 @@ from repro.inet.arp import (
     HRD_ETHERNET,
 )
 from repro.inet.ip import IPv4Address
-from repro.sim.clock import SECOND
 
 MY_IP = IPv4Address.parse("44.24.0.28")
 PEER_IP = IPv4Address.parse("44.24.0.5")

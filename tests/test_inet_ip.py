@@ -10,7 +10,6 @@ from repro.inet.ip import (
     IPError,
     IPv4Address,
     IPv4Datagram,
-    PROTO_TCP,
     PROTO_UDP,
     Reassembler,
     fragment,

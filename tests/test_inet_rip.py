@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.ping import Pinger
-from repro.core.hosts import make_ethernet_host, make_gateway
+from repro.core.hosts import make_ethernet_host
 from repro.core.topology import build_two_coast_internet
 from repro.ethernet.lan import EthernetLan
 from repro.inet.ip import IPv4Address
@@ -19,7 +19,6 @@ from repro.inet.rip import (
     RipError,
     RipPacket,
 )
-from repro.radio.channel import RadioChannel
 from repro.sim.clock import SECOND
 
 

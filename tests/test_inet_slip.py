@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.apps.ping import Pinger
@@ -14,7 +13,7 @@ from repro.inet.slip_if import (
     SlipInterface,
     slip_encode,
 )
-from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.sockets import TcpSocket
 from repro.serialio.line import SerialLine
 from repro.sim.clock import SECOND
 

@@ -4,11 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.inet.ip import IPv4Address
-from repro.inet.netstack import NetStack
 from repro.inet.sockets import TcpServerSocket, TcpSocket
-from repro.netif.ifnet import InterfaceFlags, NetworkInterface
-from repro.sim.clock import MS, SECOND
+from repro.sim.clock import SECOND
 
 from tests.test_inet_tcp import TcpHarness, B_IP
 

@@ -7,18 +7,17 @@ retransmission can be scripted deterministically.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.inet.ip import IPv4Address
 from repro.inet.netstack import NetStack
-from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.sockets import TcpSocket
 from repro.inet.tcp import (
     AdaptiveRto,
     FLAG_ACK,
-    FLAG_RST,
     FLAG_SYN,
     FixedRto,
     TcpSegment,

@@ -13,7 +13,6 @@ from repro.inet.ip import IPv4Address
 from repro.inet.netstack import NetStack
 from repro.inet.sockets import UdpSocket
 from repro.inet.udp import UdpDatagram, UdpError
-from repro.sim.clock import SECOND
 
 SRC = IPv4Address.parse("128.95.1.1")
 DST = IPv4Address.parse("128.95.1.2")

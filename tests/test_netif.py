@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.netif.ifnet import NetworkInterface
 from repro.netif.loopback import LoopbackInterface
 from repro.netif.queues import IfQueue, SoftNet
 

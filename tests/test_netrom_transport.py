@@ -13,7 +13,6 @@ from repro.netrom.transport import (
     NetRomTransport,
     TransportError,
     TransportFrame,
-    OP_CONNECT_REQUEST,
     OP_INFORMATION,
 )
 from repro.radio.channel import RadioChannel

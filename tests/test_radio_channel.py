@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.radio.channel import RadioChannel
 from repro.sim.clock import MS, SECOND
-from repro.sim.rand import RandomStreams
 
 import pytest
 

@@ -21,7 +21,7 @@ from repro.ax25.frames import AX25Frame, FrameError
 from repro.ax25.lapb import LapbState
 from repro.core.driver import PacketRadioInterface
 from repro.core.topology import build_figure1_testbed, build_gateway_testbed
-from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.inet.sockets import TcpSocket
 from repro.inet.tcp import AdaptiveRto
 from repro.kiss.framing import KissDeframer
 from repro.radio.modem import ModemProfile

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.clock import MS, SECOND
+from repro.sim.clock import SECOND
 from repro.sim.engine import SimulationError, Simulator
 
 

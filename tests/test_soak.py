@@ -21,8 +21,6 @@ from repro.inet.netstack import NetStack
 from repro.radio.channel import RadioChannel
 from repro.radio.modem import ModemProfile
 from repro.sim.clock import SECOND
-from repro.sim.engine import Simulator
-from repro.sim.rand import RandomStreams
 
 
 def test_cross_band_gateway_forwards_radio_to_radio(sim, streams):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.inet.sockets import TcpServerSocket, TcpSocket
 from repro.inet.tcp import AdaptiveRto, TcpState
-from repro.sim.clock import MS, SECOND
+from repro.sim.clock import SECOND
 
 from tests.test_inet_tcp import TcpHarness, B_IP
 

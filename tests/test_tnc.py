@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.ax25.address import AX25Address, AX25Path
 from repro.ax25.defs import PID_ARPA_IP, PID_NO_L3

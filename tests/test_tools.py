@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.ping import Pinger
-from repro.ax25.address import AX25Address, AX25Path
+from repro.ax25.address import AX25Address
 from repro.ax25.defs import PID_ARPA_ARP, PID_ARPA_IP, PID_NETROM, PID_NO_L3
 from repro.ax25.frames import AX25Frame
 from repro.core.topology import build_gateway_testbed
