@@ -7,6 +7,7 @@ directory, so an installed copy of the library can demonstrate itself:
     python -m repro gateway        # §2.3 telnet session over the gateway
     python -m repro observatory    # axdump + netstat on a live gateway
     python -m repro sweep ...      # parallel seeded experiment sweeps
+    python -m repro chaos ...      # fault-injection soak + digest gate
     python -m repro lint ...       # reprolint static-analysis gate
     python -m repro list           # show this list
 
@@ -163,6 +164,104 @@ def _sweep(argv: List[str]) -> int:
     return 0
 
 
+def _chaos(argv: List[str]) -> int:
+    """``python -m repro chaos``: the fault-injection soak gate.
+
+    Runs the ``chaos`` experiment over N seeds twice -- once inline,
+    once across worker processes -- and requires (1) zero crashed runs,
+    (2) byte-identical per-seed metric digests across the two layouts,
+    (3) at least one watchdog recovery within the documented bound, and
+    (4) successful post-recovery end-to-end pings in every run.
+    """
+    from repro.harness import (
+        SweepSpec,
+        bench_json_path,
+        run_sweep,
+        sweep_digests,
+        write_bench_json,
+    )
+    from repro.harness.results import sweep_to_dict
+    from repro.harness.runner import seeds_from_count
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Deterministic chaos soak: fault injection + "
+                    "watchdog recovery, digest-compared across "
+                    "process layouts.",
+    )
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="number of seeds (default: 3)")
+    parser.add_argument("--seed-base", type=int, default=1,
+                        help="first seed value (default: 1)")
+    parser.add_argument("--stations", type=int, default=50,
+                        help="station population (default: 50)")
+    parser.add_argument("--duration", type=float, default=240.0,
+                        help="scenario seconds per run (default: 240)")
+    parser.add_argument("--recovery-bound", type=float, default=60.0,
+                        help="max allowed watchdog recovery time in "
+                             "simulated seconds (default: 60)")
+    parser.add_argument("--out", default=None,
+                        help="results path (default: ./BENCH_chaos.json)")
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+
+    grid = ({"stations": args.stations,
+             "duration_seconds": args.duration},)
+    seeds = seeds_from_count(args.seeds, base=args.seed_base)
+    failures: List[str] = []
+    results = {}
+    for procs in (1, 2):
+        print(f"chaos: {args.seeds} seed(s) x {args.stations} stations, "
+              f"procs={procs}")
+        spec = SweepSpec(bench="chaos", seeds=seeds, grid=grid, procs=procs)
+        result = run_sweep(spec, progress=lambda r: print(
+            f"  seed={r.seed} ({r.wall_seconds:.1f}s) "
+            f"recoveries={r.metrics.get('watchdog_recoveries', 0):.0f} "
+            f"post-pings={r.metrics.get('post_fault_pings_ok', 0):.0f}"))
+        results[procs] = result
+
+    digests_1 = sweep_digests(results[1])
+    digests_2 = sweep_digests(results[2])
+    for key, digest in sorted(digests_1.items()):
+        if digests_2.get(key) != digest:
+            failures.append(
+                f"digest mismatch at {key}: procs=1 {digest[:12]} "
+                f"!= procs=2 {(digests_2.get(key) or 'missing')[:12]}")
+    for record in results[1].records:
+        where = f"seed={record.seed}"
+        metrics = record.metrics
+        if metrics.get("watchdog_recoveries", 0) < 1:
+            failures.append(f"{where}: watchdog never recovered the TNC")
+        elif metrics.get("watchdog_last_recovery_s", 0) > args.recovery_bound:
+            failures.append(
+                f"{where}: recovery took "
+                f"{metrics['watchdog_last_recovery_s']:.1f}s "
+                f"(bound {args.recovery_bound:.0f}s)")
+        if metrics.get("post_fault_pings_ok", 0) < 1:
+            failures.append(f"{where}: no post-recovery ping succeeded")
+
+    document = sweep_to_dict(results[2])
+    document["digests"] = {
+        "procs1": digests_1,
+        "procs2": digests_2,
+        "identical": digests_1 == digests_2,
+    }
+    out = args.out or bench_json_path("chaos")
+    path = write_bench_json(out, document, bench="chaos")
+
+    if failures:
+        print("\nchaos gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(f"wrote {path}")
+        return 1
+    print(f"\nchaos gate passed: {len(digests_1)} run(s), digests "
+          f"identical across layouts; wrote {path}")
+    return 0
+
+
 SCENARIOS: Dict[str, Callable[[], None]] = {
     "quickstart": _quickstart,
     "gateway": _gateway,
@@ -175,6 +274,8 @@ def main(argv: list) -> int:
     name = argv[1] if len(argv) > 1 else "list"
     if name == "sweep":
         return _sweep(argv[2:])
+    if name == "chaos":
+        return _chaos(argv[2:])
     if name == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[2:])
@@ -185,7 +286,7 @@ def main(argv: list) -> int:
         print(f"unknown scenario {name!r}", file=sys.stderr)
     print(__doc__.strip())
     print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)),
-          "+ sweep, lint")
+          "+ sweep, chaos, lint")
     print("richer versions live in examples/*.py")
     return 0 if name in ("list", "-h", "--help") else 2
 

@@ -1,0 +1,92 @@
+"""Fault-handling pass: no silently swallowed failures.
+
+A robustness subsystem is only as honest as its error paths.  A bare
+``except:`` (or a blanket ``except Exception:`` whose body does
+nothing) hides real failures -- a typo in a fault injector callback, a
+broken counter hook -- and turns a crash the chaos gate would catch
+into silently-wrong metrics.
+
+* **FAULT001 swallowed-exception** — a bare ``except:``/`
+  ``except BaseException:`` anywhere, or an ``except Exception:``
+  handler whose body is only ``pass``/``...``.  Catching a *specific*
+  exception, or doing real work (count it, trace it, re-raise) in a
+  broad handler, is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    LintPass,
+    ModuleInfo,
+    Rule,
+    register_pass,
+)
+
+RULE_SWALLOWED = Rule(
+    id="FAULT001", name="swallowed-exception", severity="error",
+    summary="bare or do-nothing broad exception handler hides real "
+            "failures; catch the specific exception or handle it",
+)
+
+#: Broad exception names whose do-nothing handlers are flagged.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_noop_body(body: List[ast.stmt]) -> bool:
+    """True when the handler body does nothing at all."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if (isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)
+                and statement.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+def _broad_name(node: ast.ExceptHandler) -> str:
+    """The broad exception class caught, or "" if it is specific."""
+    expr = node.type
+    if isinstance(expr, ast.Name) and expr.id in BROAD_NAMES:
+        return expr.id
+    if isinstance(expr, ast.Attribute) and expr.attr in BROAD_NAMES:
+        return expr.attr
+    return ""
+
+
+@register_pass
+class FaultHandlingPass(LintPass):
+    """Flags exception handlers that swallow failures silently."""
+
+    name = "fault-handling"
+    rules = (RULE_SWALLOWED,)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node, RULE_SWALLOWED,
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt; name the exception you expect",
+                )
+                continue
+            caught = _broad_name(node)
+            if caught == "BaseException":
+                yield self.finding(
+                    module, node, RULE_SWALLOWED,
+                    "'except BaseException:' catches interpreter exits; "
+                    "name the exception you expect",
+                )
+            elif caught and _is_noop_body(node.body):
+                yield self.finding(
+                    module, node, RULE_SWALLOWED,
+                    "'except Exception: pass' silently swallows real "
+                    "failures; handle, count, or re-raise instead",
+                )

@@ -33,17 +33,23 @@ from repro.ax25.address import AX25Address, AX25Path, is_broadcast
 from repro.ax25.defs import PID_ARPA_ARP, PID_ARPA_IP
 from repro.ax25.frames import AX25Frame, FrameError
 from repro.inet.arp import ArpEntry, ArpService, HRD_AX25
-from repro.inet.ip import IPv4Address
+from repro.inet.ip import IPv4Address, PROTO_ICMP
 from repro.kiss import commands
 from repro.kiss.framing import FEND, KissDeframer, frame as kiss_frame
 from repro.netif.ifnet import InterfaceFlags, NetworkInterface
 from repro.serialio.tty import Tty
 from repro.sim.clock import SECOND
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
+from repro.sim.rand import RandomStreams
 from repro.sim.trace import Tracer
 
 #: Default IP MTU over AX.25 (KA9Q convention: 256-byte paclen).
 AX25_MTU = 256
+
+#: Output priorities for the graceful-degradation path: control traffic
+#: (ARP, ICMP) keeps flowing under queue pressure; bulk IP is shed first.
+PRIO_CONTROL = 0
+PRIO_BULK = 1
 
 
 class PacketRadioInterface(NetworkInterface):
@@ -93,7 +99,18 @@ class PacketRadioInterface(NetworkInterface):
 
         self._deframer = KissDeframer(on_frame=self._kiss_record)
         self._raw_buffer = bytearray()   # used by the "buffered" ablation mode
+        #: Cap on the raw reassembly buffer: a fully escaped max-size
+        #: frame plus the type byte.  Without this, a lost FEND during
+        #: line noise grows the buffer without bound.
+        self.raw_buffer_limit = 2 * self._deframer.max_frame + 2
+        self._raw_discarding = False
         tty.hook_interrupt(self._rx_char_interrupt)
+
+        #: When set, bulk (non-ARP/ICMP) output is shed once the serial
+        #: backlog toward the TNC exceeds this many bytes.  None = off.
+        self.shed_threshold_bytes: Optional[int] = None
+        #: Installed by :meth:`start_watchdog`.
+        self.watchdog: Optional["TncWatchdog"] = None
 
         # driver statistics (imitating if_data plus driver-specific ones)
         self.rx_char_interrupts = 0
@@ -105,6 +122,8 @@ class PacketRadioInterface(NetworkInterface):
         self.frames_arp_in = 0
         self.frames_non_ip = 0
         self.non_ip_drops = 0
+        self.frames_to_tnc = 0
+        self.raw_overflow_drops = 0      # buffered-mode reassembly cap hits
 
     # ------------------------------------------------------------------
     # receive path: per-character interrupt handling
@@ -121,6 +140,10 @@ class PacketRadioInterface(NetworkInterface):
         # Ablation mode: stash raw bytes, decode the whole packet at the
         # final frame end.  Costs a second pass over every byte.
         self.processing_ops += 1
+        if self._raw_discarding:
+            if byte == FEND:
+                self._raw_discarding = False
+            return
         self._raw_buffer.append(byte)
         if byte == FEND and len(self._raw_buffer) > 1:
             buffered = bytes(self._raw_buffer)
@@ -129,6 +152,12 @@ class PacketRadioInterface(NetworkInterface):
             self._deframer.push(buffered)
         elif byte == FEND:
             self._raw_buffer.clear()
+        elif len(self._raw_buffer) > self.raw_buffer_limit:
+            # A lost FEND must not grow the buffer without bound: dump
+            # the partial frame and resynchronise at the next FEND.
+            self.raw_overflow_drops += 1
+            self._raw_buffer.clear()
+            self._raw_discarding = True
 
     def _kiss_record(self, type_byte: int, payload: bytes) -> None:
         command, _port = commands.split_type_byte(type_byte)
@@ -190,7 +219,8 @@ class PacketRadioInterface(NetworkInterface):
         self.count_output(packet)
         if next_hop.is_broadcast:
             self._transmit_ui(
-                AX25Address("QST"), PID_ARPA_IP, packet, self.default_path
+                AX25Address("QST"), PID_ARPA_IP, packet, self.default_path,
+                priority=self._ip_priority(packet),
             )
             return True
         self.arp.resolve_and_send(next_hop, packet)
@@ -203,19 +233,41 @@ class PacketRadioInterface(NetworkInterface):
     def _send_resolved(self, packet: bytes, entry: ArpEntry) -> None:
         destination, _last, _bit = AX25Address.decode(entry.hw_address)
         path = entry.link_hint if isinstance(entry.link_hint, AX25Path) else self.default_path
-        self._transmit_ui(destination.base, PID_ARPA_IP, packet, path)
+        self._transmit_ui(destination.base, PID_ARPA_IP, packet, path,
+                          priority=self._ip_priority(packet))
 
     def _send_arp(self, packet: bytes, broadcast: bool,
                   entry: Optional[ArpEntry]) -> None:
         if broadcast or entry is None:
-            self._transmit_ui(AX25Address("QST"), PID_ARPA_ARP, packet, self.default_path)
+            self._transmit_ui(AX25Address("QST"), PID_ARPA_ARP, packet,
+                              self.default_path, priority=PRIO_CONTROL)
             return
         destination, _last, _bit = AX25Address.decode(entry.hw_address)
         path = entry.link_hint if isinstance(entry.link_hint, AX25Path) else self.default_path
-        self._transmit_ui(destination.base, PID_ARPA_ARP, packet, path)
+        self._transmit_ui(destination.base, PID_ARPA_ARP, packet, path,
+                          priority=PRIO_CONTROL)
+
+    @staticmethod
+    def _ip_priority(packet: bytes) -> int:
+        """ICMP is control traffic; everything else is sheddable bulk."""
+        if len(packet) >= 20 and packet[9] == PROTO_ICMP:
+            return PRIO_CONTROL
+        return PRIO_BULK
 
     def _transmit_ui(self, destination: AX25Address, pid: int, payload: bytes,
-                     path: AX25Path) -> None:
+                     path: AX25Path, priority: int = PRIO_BULK) -> None:
+        if (self.shed_threshold_bytes is not None
+                and priority != PRIO_CONTROL
+                and self.tty.tx_backlog_bytes > self.shed_threshold_bytes):
+            # Graceful degradation: the serial line is the §4.1 choke
+            # point; shed bulk output rather than queueing unboundedly,
+            # but keep ARP/ICMP flowing so the link stays diagnosable.
+            self.count_shed()
+            if self.tracer is not None:
+                self.tracer.log("driver.shed", str(self.callsign),
+                                "bulk output shed under backlog",
+                                backlog=self.tty.tx_backlog_bytes)
+            return
         frame = AX25Frame.ui(destination, self.callsign, pid, payload, path)
         if self.tracer is not None:
             self.tracer.log("driver.tx", str(self.callsign), str(frame))
@@ -223,6 +275,7 @@ class PacketRadioInterface(NetworkInterface):
 
     def _write_kiss(self, frame_bytes: bytes) -> None:
         record = kiss_frame(commands.type_byte(commands.CMD_DATA), frame_bytes)
+        self.frames_to_tnc += 1
         self.tty.write(record)
 
     # ------------------------------------------------------------------
@@ -258,3 +311,140 @@ class PacketRadioInterface(NetworkInterface):
             callsign if isinstance(callsign, AX25Address) else AX25Address.parse(callsign)
         )
         self.arp.add_static(ip, callsign.encode(last=True), link_hint=path)
+
+    # ------------------------------------------------------------------
+    # TNC recovery
+    # ------------------------------------------------------------------
+
+    def reset_tnc(self) -> None:
+        """Send a KISS return record: reboot a wedged TNC out of band.
+
+        The record rides the ordinary serial line -- the wedged firmware's
+        RX interrupt still runs, so the reset vector is reachable even
+        when the main loop is hung (see :meth:`repro.tnc.kiss_tnc.KissTnc.wedge`).
+        """
+        record = kiss_frame(commands.type_byte(commands.CMD_RETURN), b"")
+        self.tty.write(record)
+        if self.tracer is not None:
+            self.tracer.log("driver.reset_tnc", str(self.callsign),
+                            "KISS return sent to TNC")
+
+    def start_watchdog(self, streams: RandomStreams, **kwargs: Any) -> "TncWatchdog":
+        """Attach and start a :class:`TncWatchdog` on this interface."""
+        self.watchdog = TncWatchdog(self, streams, **kwargs)
+        self.watchdog.start()
+        return self.watchdog
+
+
+class TncWatchdog:
+    """Detects a silent TNC and kicks it with a KISS reset.
+
+    Detection rule: no receive character interrupt for
+    ``silence_timeout``.  A promiscuous KISS TNC on a shared packet
+    channel delivers *something* up the serial line every few seconds --
+    other people's frames included -- so sustained total silence means
+    the firmware main loop is hung.  (A wedged TNC also stops the
+    driver's own TX from eliciting traffic, so TX progress cannot be
+    required for suspicion; on a genuinely idle channel a spurious reset
+    merely costs the TNC a reboot.)
+
+    Recovery is a KISS return record (:meth:`PacketRadioInterface.reset_tnc`)
+    followed by capped exponential backoff with seeded jitter before the
+    next attempt.  Worst-case recovery time from the moment of the wedge
+    is bounded by::
+
+        silence_timeout + 2 * check_interval + reboot_delay + check_interval
+
+    (detection latency + check-cycle quantisation + the TNC firmware
+    restart + one check to observe resumed traffic), about 38 s of
+    simulated time at the defaults -- and under 60 s even if the first
+    reset record is itself corrupted by line noise and a backoff cycle
+    is consumed.  The jitter stream is ``watchdog/<ifname>``, so
+    enabling the watchdog perturbs no other random stream.
+    """
+
+    def __init__(
+        self,
+        driver: PacketRadioInterface,
+        streams: RandomStreams,
+        check_interval: int = 5 * SECOND,
+        silence_timeout: int = 20 * SECOND,
+        backoff_base: int = 2 * SECOND,
+        backoff_cap: int = 30 * SECOND,
+    ) -> None:
+        self.driver = driver
+        self.sim = driver.sim
+        self.check_interval = check_interval
+        self.silence_timeout = silence_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = streams.stream(f"watchdog/{driver.name}")
+        self._running = False
+        self._event: Optional[Event] = None
+
+        # progress tracking
+        self._last_rx = driver.rx_char_interrupts
+        self._last_rx_time = self.sim.now
+        self._suspected_at: Optional[int] = None
+        self._attempt = 0
+        self._next_reset_at = 0
+
+        # counters (surfaced in scenario metrics)
+        self.resets_issued = 0
+        self.recoveries = 0
+        self.last_recovery_us = 0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_check()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_check(self) -> None:
+        self._event = self.sim.schedule(
+            self.check_interval, self._check,
+            label=f"watchdog {self.driver.name}")
+
+    def _check(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        rx = self.driver.rx_char_interrupts
+        if rx != self._last_rx:
+            # Receive path made progress: healthy (or just recovered).
+            if self._suspected_at is not None:
+                self.recoveries += 1
+                self.last_recovery_us = now - self._suspected_at
+                self._suspected_at = None
+                if self.driver.tracer is not None:
+                    self.driver.tracer.log(
+                        "driver.watchdog.recovered", self.driver.name,
+                        "TNC responding again",
+                        after_us=self.last_recovery_us)
+            self._attempt = 0
+            self._next_reset_at = 0
+            self._last_rx = rx
+            self._last_rx_time = now
+        else:
+            silent_for = now - self._last_rx_time
+            if silent_for >= self.silence_timeout:
+                if self._suspected_at is None:
+                    self._suspected_at = now
+                if now >= self._next_reset_at:
+                    self.resets_issued += 1
+                    if self.driver.tracer is not None:
+                        self.driver.tracer.log(
+                            "driver.watchdog.reset", self.driver.name,
+                            "TNC silent, issuing KISS reset",
+                            silent_us=silent_for,
+                            attempt=self._attempt + 1)
+                    self.driver.reset_tnc()
+                    backoff = min(self.backoff_cap,
+                                  self.backoff_base << self._attempt)
+                    jitter = int(self._rng.random() * self.backoff_base)
+                    self._attempt += 1
+                    self._next_reset_at = now + backoff + jitter
+        self._schedule_check()

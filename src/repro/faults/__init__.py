@@ -1,0 +1,26 @@
+"""Deterministic fault injection for the packet-radio simulation.
+
+Split cleanly in two:
+
+* :mod:`repro.faults.plan` -- *what* goes wrong: declarative, validated
+  :class:`FaultSpec`/:class:`FaultPlan` schedules plus the standard
+  :func:`chaos_plan` preset.
+* :mod:`repro.faults.inject` -- *how* it is applied: the
+  :class:`FaultInjector` binds a plan to live components through the
+  hooks each layer exposes.
+
+All randomness is drawn from named seeded streams, so a faulted run's
+metrics are a pure function of (plan, seed) -- the property the chaos
+harness (``python -m repro chaos``) asserts by digest comparison.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, chaos_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "chaos_plan",
+]

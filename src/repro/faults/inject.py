@@ -1,0 +1,181 @@
+"""The fault injector: applies a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector owns no policy -- it walks the plan and schedules each
+spec against the component hooks the subsystem layers expose
+(``SerialEndpoint.rx_fault``, ``KissTnc.wedge/reboot``,
+``RadioChannel.fade_probability/blocked_pairs``,
+``NetworkInterface.if_ioctl``).  Every random decision comes from a
+stream named after the fault and its target (``fault/serial/<name>``,
+``fault/garbage/<name>``; the channel draws fades from
+``fault/fade/<port>`` itself), so injecting faults never perturbs the
+RNG sequence of healthy components and metrics stay a pure function of
+(plan, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.netif.ifnet import NetworkInterface
+from repro.radio.channel import RadioChannel
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import Tracer
+
+
+class FaultInjector:
+    """Schedules a plan's faults against live components."""
+
+    def __init__(self, sim: Simulator, streams: RandomStreams,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.sim = sim
+        self.streams = streams
+        self.tracer = tracer
+
+        # accounting (all deterministic given the plan + seed)
+        self.faults_injected = 0
+        self.faults_cleared = 0
+        self.bytes_corrupted = 0
+        self.bytes_dropped = 0
+        self.garbage_bytes = 0
+
+    def install(
+        self,
+        plan: FaultPlan,
+        channel: Optional[RadioChannel] = None,
+        attachments: Optional[Mapping[str, object]] = None,
+        interfaces: Optional[Mapping[str, NetworkInterface]] = None,
+    ) -> None:
+        """Validate ``plan`` and schedule every spec.
+
+        ``attachments`` maps target names to
+        :class:`~repro.core.hosts.RadioAttachment` bundles (serial/TNC
+        faults); ``channel`` serves fades and partitions;
+        ``interfaces`` serves flaps.  Missing a needed map raises
+        immediately, at install time, not mid-run.
+        """
+        plan.validate()
+        attachments = dict(attachments or {})
+        interfaces = dict(interfaces or {})
+        for spec in plan:
+            apply = self._resolve(spec, channel, attachments, interfaces)
+            self.sim.at(spec.at, self._fire, spec, apply,
+                        label=f"fault {spec.kind} {spec.target}")
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _resolve(self, spec: FaultSpec, channel: Optional[RadioChannel],
+                 attachments: Dict[str, object],
+                 interfaces: Dict[str, NetworkInterface]) -> Callable[[], None]:
+        """Bind a spec to its victim; raises KeyError for unknown targets."""
+        if spec.kind in ("serial_noise", "serial_drop"):
+            attachment = attachments[spec.target]
+            return lambda: self._serial_fault(spec, attachment)
+        if spec.kind in ("tnc_wedge", "tnc_reboot", "tnc_garbage"):
+            attachment = attachments[spec.target]
+            return lambda: self._tnc_fault(spec, attachment)
+        if spec.kind in ("channel_fade", "partition"):
+            if channel is None:
+                raise ValueError(f"{spec.kind} needs a channel")
+            if spec.target not in channel.ports:
+                raise KeyError(spec.target)
+            if spec.kind == "partition" and spec.peer not in channel.ports:
+                raise KeyError(spec.peer)
+            return lambda: self._channel_fault(spec, channel)
+        if spec.kind == "iface_flap":
+            interface = interfaces[spec.target]
+            return lambda: self._flap(spec, interface)
+        raise ValueError(f"unhandled fault kind {spec.kind!r}")  # pragma: no cover
+
+    def _fire(self, spec: FaultSpec, apply: Callable[[], None]) -> None:
+        self.faults_injected += 1
+        if self.tracer is not None:
+            self.tracer.log("fault.inject", spec.target, spec.kind,
+                            duration=spec.duration)
+        apply()
+
+    def _clear(self, spec: FaultSpec, undo: Callable[[], None]) -> None:
+        def run() -> None:
+            self.faults_cleared += 1
+            if self.tracer is not None:
+                self.tracer.log("fault.clear", spec.target, spec.kind)
+            undo()
+        self.sim.at(spec.end, run, label=f"fault-clear {spec.kind} {spec.target}")
+
+    # ------------------------------------------------------------------
+    # serial-line faults
+    # ------------------------------------------------------------------
+
+    def _serial_fault(self, spec: FaultSpec, attachment: object) -> None:
+        # Host-side endpoint: bytes arriving from the TNC, i.e. the §2.2
+        # receive path the paper's driver must survive.
+        endpoint = attachment.serial.a
+        rng = self.streams.stream(f"fault/serial/{spec.target}")
+        drop = spec.kind == "serial_drop"
+
+        def line_noise(byte: int) -> Optional[int]:
+            if rng.random() >= spec.probability:
+                return byte
+            if drop:
+                self.bytes_dropped += 1
+                return None
+            self.bytes_corrupted += 1
+            return byte ^ (1 << int(rng.random() * 8))
+
+        endpoint.rx_fault = line_noise
+        self._clear(spec, lambda: self._remove_filter(endpoint, line_noise))
+
+    @staticmethod
+    def _remove_filter(endpoint: object, installed: Callable) -> None:
+        # Only uninstall our own filter: a later, overlapping window may
+        # have replaced it (last writer wins while both are active).
+        if endpoint.rx_fault is installed:
+            endpoint.rx_fault = None
+
+    # ------------------------------------------------------------------
+    # TNC faults
+    # ------------------------------------------------------------------
+
+    def _tnc_fault(self, spec: FaultSpec, attachment: object) -> None:
+        tnc = attachment.tnc
+        if spec.kind == "tnc_wedge":
+            tnc.wedge()
+        elif spec.kind == "tnc_reboot":
+            tnc.reboot()
+        else:  # tnc_garbage: the firmware hiccups and spews noise upline
+            rng = self.streams.stream(f"fault/garbage/{spec.target}")
+            burst = bytes(int(rng.random() * 256) for _ in range(spec.count))
+            self.garbage_bytes += len(burst)
+            attachment.serial.b.write(burst)
+
+    # ------------------------------------------------------------------
+    # radio-channel faults
+    # ------------------------------------------------------------------
+
+    def _channel_fault(self, spec: FaultSpec, channel: RadioChannel) -> None:
+        if spec.kind == "channel_fade":
+            channel.fade_probability[spec.target] = spec.probability
+
+            def undo() -> None:
+                channel.fade_probability.pop(spec.target, None)
+        else:  # partition
+            pair_a = (spec.target, spec.peer)
+            pair_b = (spec.peer, spec.target)
+            channel.blocked_pairs.add(pair_a)
+            channel.blocked_pairs.add(pair_b)
+
+            def undo() -> None:
+                channel.blocked_pairs.discard(pair_a)
+                channel.blocked_pairs.discard(pair_b)
+        self._clear(spec, undo)
+
+    # ------------------------------------------------------------------
+    # interface faults
+    # ------------------------------------------------------------------
+
+    def _flap(self, spec: FaultSpec, interface: NetworkInterface) -> None:
+        interface.if_ioctl("down")
+        self._clear(spec, lambda: interface.if_ioctl("up"))

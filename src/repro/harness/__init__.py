@@ -17,7 +17,12 @@ Entry points:
 """
 
 from repro.harness.experiments import EXPERIMENTS, Experiment
-from repro.harness.results import bench_json_path, write_bench_json
+from repro.harness.results import (
+    bench_json_path,
+    metrics_digest,
+    sweep_digests,
+    write_bench_json,
+)
 from repro.harness.runner import RunRecord, SweepResult, SweepSpec, run_sweep
 
 __all__ = [
@@ -27,6 +32,8 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "bench_json_path",
+    "metrics_digest",
     "run_sweep",
+    "sweep_digests",
     "write_bench_json",
 ]

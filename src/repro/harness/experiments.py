@@ -29,9 +29,15 @@ from repro.radio.station import RadioStation
 from repro.sim.clock import MS, SECOND
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
+from repro.faults import chaos_plan
 from repro.workload.arrivals import BurstArrivals, PoissonArrivals
 from repro.workload.generators import UiChatterGenerator
-from repro.workload.scenario import GeneratorMix, Scenario, run_scenario
+from repro.workload.scenario import (
+    GeneratorMix,
+    Scenario,
+    build_scenario,
+    run_scenario,
+)
 
 # ----------------------------------------------------------------------
 # E3 -- §3: gateway under background channel load (workload-driven)
@@ -222,6 +228,64 @@ def run_soak(
 
 
 # ----------------------------------------------------------------------
+# chaos -- fault-injection soak with watchdog recovery (the E10 harness)
+# ----------------------------------------------------------------------
+
+def run_chaos(
+    seed: int = 0,
+    stations: int = 50,
+    duration_seconds: float = 240.0,
+    mix: str = "mixed",
+    rate_scale: float = 0.25,
+    watchdog: bool = True,
+    shed_threshold_bytes: int = 2048,
+) -> Dict[str, float]:
+    """A population soak with the standard chaos fault schedule applied.
+
+    The :func:`repro.faults.chaos_plan` preset wedges the gateway TNC,
+    corrupts and drops serial bytes, fades and partitions stations, and
+    flaps an interface -- all cleared by ~80% of the run.  The driver
+    watchdog must recover the wedged TNC; after the scenario ends a
+    post-recovery ping check verifies the gateway forwards end to end
+    again.  Every metric is a pure function of (params, seed); the
+    ``chaos`` CLI asserts that by digest across process layouts.
+    """
+    if mix not in MIX_PRESETS:
+        raise ValueError(f"unknown mix preset {mix!r}")
+    if rate_scale <= 0:
+        raise ValueError("rate_scale must be positive")
+    components = tuple(
+        replace(component,
+                rate_per_minute=component.rate_per_minute * rate_scale)
+        for component in MIX_PRESETS[mix]
+    )
+    scenario = Scenario(
+        name=f"chaos-{mix}", topology="gateway", stations=stations,
+        duration_seconds=duration_seconds, mix=components, seed=seed,
+        watchdog=watchdog, shed_threshold_bytes=shed_threshold_bytes,
+    )
+    ip_count = sum(1 for c in scenario.station_allocation()
+                   if c.kind in ("ping", "udp", "tcp"))
+    station_names = [f"WL{i}" for i in range(min(ip_count, 2))]
+    plan = chaos_plan(int(duration_seconds), gateway="gateway",
+                      stations=station_names)
+    scenario = replace(scenario, fault_plan=plan)
+    run = build_scenario(scenario)
+    metrics = run.run()
+
+    # Post-recovery health: every fault has cleared by now, and the
+    # watchdog has had time to reset the wedged TNC.  Pings from the
+    # isolated PC through the gateway must succeed end to end.
+    tb = run.testbed
+    pinger = Pinger(tb.pc.stack)
+    pinger.send(tb.ETHER_HOST_IP, count=3, interval=20 * SECOND)
+    tb.sim.run(until=tb.sim.now + 90 * SECOND)
+    metrics["post_fault_pings_sent"] = float(pinger.sent)
+    metrics["post_fault_pings_ok"] = float(pinger.received)
+    return metrics
+
+
+# ----------------------------------------------------------------------
 # perf -- the simulator as software (wall-clock; not seed-deterministic)
 # ----------------------------------------------------------------------
 
@@ -306,6 +370,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
             grid=({"stations": 20, "mix": "mixed"},
                   {"stations": 20, "mix": "bursty"}),
             default_seed_count=5,
+        ),
+        Experiment(
+            name="chaos",
+            description="fault-injection soak: deterministic chaos "
+                        "schedule + driver watchdog recovery (E10)",
+            fn=run_chaos,
+            grid=({"stations": 50},),
+            default_seed_count=3,
         ),
         Experiment(
             name="perf",

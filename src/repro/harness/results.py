@@ -28,14 +28,35 @@ any reproducibility comparison.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.harness.runner import SweepResult
 
 #: Bump when the JSON layout changes incompatibly.
 SCHEMA_VERSION = 1
+
+
+def metrics_digest(metrics: Mapping[str, float]) -> str:
+    """sha256 over the canonical JSON of one run's metric dict.
+
+    Two runs with identical metrics have identical digests; the chaos
+    gate compares these across process layouts to prove determinism.
+    """
+    payload = json.dumps({str(k): float(v) for k, v in metrics.items()},
+                         sort_keys=True)
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def sweep_digests(result: SweepResult) -> Dict[str, str]:
+    """Per-cell metric digests, keyed ``<params_key>|seed=<seed>``."""
+    return {
+        f"{record.params_key()}|seed={record.seed}":
+            metrics_digest(record.metrics)
+        for record in result.records
+    }
 
 
 def bench_json_path(bench: str, directory: Union[str, Path] = ".") -> Path:

@@ -91,7 +91,12 @@ class NetStack:
             "ip_bad", "icmp_received", "icmp_echo_replied",
             "redirects_sent", "redirects_followed", "quench_sent",
             "udp_received", "udp_no_port", "frags_sent",
+            "ip_input_drops", "if_snd_drops", "if_output_sheds",
         ))
+        # Queue overflow on the IP input queue must not die silently on
+        # the queue object: mirror it into the protocol counters.
+        self.ip_input_queue.on_drop = (
+            lambda: self.counters.bump("ip_input_drops"))
 
     # ------------------------------------------------------------------
     # interface management
@@ -109,6 +114,12 @@ class NetStack:
 
     def _attach_common(self, interface: NetworkInterface) -> None:
         interface.input_handler = self._interface_input
+        # Mirror per-interface queue drops and backlog sheds into the
+        # stack counters so netstat sees them host-wide.
+        interface.send_queue.on_drop = (
+            lambda: self.counters.bump("if_snd_drops"))
+        interface.on_shed = (
+            lambda: self.counters.bump("if_output_sheds"))
         if interface not in self.interfaces:
             self.interfaces.append(interface)
 

@@ -62,6 +62,14 @@ class NetworkInterface:
         self.oerrors = 0
         self.ibytes = 0
         self.obytes = 0
+        #: Low-priority packets deliberately shed under output-backlog
+        #: pressure (graceful degradation, not an error condition).
+        self.osheds = 0
+        #: Administrative up -> down transitions (fault-injection flaps).
+        self.flaps = 0
+        #: Called once per shed, after :attr:`osheds` is bumped; the
+        #: owning stack hooks this to mirror sheds into its CounterSet.
+        self.on_shed: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # the three procedure pointers of the paper's if_net
@@ -90,6 +98,8 @@ class NetworkInterface:
         if request == "up":
             self.flags |= InterfaceFlags.UP
         elif request == "down":
+            if self.is_up:
+                self.flaps += 1
             self.flags &= ~InterfaceFlags.UP
         elif request == "mtu":
             self.mtu = int(value)
@@ -127,6 +137,12 @@ class NetworkInterface:
         """Account one transmitted packet."""
         self.opackets += 1
         self.obytes += len(packet)
+
+    def count_shed(self) -> None:
+        """Account one low-priority packet shed under backlog pressure."""
+        self.osheds += 1
+        if self.on_shed is not None:
+            self.on_shed()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.is_up else "down"

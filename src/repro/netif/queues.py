@@ -34,11 +34,17 @@ class IfQueue(Generic[T]):
         self.drops = 0
         self.enqueued = 0
         self.high_watermark = 0
+        #: Called once per overflow drop, after :attr:`drops` is bumped.
+        #: The owning stack hooks this so queue drops reach its
+        #: CounterSet instead of dying silently on the queue object.
+        self.on_drop: Optional[Callable[[], None]] = None
 
     def enqueue(self, item: T) -> bool:
         """IF_ENQUEUE: returns False (and counts a drop) when full."""
         if len(self._queue) >= self.limit:
             self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop()
             return False
         self._queue.append(item)
         self.enqueued += 1

@@ -106,6 +106,14 @@ class RadioChannel:
         self.active: List[Transmission] = []
         #: None => fully connected; else a set of (hearer, speaker) pairs.
         self._links: Optional[Set[Tuple[str, str]]] = None
+        #: Fault-injection state (installed by :mod:`repro.faults`).
+        #: Receivers listed in ``fade_probability`` lose frames with that
+        #: probability, drawn from the seeded ``fault/fade/<port>``
+        #: stream; ``blocked_pairs`` (hearer, speaker) are deaf to each
+        #: other regardless of the hearing relation (a partition).
+        self.fade_probability: Dict[str, float] = {}
+        self.blocked_pairs: Set[Tuple[str, str]] = set()
+        self.frames_faded = 0
         self.total_transmissions = 0
         self.total_collisions = 0
         #: Accumulated channel-busy time (for utilisation measurement).
@@ -140,6 +148,8 @@ class RadioChannel:
     def hears(self, hearer: ChannelPort, speaker: ChannelPort) -> bool:
         """Does ``hearer`` receive energy from ``speaker``?"""
         if hearer is speaker:
+            return False
+        if (hearer.name, speaker.name) in self.blocked_pairs:
             return False
         if self._links is None:
             return True
@@ -255,6 +265,12 @@ class RadioChannel:
 
     def _maybe_corrupt(self, payload: bytes, port: ChannelPort) -> Optional[bytes]:
         """Apply the receiver modem's bit-error model (channel-level BER)."""
+        fade = self.fade_probability.get(port.name, 0.0)
+        if fade > 0.0:
+            rng = self.streams.stream(f"fault/fade/{port.name}")
+            if rng.random() < fade:
+                self.frames_faded += 1
+                return None
         ber = getattr(port, "bit_error_rate", 0.0)
         if ber <= 0.0:
             return payload

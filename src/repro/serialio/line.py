@@ -33,6 +33,12 @@ class SerialEndpoint:
         self._tx_free_at = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Receive-path fault filter (installed by :mod:`repro.faults`):
+        #: called with each byte as it lands at *this* endpoint; returns
+        #: the byte to deliver (possibly altered -- line noise) or None
+        #: to drop it on the floor.  One filter at a time.
+        self.rx_fault: Optional[Callable[[int], Optional[int]]] = None
+        self.rx_faulted = 0
 
     def on_receive(self, handler: Callable[[int], None]) -> None:
         """Install the per-byte receive interrupt handler."""
@@ -68,6 +74,13 @@ class SerialEndpoint:
 
     def _deliver(self, byte: int) -> None:
         assert self.peer is not None
+        if self.peer.rx_fault is not None:
+            faulted = self.peer.rx_fault(byte)
+            if faulted != byte:
+                self.peer.rx_faulted += 1
+            if faulted is None:
+                return
+            byte = faulted
         self.peer.bytes_received += 1
         if self.peer._receive_handler is not None:
             self.peer._receive_handler(byte)

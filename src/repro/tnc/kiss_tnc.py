@@ -30,9 +30,13 @@ from repro.radio.csma import CsmaParameters
 from repro.radio.modem import ModemProfile
 from repro.radio.station import RadioStation
 from repro.serialio.line import SerialEndpoint
+from repro.sim.clock import MS
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 from repro.tnc.filtering import frame_is_for_station
+
+#: How long the TNC firmware takes to reboot after a KISS exit/reset.
+DEFAULT_REBOOT_DELAY = 1500 * MS
 
 
 class KissTnc:
@@ -79,15 +83,36 @@ class KissTnc:
         self.command_records = 0
         self.bad_records = 0
 
+        # fault/recovery state (§3: "the TNC locks up under load").
+        # A wedge models the firmware main loop hanging: the radio side
+        # goes deaf and mute, but the serial RX interrupt still runs, so
+        # a KISS return/reset record from the host can reboot it.
+        self.wedged = False
+        self.wedged_drops = 0
+        self.resets = 0
+        self.reboot_delay = DEFAULT_REBOOT_DELAY
+        self._rebooting = False
+
     # ------------------------------------------------------------------
     # host -> air
     # ------------------------------------------------------------------
 
     def _byte_from_host(self, byte: int) -> None:
+        if self._rebooting:
+            return  # firmware is restarting; the UART is dead to the host
         self._deframer.push_byte(byte)
 
     def _record_from_host(self, type_byte: int, payload: bytes) -> None:
         command, _port = commands.split_type_byte(type_byte)
+        if self.wedged:
+            # The hung main loop never services the record -- except that
+            # a KISS return still reaches the reset vector.
+            if command == commands.CMD_RETURN:
+                self.command_records += 1
+                self.reboot()
+            else:
+                self.wedged_drops += 1
+            return
         if command == commands.CMD_DATA:
             if not payload:
                 self.bad_records += 1
@@ -111,9 +136,10 @@ class KissTnc:
         elif command == commands.CMD_FULLDUP:
             self.station.csma = self.station.csma.with_full_duplex(bool(value))
         elif command == commands.CMD_RETURN:
-            # Exit KISS: the real TNC reboots to ROM.  We just note it.
+            # Exit KISS: the real TNC reboots (our model reloads KISS).
             if self.tracer is not None:
                 self.tracer.log("tnc.return", self.name, "exit KISS mode")
+            self.reboot()
         else:
             self.bad_records += 1
 
@@ -122,6 +148,9 @@ class KissTnc:
     # ------------------------------------------------------------------
 
     def _frame_from_air(self, payload: bytes) -> None:
+        if self.wedged or self._rebooting:
+            self.wedged_drops += 1
+            return
         if self.address_filter and self.callsign is not None:
             if not frame_is_for_station(payload, self.callsign):
                 self.frames_filtered += 1
@@ -132,6 +161,45 @@ class KissTnc:
         if self.tracer is not None:
             self.tracer.log("tnc.to_host", self.name, "frame up serial",
                             bytes=len(payload))
+
+    # ------------------------------------------------------------------
+    # faults and recovery
+    # ------------------------------------------------------------------
+
+    def wedge(self) -> None:
+        """Hang the firmware main loop (the §3 lockup under load).
+
+        While wedged the TNC neither transmits host DATA records nor
+        passes received frames up; only a KISS return record (or
+        :meth:`reboot`) brings it back.  Idempotent.
+        """
+        if self.wedged:
+            return
+        self.wedged = True
+        if self.tracer is not None:
+            self.tracer.log("tnc.wedge", self.name, "firmware hung")
+
+    def reboot(self) -> None:
+        """Restart the firmware: deaf and mute for :attr:`reboot_delay`.
+
+        Clears a wedge and all deframer state.  Counted in
+        :attr:`resets` when the reboot completes.
+        """
+        if self._rebooting:
+            return
+        self.wedged = False
+        self._rebooting = True
+        self._deframer = KissDeframer(on_frame=self._record_from_host)
+        if self.tracer is not None:
+            self.tracer.log("tnc.reboot", self.name, "firmware restarting")
+        self.sim.schedule(self.reboot_delay, self._finish_reboot,
+                          label=f"tnc-reboot {self.name}")
+
+    def _finish_reboot(self) -> None:
+        self._rebooting = False
+        self.resets += 1
+        if self.tracer is not None:
+            self.tracer.log("tnc.reset", self.name, "KISS reloaded")
 
     # ------------------------------------------------------------------
     # introspection

@@ -86,8 +86,12 @@ def format_netstat(stack: NetStack) -> str:
         f"    {counters['ip_delivered']} delivered locally",
         f"    {counters['ip_forwarded']} forwarded",
         f"    {counters['ip_no_route']} dropped (no route)",
+        f"    {counters['ip_input_drops']} dropped (input queue full)",
         f"    {counters['ip_bad']} bad headers",
         f"    {counters['frags_sent']} fragments created",
+        "interfaces:",
+        f"    {counters['if_snd_drops']} output queue drops",
+        f"    {counters['if_output_sheds']} packets shed under backlog",
         "icmp:",
         f"    {counters['icmp_received']} messages received",
         f"    {counters['icmp_echo_replied']} echo requests answered",

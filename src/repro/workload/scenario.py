@@ -33,6 +33,7 @@ from repro.core.topology import (
     build_gateway_testbed,
     synthesize_stations,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.radio.modem import ModemProfile
 from repro.radio.station import RadioStation
 from repro.sim.clock import seconds
@@ -91,6 +92,12 @@ class Scenario:
     bit_rate: int = 1200
     serial_baud: int = 9600
     tnc_address_filter: bool = False
+    #: Chaos extensions: a declarative fault schedule, the driver
+    #: watchdog, and the graceful-degradation shed threshold.  All off
+    #: by default so existing scenarios keep their metric sets.
+    fault_plan: Optional[FaultPlan] = None
+    watchdog: bool = False
+    shed_threshold_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -140,6 +147,8 @@ class ScenarioRun:
     discard: Optional[DiscardServer] = None
     bbs: Optional[BulletinBoard] = None
     extra_stations: List[object] = field(default_factory=list)
+    injector: Optional[FaultInjector] = None
+    watchdog: Optional[object] = None  # TncWatchdog when enabled
 
     @property
     def sim(self):
@@ -190,6 +199,35 @@ class ScenarioRun:
                 gateway.radio.tnc.frames_filtered)
             out["gateway_driver_discards"] = float(
                 gateway.radio_interface.frames_not_for_us)
+        # Chaos metrics only exist when chaos was asked for, so the
+        # metric sets of pre-existing scenarios are unchanged.
+        if self.injector is not None:
+            out["faults_injected"] = float(self.injector.faults_injected)
+            out["faults_cleared"] = float(self.injector.faults_cleared)
+            out["fault_bytes_corrupted"] = float(self.injector.bytes_corrupted)
+            out["fault_bytes_dropped"] = float(self.injector.bytes_dropped)
+            out["fault_garbage_bytes"] = float(self.injector.garbage_bytes)
+            out["channel_frames_faded"] = float(channel.frames_faded)
+        if self.watchdog is not None:
+            out["watchdog_resets_issued"] = float(self.watchdog.resets_issued)
+            out["watchdog_recoveries"] = float(self.watchdog.recoveries)
+            out["watchdog_last_recovery_s"] = (
+                self.watchdog.last_recovery_us / float(seconds(1)))
+        if gateway is not None and (self.injector is not None
+                                    or self.watchdog is not None):
+            out["gateway_tnc_resets"] = float(gateway.radio.tnc.resets)
+            out["gateway_tnc_wedged_drops"] = float(
+                gateway.radio.tnc.wedged_drops)
+            out["gateway_driver_sheds"] = float(
+                gateway.radio_interface.osheds)
+            out["gateway_raw_overflow_drops"] = float(
+                gateway.radio_interface.raw_overflow_drops)
+            out["gateway_serial_rx_faulted"] = float(
+                gateway.radio.serial.a.rx_faulted)
+            out["gateway_ip_input_drops"] = float(
+                gateway.stack.counters["ip_input_drops"])
+            out["gateway_if_snd_drops"] = float(
+                gateway.stack.counters["if_snd_drops"])
         out["events_executed"] = float(self.sim.events_executed)
         return out
 
@@ -294,6 +332,25 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
             )
             run.extra_stations.append(terminal)
         run.generators.append(generator)
+
+    # -- chaos wiring ---------------------------------------------------
+    # "gateway" always names the hub host (the MicroVAX in either
+    # topology); synthesized stations are addressed by callsign.
+    gateway_host = getattr(testbed, "gateway", None)
+    primary = gateway_host.radio if gateway_host is not None else testbed.host.radio
+    if scenario.shed_threshold_bytes is not None:
+        primary.interface.shed_threshold_bytes = scenario.shed_threshold_bytes
+    if scenario.watchdog:
+        run.watchdog = primary.interface.start_watchdog(streams)
+    if scenario.fault_plan is not None:
+        attachments = {"gateway": primary}
+        interfaces = {"gateway": primary.interface}
+        for host in hosts:
+            attachments[str(host.callsign)] = host.radio
+            interfaces[str(host.callsign)] = host.interface
+        run.injector = FaultInjector(sim, streams, tracer=testbed.tracer)
+        run.injector.install(scenario.fault_plan, channel=testbed.channel,
+                             attachments=attachments, interfaces=interfaces)
     return run
 
 

@@ -158,6 +158,35 @@ def test_proto002_flags_hex_rehardcodes_only():
 
 
 # ----------------------------------------------------------------------
+# fault-handling pass
+# ----------------------------------------------------------------------
+
+def test_fault001_flags_bare_except():
+    assert "FAULT001" in rules_hit(
+        "try:\n    work()\nexcept:\n    recover()\n")
+    assert "FAULT001" in rules_hit(
+        "try:\n    work()\nexcept BaseException:\n    log()\n")
+
+
+def test_fault001_flags_swallowed_broad_handlers():
+    assert "FAULT001" in rules_hit(
+        "try:\n    work()\nexcept Exception:\n    pass\n")
+    assert "FAULT001" in rules_hit(
+        "try:\n    work()\nexcept Exception:\n    ...\n")
+    assert "FAULT001" in rules_hit(  # qualified name still resolves
+        "try:\n    work()\nexcept builtins.Exception:\n    pass\n")
+
+
+def test_fault001_allows_specific_and_handled_exceptions():
+    assert rules_hit(
+        "try:\n    work()\nexcept ValueError:\n    pass\n") == []
+    assert rules_hit(  # broad catch that actually handles is fine
+        "try:\n    work()\nexcept Exception:\n    count += 1\n") == []
+    assert rules_hit(
+        "try:\n    work()\nexcept Exception:\n    return None\n") == []
+
+
+# ----------------------------------------------------------------------
 # framework: suppressions, baseline, JSON
 # ----------------------------------------------------------------------
 
@@ -255,11 +284,12 @@ def test_report_json_shape(tmp_path):
     assert Finding.from_dict(entry) == report.new_findings[0]
 
 
-def test_rule_table_covers_all_three_passes():
+def test_rule_table_covers_all_four_passes():
     table = rule_table()
     assert {"DET001", "DET002", "DET003",
             "SIM001", "SIM002",
-            "PROTO001", "PROTO002"} <= set(table)
+            "PROTO001", "PROTO002",
+            "FAULT001"} <= set(table)
     for rule in table.values():
         assert rule.severity in ("error", "warning")
         assert rule.summary

@@ -201,3 +201,28 @@ def test_gateway_keeps_forwarding_after_noise_storm():
     pinger.send("128.95.1.2", count=3, interval=40 * SECOND)
     tb.sim.run(until=300 * SECOND)
     assert pinger.received == 3
+
+
+def test_buffered_driver_bounds_raw_buffer_against_fendless_flood(sim):
+    # Regression: the "buffered" ablation mode used to accumulate an
+    # unbounded reassembly buffer when the line delivered bytes with no
+    # FEND in sight (a wedged TNC spewing garbage can do exactly that).
+    line = SerialLine(sim, baud=9600)
+    tty = Tty(line.a)
+    driver = PacketRadioInterface(sim, tty, AX25Address("NT7GW"),
+                                  reassembly="buffered")
+    received = []
+    driver.input_handler = lambda packet, iface, proto: received.append(packet)
+    line.b.write(b"\x55" * 10_000)     # never a FEND
+    sim.run_until_idle()
+    assert driver.raw_overflow_drops >= 1
+    assert len(driver._raw_buffer) <= driver.raw_buffer_limit
+    # the next FEND resynchronises and a good frame still gets through
+    from repro.kiss import commands
+    from repro.kiss.framing import frame as kiss_frame
+    good = AX25Frame.ui(AX25Address("NT7GW"), AX25Address("KB7DZ"),
+                        PID_ARPA_IP, b"resynchronised")
+    line.b.write(kiss_frame(commands.type_byte(commands.CMD_DATA),
+                            good.encode()))
+    sim.run_until_idle()
+    assert received[-1] == b"resynchronised"

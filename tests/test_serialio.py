@@ -153,3 +153,45 @@ def test_tty_put_bytes(sim):
     tty = Tty(line.b)
     tty.input_queue.put_bytes(b"abc")
     assert tty.input_queue.read() == b"abc"
+
+
+# ----------------------------------------------------------------------
+# fault hooks and sustained overload (the chaos subsystem's entry points)
+# ----------------------------------------------------------------------
+
+def test_rx_fault_filter_corrupts_drops_and_uninstalls(sim):
+    line = SerialLine(sim, baud=9600)
+    got = []
+    line.a.on_receive(got.append)
+
+    def flip_then_drop(byte):
+        if byte == 0x10:
+            return byte ^ 0x01     # corrupt
+        if byte == 0x20:
+            return None            # drop
+        return byte                # pass through
+
+    line.a.rx_fault = flip_then_drop
+    line.b.write(b"\x10\x20\x30")
+    sim.run_until_idle()
+    assert got == [0x11, 0x30]
+    assert line.a.rx_faulted == 2      # one corruption + one drop
+    # the line is honest again once the filter comes off
+    line.a.rx_fault = None
+    line.b.write(b"\x40")
+    sim.run_until_idle()
+    assert got == [0x11, 0x30, 0x40]
+
+
+def test_sustained_overload_backlog_drains_completely(sim):
+    line = SerialLine(sim, baud=1200)
+    tty = Tty(line.a)
+    tty.write(bytes(1200))             # ten seconds of line time
+    assert tty.tx_busy
+    sim.run(until=5 * SECOND)
+    backlog_midway = tty.tx_backlog_bytes
+    assert 0 < backlog_midway < 1200   # draining, not stuck
+    sim.run_until_idle()
+    assert tty.tx_backlog_bytes == 0
+    assert not tty.tx_busy
+    assert line.b.bytes_received == 1200
