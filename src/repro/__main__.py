@@ -8,6 +8,7 @@ directory, so an installed copy of the library can demonstrate itself:
     python -m repro observatory    # axdump + netstat on a live gateway
     python -m repro sweep ...      # parallel seeded experiment sweeps
     python -m repro chaos ...      # fault-injection soak + digest gate
+    python -m repro report ...     # packet flight recorder report / gate
     python -m repro lint ...       # reprolint static-analysis gate
     python -m repro list           # show this list
 
@@ -17,6 +18,17 @@ mean +/- 95% CI per grid point, and writes a machine-readable
 ``BENCH_<name>.json``:
 
     python -m repro sweep --bench e3 --seeds 8 --procs 4
+
+``report`` is the observability front door: it runs an instrumented
+gateway scenario and prints the flight recorder's report (top talkers,
+drop reasons, latency histograms, per-hop percentiles), optionally
+capturing the radio channel to a Wireshark-readable pcap.  With
+``--bench`` it becomes the observability gate: the ``obs`` experiment
+over N seeds on 1 and 2 worker processes, requiring span conservation
+in every run and byte-identical digests across layouts:
+
+    python -m repro report --pcap capture.pcap
+    python -m repro report --bench --seeds 3
 
 ``lint`` is the reprolint static-analysis gate: AST passes for
 determinism, sim-safety, and protocol invariants, exiting nonzero on
@@ -262,6 +274,147 @@ def _chaos(argv: List[str]) -> int:
     return 0
 
 
+def _report(argv: List[str]) -> int:
+    """``python -m repro report``: the packet flight recorder front door.
+
+    Without ``--bench``: run one instrumented gateway scenario and print
+    the human-readable observability report; ``--pcap PATH`` also taps
+    the radio channel into a Wireshark-compatible capture.
+
+    With ``--bench``: the observability gate.  Runs the ``obs``
+    experiment (plain + chaos variants) over N seeds twice -- once
+    inline, once across worker processes -- and requires (1) span
+    conservation (``obs_conservation_ok``) with at least one packet
+    born in every run, and (2) byte-identical per-seed metric digests
+    across the two layouts.  Writes ``BENCH_obs.json``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Packet flight recorder: lifecycle report, pcap "
+                    "export, and (with --bench) the span-conservation "
+                    "digest gate.",
+    )
+    parser.add_argument("--bench", action="store_true",
+                        help="run the observability gate instead of a "
+                             "single report")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="seed for the single-report run (default: 1)")
+    parser.add_argument("--variant", choices=("e3", "chaos"), default="chaos",
+                        help="scenario variant for the single report "
+                             "(default: chaos)")
+    parser.add_argument("--stations", type=int, default=8,
+                        help="station population (default: 8)")
+    parser.add_argument("--duration", type=float, default=150.0,
+                        help="scenario seconds per run (default: 150)")
+    parser.add_argument("--pcap", default=None, metavar="PATH",
+                        help="also write a channel capture (libpcap, "
+                             "LINKTYPE_AX25_KISS) to PATH")
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="gate mode: number of seeds (default: 3)")
+    parser.add_argument("--seed-base", type=int, default=1,
+                        help="gate mode: first seed value (default: 1)")
+    parser.add_argument("--out", default=None,
+                        help="gate mode: results path "
+                             "(default: ./BENCH_obs.json)")
+    args = parser.parse_args(argv)
+
+    if not args.bench:
+        from repro.harness.experiments import OBS_MIX
+        from repro.obs.pcap import PcapWriter
+        from repro.obs.report import render_report
+        from repro.tools.axdump import ChannelMonitor
+        from repro.workload.scenario import Scenario, build_scenario
+
+        scenario = Scenario(
+            name=f"report-{args.variant}", topology="gateway",
+            stations=args.stations, duration_seconds=args.duration,
+            mix=OBS_MIX, seed=args.seed, observe=True,
+        )
+        if args.variant == "chaos":
+            from dataclasses import replace
+
+            from repro.faults import chaos_plan
+            plan = chaos_plan(int(args.duration), gateway="gateway",
+                              stations=["WL0"])
+            scenario = replace(scenario, fault_plan=plan, watchdog=True,
+                               shed_threshold_bytes=2048)
+        run = build_scenario(scenario)
+        pcap = PcapWriter() if args.pcap else None
+        if pcap is not None:
+            ChannelMonitor(run.testbed.channel, pcap=pcap)
+        run.run()
+        assert run.recorder is not None
+        print(render_report(
+            run.recorder,
+            title=f"observability report: {scenario.name} "
+                  f"seed={args.seed}"))
+        if pcap is not None:
+            size = pcap.save(args.pcap)
+            print(f"\nwrote {pcap.frames} frame(s) / {size} bytes to "
+                  f"{args.pcap} (libpcap, LINKTYPE_AX25_KISS)")
+        return 0
+
+    from repro.harness import (
+        SweepSpec,
+        bench_json_path,
+        run_sweep,
+        sweep_digests,
+        write_bench_json,
+    )
+    from repro.harness.results import sweep_to_dict
+    from repro.harness.runner import seeds_from_count
+
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    seeds = seeds_from_count(args.seeds, base=args.seed_base)
+    failures: List[str] = []
+    results = {}
+    for procs in (1, 2):
+        print(f"obs gate: {args.seeds} seed(s) x 2 variants, procs={procs}")
+        spec = SweepSpec(bench="obs", seeds=seeds, procs=procs)
+        result = run_sweep(spec, progress=lambda r: print(
+            f"  seed={r.seed} {r.params} ({r.wall_seconds:.1f}s) "
+            f"born={r.metrics.get('obs_born_total', 0):.0f} "
+            f"delivered={r.metrics.get('obs_delivered', 0):.0f} "
+            f"conservation={r.metrics.get('obs_conservation_ok', 0):.0f}"))
+        results[procs] = result
+
+    digests_1 = sweep_digests(results[1])
+    digests_2 = sweep_digests(results[2])
+    for key, digest in sorted(digests_1.items()):
+        if digests_2.get(key) != digest:
+            failures.append(
+                f"digest mismatch at {key}: procs=1 {digest[:12]} "
+                f"!= procs=2 {(digests_2.get(key) or 'missing')[:12]}")
+    for record in results[1].records:
+        where = f"seed={record.seed} {record.params}"
+        metrics = record.metrics
+        if metrics.get("obs_conservation_ok", 0) < 1:
+            failures.append(f"{where}: span conservation violated")
+        if metrics.get("obs_born_total", 0) < 1:
+            failures.append(f"{where}: no packets born (dead scenario)")
+
+    document = sweep_to_dict(results[2])
+    document["digests"] = {
+        "procs1": digests_1,
+        "procs2": digests_2,
+        "identical": digests_1 == digests_2,
+    }
+    out = args.out or bench_json_path("obs")
+    path = write_bench_json(out, document, bench="obs")
+
+    if failures:
+        print("\nobs gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(f"wrote {path}")
+        return 1
+    print(f"\nobs gate passed: {len(digests_1)} run(s) conserve spans, "
+          f"digests identical across layouts; wrote {path}")
+    return 0
+
+
 SCENARIOS: Dict[str, Callable[[], None]] = {
     "quickstart": _quickstart,
     "gateway": _gateway,
@@ -276,6 +429,8 @@ def main(argv: list) -> int:
         return _sweep(argv[2:])
     if name == "chaos":
         return _chaos(argv[2:])
+    if name == "report":
+        return _report(argv[2:])
     if name == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[2:])
@@ -286,7 +441,7 @@ def main(argv: list) -> int:
         print(f"unknown scenario {name!r}", file=sys.stderr)
     print(__doc__.strip())
     print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)),
-          "+ sweep, chaos, lint")
+          "+ sweep, chaos, report, lint")
     print("richer versions live in examples/*.py")
     return 0 if name in ("list", "-h", "--help") else 2
 

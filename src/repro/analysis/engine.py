@@ -58,6 +58,10 @@ DEFAULT_ALLOWLIST: Dict[str, Sequence[str]] = {
     # reproducibility comparisons.
     "SIM001": ("*/repro/harness/*", "*/repro/analysis/*",
                "*/repro/__main__.py"),
+    # CLI front doors and operator tools print to a terminal on
+    # purpose; everything simulated must speak through the tracer.
+    "OBS001": ("*/repro/__main__.py", "*/repro/analysis/*",
+               "*/repro/tools/*", "*/repro/harness/*"),
 }
 
 

@@ -7,11 +7,13 @@ engine then instantiates them per run.
 from repro.analysis.passes.determinism import DeterminismPass
 from repro.analysis.passes.faulthandling import FaultHandlingPass
 from repro.analysis.passes.invariants import ProtocolInvariantPass
+from repro.analysis.passes.observability import ObservabilityPass
 from repro.analysis.passes.simsafety import SimSafetyPass
 
 __all__ = [
     "DeterminismPass",
     "FaultHandlingPass",
+    "ObservabilityPass",
     "SimSafetyPass",
     "ProtocolInvariantPass",
 ]

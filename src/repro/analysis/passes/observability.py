@@ -1,0 +1,52 @@
+"""Observability pass: simulation code reports through the tracer.
+
+A bare ``print()`` inside simulation code is invisible to the flight
+recorder, unfilterable, and interleaves nondeterministically when the
+harness fans runs across worker processes.  The sanctioned channels are
+``tracer.log`` (events), the :mod:`repro.obs` instruments (metrics),
+and the render/report helpers (human output assembled *after* the run).
+
+* **OBS001 print-in-sim** — a bare ``print()`` call in simulation code.
+  CLI front doors (``__main__``), the operator-facing ``tools``
+  modules, and the analysis framework itself legitimately print and
+  are allowlisted in the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    LintPass,
+    ModuleInfo,
+    Rule,
+    register_pass,
+)
+
+RULE_PRINT = Rule(
+    id="OBS001", name="print-in-sim", severity="error",
+    summary="bare print() in simulation code; log through the tracer or "
+            "an obs instrument so output is deterministic and filterable",
+)
+
+
+@register_pass
+class ObservabilityPass(LintPass):
+    """Flags stdout writes that bypass the tracer/recorder."""
+
+    name = "observability"
+    rules = (RULE_PRINT,)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield self.finding(
+                    module, node, RULE_PRINT,
+                    "print() bypasses the tracer: use tracer.log(...) for "
+                    "events or an obs instrument for metrics; render "
+                    "human-readable text after the run",
+                )

@@ -62,7 +62,11 @@ class Pinger:
         if sent_at is None:
             return
         self.received += 1
-        self.rtts_us.append(self.sim.now - sent_at)
+        rtt = self.sim.now - sent_at
+        self.rtts_us.append(rtt)
+        tracer = self.stack.tracer
+        if tracer is not None and tracer.flight is not None:
+            tracer.flight.instruments.histogram("rtt_us").record(rtt)
 
     @property
     def lost(self) -> int:

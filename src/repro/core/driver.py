@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
-from repro.ax25.address import AX25Address, AX25Path, is_broadcast
+from repro.ax25.address import AddressError, AX25Address, AX25Path, is_broadcast
 from repro.ax25.defs import PID_ARPA_ARP, PID_ARPA_IP
 from repro.ax25.frames import AX25Frame, FrameError
 from repro.inet.arp import ArpEntry, ArpService, HRD_AX25
@@ -97,6 +97,10 @@ class PacketRadioInterface(NetworkInterface):
             retry_interval=15 * SECOND,
         )
 
+        # ARP queue-overflow and resolution-timeout drops are span
+        # terminals: report them to any attached flight recorder.
+        self.arp.on_drop = self._arp_obs_drop
+
         self._deframer = KissDeframer(on_frame=self._kiss_record)
         self._raw_buffer = bytearray()   # used by the "buffered" ablation mode
         #: Cap on the raw reassembly buffer: a fully escaped max-size
@@ -124,6 +128,20 @@ class PacketRadioInterface(NetworkInterface):
         self.non_ip_drops = 0
         self.frames_to_tnc = 0
         self.raw_overflow_drops = 0      # buffered-mode reassembly cap hits
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _obs(self):
+        """The attached flight recorder, if any (see repro.obs.spans)."""
+        tracer = self.tracer
+        return tracer.flight if tracer is not None else None
+
+    def _arp_obs_drop(self, packet: bytes, reason: str) -> None:
+        recorder = self._obs()
+        if recorder is not None:
+            recorder.drop(packet, "driver.arp", str(self.callsign), reason)
 
     # ------------------------------------------------------------------
     # receive path: per-character interrupt handling
@@ -188,6 +206,9 @@ class PacketRadioInterface(NetworkInterface):
             self.frames_ip_in += 1
             if self.tracer is not None:
                 self.tracer.log("driver.ip_in", str(self.callsign), str(frame))
+            recorder = self._obs()
+            if recorder is not None:
+                recorder.enter(frame.info, "driver.rx", str(self.callsign))
             self.deliver_input(frame.info, "ip")
         elif frame.pid == PID_ARPA_ARP:
             self.frames_arp_in += 1
@@ -215,6 +236,10 @@ class PacketRadioInterface(NetworkInterface):
         """Transmit one layer-3 packet toward the next hop."""
         if not self.is_up:
             self.oerrors += 1
+            recorder = self._obs()
+            if recorder is not None:
+                recorder.drop(packet, "driver.tx", str(self.callsign),
+                              "iface_down")
             return False
         self.count_output(packet)
         if next_hop.is_broadcast:
@@ -231,7 +256,18 @@ class PacketRadioInterface(NetworkInterface):
         self._write_kiss(frame.encode())
 
     def _send_resolved(self, packet: bytes, entry: ArpEntry) -> None:
-        destination, _last, _bit = AX25Address.decode(entry.hw_address)
+        # Line noise can corrupt an ARP sender_hw before it is learned;
+        # a garbage cache entry must drop the datagram, not panic.
+        try:
+            destination, _last, _bit = AX25Address.decode(entry.hw_address)
+        except AddressError:
+            self.tracer.log("driver.drop", str(self.callsign),
+                            "undecodable ARP hardware address")
+            recorder = self._obs()
+            if recorder is not None:
+                recorder.drop(packet, "driver.tx", str(self.callsign),
+                              "bad_header")
+            return
         path = entry.link_hint if isinstance(entry.link_hint, AX25Path) else self.default_path
         self._transmit_ui(destination.base, PID_ARPA_IP, packet, path,
                           priority=self._ip_priority(packet))
@@ -242,7 +278,12 @@ class PacketRadioInterface(NetworkInterface):
             self._transmit_ui(AX25Address("QST"), PID_ARPA_ARP, packet,
                               self.default_path, priority=PRIO_CONTROL)
             return
-        destination, _last, _bit = AX25Address.decode(entry.hw_address)
+        try:
+            destination, _last, _bit = AX25Address.decode(entry.hw_address)
+        except AddressError:
+            self.tracer.log("driver.drop", str(self.callsign),
+                            "undecodable ARP hardware address")
+            return
         path = entry.link_hint if isinstance(entry.link_hint, AX25Path) else self.default_path
         self._transmit_ui(destination.base, PID_ARPA_ARP, packet, path,
                           priority=PRIO_CONTROL)
@@ -267,10 +308,17 @@ class PacketRadioInterface(NetworkInterface):
                 self.tracer.log("driver.shed", str(self.callsign),
                                 "bulk output shed under backlog",
                                 backlog=self.tty.tx_backlog_bytes)
+            recorder = self._obs()
+            if recorder is not None and pid == PID_ARPA_IP:
+                recorder.shed_packet(payload, "driver.tx", str(self.callsign),
+                                     "serial_backlog")
             return
         frame = AX25Frame.ui(destination, self.callsign, pid, payload, path)
         if self.tracer is not None:
             self.tracer.log("driver.tx", str(self.callsign), str(frame))
+        recorder = self._obs()
+        if recorder is not None and pid == PID_ARPA_IP:
+            recorder.enter(payload, "driver.tx", str(self.callsign))
         self._write_kiss(frame.encode())
 
     def _write_kiss(self, frame_bytes: bytes) -> None:
@@ -424,6 +472,10 @@ class TncWatchdog:
                         "driver.watchdog.recovered", self.driver.name,
                         "TNC responding again",
                         after_us=self.last_recovery_us)
+                recorder = self.driver._obs()
+                if recorder is not None:
+                    recorder.instruments.histogram(
+                        "watchdog_recovery_us").record(self.last_recovery_us)
             self._attempt = 0
             self._next_reset_at = 0
             self._last_rx = rx

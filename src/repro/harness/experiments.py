@@ -286,6 +286,56 @@ def run_chaos(
 
 
 # ----------------------------------------------------------------------
+# obs -- span conservation + latency decomposition under load
+# ----------------------------------------------------------------------
+
+#: Mix for the observability gate: enough IP traffic to exercise every
+#: span stage, enough chatter to keep the promiscuous-TNC noise paths hot.
+OBS_MIX: Tuple[GeneratorMix, ...] = (
+    GeneratorMix("ping", fraction=2, rate_per_minute=4),
+    GeneratorMix("chatter", fraction=2, rate_per_minute=6,
+                 arrivals="onoff", payload_bytes=96),
+    GeneratorMix("udp", fraction=1, rate_per_minute=3, payload_bytes=64),
+)
+
+
+def run_obs(
+    seed: int = 0,
+    variant: str = "e3",
+    stations: int = 8,
+    duration_seconds: float = 150.0,
+) -> Dict[str, float]:
+    """A gateway scenario with the flight recorder attached.
+
+    ``variant="e3"`` is the plain loaded-channel condition;
+    ``variant="chaos"`` layers the standard fault schedule on top so
+    drop/shed reasons (wedge, fade, backlog shed) actually occur.  The
+    headline metric is ``obs_conservation_ok``: every born packet must
+    terminate in exactly one of delivered/dropped/shed/in-flight.
+    """
+    if variant not in ("e3", "chaos"):
+        raise ValueError(f"unknown obs variant {variant!r}")
+    scenario = Scenario(
+        name=f"obs-{variant}", topology="gateway", stations=stations,
+        duration_seconds=duration_seconds, mix=OBS_MIX, seed=seed,
+        observe=True,
+    )
+    if variant == "chaos":
+        plan = chaos_plan(int(duration_seconds), gateway="gateway",
+                          stations=["WL0"])
+        scenario = replace(scenario, fault_plan=plan, watchdog=True,
+                           shed_threshold_bytes=2048)
+    run = build_scenario(scenario)
+    metrics = run.run()
+    recorder = run.recorder
+    assert recorder is not None
+    conserved = (recorder.conservation_ok()
+                 and recorder.born_total > 0)
+    metrics["obs_conservation_ok"] = 1.0 if conserved else 0.0
+    return metrics
+
+
+# ----------------------------------------------------------------------
 # perf -- the simulator as software (wall-clock; not seed-deterministic)
 # ----------------------------------------------------------------------
 
@@ -377,6 +427,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
                         "schedule + driver watchdog recovery (E10)",
             fn=run_chaos,
             grid=({"stations": 50},),
+            default_seed_count=3,
+        ),
+        Experiment(
+            name="obs",
+            description="packet flight recorder: span conservation and "
+                        "per-hop latency under load (plain + chaos)",
+            fn=run_obs,
+            grid=({"variant": "e3"}, {"variant": "chaos"}),
             default_seed_count=3,
         ),
         Experiment(

@@ -159,6 +159,10 @@ class ArpService:
         self.resolutions = 0
         self.failures = 0
         self.queued_drops = 0
+        #: Observability tap: ``on_drop(packet_bytes, reason)`` fires when
+        #: a queued layer-3 packet is abandoned ("arp_queue_full" on
+        #: pending-queue overflow, "arp_timeout" on resolution failure).
+        self.on_drop: Optional[Callable[[bytes, str], None]] = None
 
     # ------------------------------------------------------------------
     # outbound path
@@ -177,6 +181,8 @@ class ArpService:
             self._issue_request(destination, pending)
         if len(pending.packets) >= self.MAX_QUEUED_PER_DEST:
             self.queued_drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, "arp_queue_full")
             return
         pending.packets.append(packet)
 
@@ -226,6 +232,9 @@ class ArpService:
         pending.retries_left -= 1
         if pending.retries_left <= 0:
             self.failures += len(pending.packets)
+            if self.on_drop is not None:
+                for packet in pending.packets:
+                    self.on_drop(packet, "arp_timeout")
             del self._pending[destination.value]
             return
         self._issue_request(destination, pending)

@@ -99,6 +99,20 @@ class NetStack:
             lambda: self.counters.bump("ip_input_drops"))
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _obs(self):
+        """The attached flight recorder, if any (see repro.obs.spans)."""
+        tracer = self.tracer
+        return tracer.flight if tracer is not None else None
+
+    def _obs_born(self, datagram: IPv4Datagram) -> None:
+        recorder = self._obs()
+        if recorder is not None:
+            recorder.born_datagram(self.hostname, datagram)
+
+    # ------------------------------------------------------------------
     # interface management
     # ------------------------------------------------------------------
 
@@ -145,8 +159,15 @@ class NetStack:
         """Driver hand-off in interrupt context: enqueue + soft interrupt."""
         if protocol != "ip":
             return
+        recorder = self._obs()
         if self.ip_input_queue.enqueue((packet, interface)):
+            if recorder is not None:
+                recorder.enter(packet, "ipintrq", self.hostname)
+                recorder.instruments.gauge("ipintrq_depth").sample(
+                    len(self.ip_input_queue))
             self._softnet.post()
+        elif recorder is not None:
+            recorder.drop(packet, "ipintrq", self.hostname, "ipintrq_full")
 
     def _drain_ip_input(self) -> None:
         while True:
@@ -158,14 +179,19 @@ class NetStack:
 
     def _ip_input(self, packet: bytes, interface: NetworkInterface) -> None:
         self.counters.bump("ip_received")
+        recorder = self._obs()
         try:
             datagram = IPv4Datagram.decode(packet)
         except IPError:
             self.counters.bump("ip_bad")
+            if recorder is not None:
+                recorder.drop(packet, "ip.rx", self.hostname, "bad_header")
             return
         if self.tracer is not None:
             self.tracer.log("ip.rx", self.hostname, str(datagram),
                             iface=interface.name)
+        if recorder is not None:
+            recorder.enter_key(self._obs_key(datagram), "ip.rx", self.hostname)
         if self.is_local_address(datagram.destination):
             self._deliver_local(datagram)
             return
@@ -173,12 +199,22 @@ class NetStack:
             self._forward(datagram, interface)
         else:
             self.counters.bump("ip_no_route")
+            if recorder is not None:
+                recorder.drop_key(self._obs_key(datagram), "ip.rx",
+                                  self.hostname, "no_route")
+
+    @staticmethod
+    def _obs_key(datagram: IPv4Datagram) -> Tuple[int, int]:
+        return (datagram.source.value, datagram.identification)
 
     def _deliver_local(self, datagram: IPv4Datagram) -> None:
         whole = self.reassembler.input(datagram, self.sim.now)
         if whole is None:
             return
         self.counters.bump("ip_delivered")
+        recorder = self._obs()
+        if recorder is not None:
+            recorder.deliver_key(self._obs_key(whole), self.hostname)
         if whole.protocol == PROTO_ICMP:
             self._icmp_input(whole)
         elif whole.protocol == PROTO_UDP:
@@ -192,16 +228,26 @@ class NetStack:
     # ------------------------------------------------------------------
 
     def _forward(self, datagram: IPv4Datagram, in_iface: NetworkInterface) -> None:
+        recorder = self._obs()
         if self.forward_filter is not None and not self.forward_filter(datagram, in_iface):
             self.counters.bump("ip_forward_filtered")
+            if recorder is not None:
+                recorder.drop_key(self._obs_key(datagram), "ip.forward",
+                                  self.hostname, "forward_filtered")
             return
         if datagram.ttl <= 1:
             self.counters.bump("ip_ttl_expired")
+            if recorder is not None:
+                recorder.drop_key(self._obs_key(datagram), "ip.forward",
+                                  self.hostname, "ttl_expired")
             self._send_icmp(icmp_mod.time_exceeded(datagram), datagram.source)
             return
         route = self.routes.lookup(datagram.destination)
         if route is None:
             self.counters.bump("ip_no_route")
+            if recorder is not None:
+                recorder.drop_key(self._obs_key(datagram), "ip.forward",
+                                  self.hostname, "no_route")
             self._send_icmp(
                 icmp_mod.unreachable(icmp_mod.UNREACH_NET, datagram), datagram.source
             )
@@ -215,6 +261,9 @@ class NetStack:
         if self.tracer is not None:
             self.tracer.log("ip.forward", self.hostname, str(forwarded),
                             via=route.interface.name)
+        if recorder is not None:
+            recorder.enter_key(self._obs_key(forwarded), "ip.forward",
+                               self.hostname)
         if (
             self.send_redirects
             and route.interface is in_iface
@@ -266,6 +315,7 @@ class NetStack:
                 protocol=protocol, payload=payload, ttl=ttl,
                 identification=self.allocate_ident(),
             )
+            self._obs_born(datagram)
             return interface.if_output(datagram.encode(), destination)
         if self.is_local_address(destination):
             datagram = IPv4Datagram(
@@ -273,6 +323,7 @@ class NetStack:
                 protocol=protocol, payload=payload, ttl=ttl,
                 identification=self.allocate_ident(),
             )
+            self._obs_born(datagram)
             self.loopback.if_output(datagram.encode(), destination)
             return True
         route = self.routes.lookup(destination)
@@ -288,6 +339,7 @@ class NetStack:
             identification=self.allocate_ident(),
             dont_fragment=dont_fragment,
         )
+        self._obs_born(datagram)
         if self.tracer is not None:
             self.tracer.log("ip.tx", self.hostname, str(datagram),
                             via=route.interface.name)
@@ -309,6 +361,11 @@ class NetStack:
         for piece in pieces:
             if not route.interface.if_output(piece.encode(), next_hop):
                 ok = False
+        if not ok:
+            recorder = self._obs()
+            if recorder is not None:
+                recorder.drop_key(self._obs_key(datagram), "driver.tx",
+                                  self.hostname, "if_output_failed")
         return ok
 
     # ------------------------------------------------------------------

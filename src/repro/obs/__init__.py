@@ -1,0 +1,37 @@
+"""Cross-layer observability: packet spans, instruments, pcap export.
+
+``obs`` answers the questions the paper's authors could only answer by
+watching datagrams cross layers (sections 2.2-3): where did packet N spend
+its time, why was it dropped, and what do the latency/queue distributions
+look like under load.  See DESIGN.md section 7 for the span lifecycle and
+the conservation invariant the ``obs`` gate enforces.
+"""
+
+from repro.obs.instruments import Gauge, Histogram, Instruments, Rate
+from repro.obs.pcap import LINKTYPE_AX25_KISS, PcapWriter, read_pcap
+from repro.obs.spans import (
+    HOP_PAIRS,
+    REASONS,
+    FlightRecorder,
+    PacketSpan,
+    SpanEvent,
+    ip_flow_key,
+    probe_ax25,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "Gauge",
+    "HOP_PAIRS",
+    "Histogram",
+    "Instruments",
+    "LINKTYPE_AX25_KISS",
+    "PacketSpan",
+    "PcapWriter",
+    "REASONS",
+    "Rate",
+    "SpanEvent",
+    "ip_flow_key",
+    "probe_ax25",
+    "read_pcap",
+]

@@ -1,0 +1,198 @@
+"""Deterministic metrics instruments: Histogram, Gauge, Rate.
+
+Every instrument here is **integer-only**: values are simulated
+microseconds, queue depths, or byte counts, and every derived statistic
+(percentile bounds, window maxima) is computed with integer arithmetic.
+That is what lets :func:`repro.harness.results.metrics_digest` stay
+byte-identical across process layouts -- no float summation order, no
+platform rounding, nothing that depends on *how* the sweep was fanned
+out rather than on (params, seed).
+
+The histogram uses fixed log2 buckets: value ``v`` lands in bucket
+``v.bit_length()`` (bucket 0 holds only 0), so bucket ``b`` covers
+``[2**(b-1), 2**b)``.  Percentiles report the inclusive upper bound of
+the bucket where the cumulative count crosses the rank -- a bounded
+over-estimate, which is the honest direction for latency reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Highest log2 bucket: 2**40 us is ~12.7 simulated days, far beyond
+#: any scenario; larger values clamp into the last bucket.
+MAX_BUCKET = 40
+
+
+class Histogram:
+    """Fixed log2-bucket histogram over non-negative integers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts: List[int] = [0] * (MAX_BUCKET + 1)
+        self.total = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        """Add one observation (negative values clamp to 0)."""
+        value = int(value)
+        if value < 0:
+            value = 0
+        bucket = min(value.bit_length(), MAX_BUCKET)
+        self.counts[bucket] += 1
+        self.total += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, pct: int) -> int:
+        """Inclusive upper bound of the bucket holding the pct-th value.
+
+        Integer math only: the rank test is ``cumulative * 100 >= pct *
+        total``, so identical inputs give identical outputs everywhere.
+        """
+        if self.total == 0:
+            return 0
+        cumulative = 0
+        for bucket, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative * 100 >= pct * self.total:
+                return 0 if bucket == 0 else (1 << bucket) - 1
+        return (1 << MAX_BUCKET) - 1  # pragma: no cover - unreachable
+
+    def metrics(self) -> Dict[str, int]:
+        """Flat integer stats for harness results."""
+        return {
+            f"{self.name}_count": self.total,
+            f"{self.name}_sum": self.sum,
+            f"{self.name}_min": self.min or 0,
+            f"{self.name}_max": self.max or 0,
+            f"{self.name}_p50": self.percentile(50),
+            f"{self.name}_p95": self.percentile(95),
+        }
+
+    def render(self, width: int = 40) -> str:
+        """ASCII bucket chart (empty leading/trailing buckets elided)."""
+        if self.total == 0:
+            return f"{self.name}: (no samples)"
+        occupied = [b for b, c in enumerate(self.counts) if c]
+        lines = [f"{self.name}: n={self.total} "
+                 f"p50<={self.percentile(50)} p95<={self.percentile(95)}"]
+        peak = max(self.counts)
+        for bucket in range(occupied[0], occupied[-1] + 1):
+            count = self.counts[bucket]
+            low = 0 if bucket == 0 else 1 << (bucket - 1)
+            high = 0 if bucket == 0 else (1 << bucket) - 1
+            bar = "#" * max(1 if count else 0, count * width // peak)
+            lines.append(f"  [{low:>12}..{high:>12}] {count:>6} {bar}")
+        return "\n".join(lines)
+
+
+class Gauge:
+    """A sampled instantaneous value (queue depth, serial backlog)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.last = 0
+
+    def sample(self, value: int) -> None:
+        """Record the gauge's current reading."""
+        value = int(value)
+        self.samples += 1
+        self.sum += value
+        self.last = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def metrics(self) -> Dict[str, int]:
+        return {
+            f"{self.name}_samples": self.samples,
+            f"{self.name}_sum": self.sum,
+            f"{self.name}_min": self.min or 0,
+            f"{self.name}_max": self.max or 0,
+            f"{self.name}_last": self.last,
+        }
+
+
+class Rate:
+    """Event counts in fixed windows of simulated time."""
+
+    def __init__(self, name: str, window_us: int) -> None:
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        self.name = name
+        self.window_us = window_us
+        self._windows: Dict[int, int] = {}
+        self.total = 0
+
+    def tick(self, now: int, amount: int = 1) -> None:
+        """Count ``amount`` events at simulated time ``now``."""
+        index = now // self.window_us
+        self._windows[index] = self._windows.get(index, 0) + amount
+        self.total += amount
+
+    def max_per_window(self) -> int:
+        return max(self._windows.values()) if self._windows else 0
+
+    def metrics(self) -> Dict[str, int]:
+        return {
+            f"{self.name}_total": self.total,
+            f"{self.name}_windows": len(self._windows),
+            f"{self.name}_max_per_window": self.max_per_window(),
+        }
+
+
+class Instruments:
+    """A named registry of instruments with one flat metrics view.
+
+    Instruments are created lazily by name; callers that need a stable
+    metric schema across seeds should create theirs up front so empty
+    instruments still report zeros.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name)
+            self._instruments[name] = instrument
+        if not isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is not a histogram")
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._instruments[name] = instrument
+        if not isinstance(instrument, Gauge):
+            raise TypeError(f"{name!r} is not a gauge")
+        return instrument
+
+    def rate(self, name: str, window_us: int) -> Rate:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Rate(name, window_us)
+            self._instruments[name] = instrument
+        if not isinstance(instrument, Rate):
+            raise TypeError(f"{name!r} is not a rate")
+        return instrument
+
+    def metrics(self) -> Dict[str, int]:
+        """All instruments' stats, flat, sorted by instrument name."""
+        out: Dict[str, int] = {}
+        for name in sorted(self._instruments):
+            out.update(self._instruments[name].metrics())  # type: ignore[attr-defined]
+        return out

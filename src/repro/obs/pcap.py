@@ -1,0 +1,90 @@
+"""Classic libpcap capture files for AX.25/KISS frames.
+
+Writes the original (pre-pcapng) libpcap format with
+``LINKTYPE_AX25_KISS`` (202), so captures taken from a
+:class:`~repro.radio.channel.RadioChannel` tap open directly in Wireshark
+and tcpdump.  Per that link type, each packet record is the one-byte KISS
+type indicator (0x00 = data, port 0) followed by the raw AX.25 frame --
+exactly what travels on the serial line minus FEND framing and escapes.
+
+Everything is little-endian classic format: 24-byte global header, then
+16-byte record headers with seconds/microseconds timestamps, which the
+simulator's integer-microsecond clock maps onto exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: libpcap magic for the native little-endian classic format.
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+#: http://www.tcpdump.org/linktypes.html -- AX.25 with a KISS type byte.
+LINKTYPE_AX25_KISS = 202
+SNAPLEN = 65535
+#: KISS type byte for a data frame on TNC port 0.
+KISS_DATA_TYPE = 0x00
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapWriter:
+    """Accumulates AX.25 frames and renders a classic pcap byte stream."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = [_GLOBAL_HEADER.pack(
+            PCAP_MAGIC, PCAP_VERSION[0], PCAP_VERSION[1],
+            0, 0, SNAPLEN, LINKTYPE_AX25_KISS)]
+        self.frames = 0
+
+    def add_frame(self, time_us: int, frame: bytes) -> None:
+        """Record one AX.25 frame heard at simulated time ``time_us``."""
+        seconds, micros = divmod(time_us, 1_000_000)
+        body = bytes((KISS_DATA_TYPE,)) + frame
+        self._chunks.append(_RECORD_HEADER.pack(
+            seconds, micros, len(body), len(body)))
+        self._chunks.append(body)
+        self.frames += 1
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def save(self, path: "str | Path") -> int:
+        """Write the capture to ``path``; returns bytes written."""
+        data = self.getvalue()
+        Path(path).write_bytes(data)
+        return len(data)
+
+
+def read_pcap(data: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Parse a classic pcap byte stream into (time_us, ax25_frame) pairs.
+
+    Round-trip helper for tests; validates the header is ours.
+    """
+    if len(data) < _GLOBAL_HEADER.size:
+        raise ValueError("truncated pcap global header")
+    magic, major, minor, _zone, _sigfigs, _snaplen, network = (
+        _GLOBAL_HEADER.unpack_from(data, 0))
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"bad pcap magic {magic:#x}")
+    if (major, minor) != PCAP_VERSION:
+        raise ValueError(f"unsupported pcap version {major}.{minor}")
+    if network != LINKTYPE_AX25_KISS:
+        raise ValueError(f"unexpected link type {network}")
+    offset = _GLOBAL_HEADER.size
+    while offset < len(data):
+        if offset + _RECORD_HEADER.size > len(data):
+            raise ValueError("truncated pcap record header")
+        seconds, micros, incl_len, _orig_len = _RECORD_HEADER.unpack_from(
+            data, offset)
+        offset += _RECORD_HEADER.size
+        if offset + incl_len > len(data):
+            raise ValueError("truncated pcap record body")
+        body = data[offset:offset + incl_len]
+        offset += incl_len
+        if not body or body[0] != KISS_DATA_TYPE:
+            raise ValueError("record does not start with KISS data type byte")
+        yield (seconds * 1_000_000 + micros, body[1:])

@@ -1,0 +1,101 @@
+"""Human-readable observability report rendered from a FlightRecorder.
+
+This is the formatting layer behind ``python -m repro report``: top
+talkers, terminal-state breakdown with drop reasons, the end-to-end
+delivered-latency histogram, and a per-hop p50/p95 decomposition table.
+All numbers come straight from the recorder's integer instruments, so the
+text is as deterministic as the metrics digest.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.instruments import Histogram
+from repro.obs.spans import HOP_PAIRS, FlightRecorder
+
+
+def _fmt_us(value: int) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f}s"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}ms"
+    return f"{value}us"
+
+
+def render_report(recorder: FlightRecorder, title: str = "observability report",
+                  top: int = 8) -> str:
+    """Render the full text report; finalizes the recorder."""
+    metrics = recorder.finalize_metrics()
+    lines: List[str] = [title, "=" * len(title), ""]
+
+    lines.append("spans")
+    lines.append(f"  born      {recorder.born_total}")
+    lines.append(f"  delivered {recorder.delivered}")
+    lines.append(f"  dropped   {recorder.dropped}")
+    lines.append(f"  shed      {recorder.shed}")
+    lines.append(f"  in-flight {recorder.in_flight()}")
+    conservation = "ok" if recorder.conservation_ok() else "VIOLATED"
+    lines.append(f"  conservation: {conservation} "
+                 f"(duplicates={recorder.duplicate_terminals}, "
+                 f"violations={recorder.conservation_violations})")
+    lines.append("")
+
+    talkers = sorted(recorder.born_by_origin.items(),
+                     key=lambda item: (-item[1], item[0]))[:top]
+    lines.append("top talkers")
+    if talkers:
+        width = max(len(name) for name, _ in talkers)
+        for name, count in talkers:
+            lines.append(f"  {name:<{width}} {count}")
+    else:
+        lines.append("  (none)")
+    lines.append("")
+
+    reasons = sorted(((reason, count)
+                      for reason, count in recorder.drop_reasons.items()
+                      if count),
+                     key=lambda item: (-item[1], item[0]))
+    lines.append("drop/shed reasons")
+    if reasons:
+        width = max(len(reason) for reason, _ in reasons)
+        for reason, count in reasons:
+            lines.append(f"  {reason:<{width}} {count}")
+    else:
+        lines.append("  (none)")
+    lines.append("")
+
+    latency = recorder.instruments.histogram("delivered_latency_us")
+    lines.append(latency.render())
+    lines.append("")
+
+    lines.append("per-hop latency (p50 / p95, upper bucket bounds)")
+    rows = []
+    for a, b in HOP_PAIRS:
+        hist: Histogram = recorder.instruments.histogram(
+            recorder._hop_name(a, b))
+        if hist.total:
+            rows.append((f"{a} -> {b}", hist))
+    if rows:
+        width = max(len(label) for label, _ in rows)
+        for label, hist in rows:
+            lines.append(f"  {label:<{width}}  n={hist.total:<6} "
+                         f"p50<={_fmt_us(hist.percentile(50)):<8} "
+                         f"p95<={_fmt_us(hist.percentile(95))}")
+    else:
+        lines.append("  (no hop samples)")
+    lines.append("")
+
+    rtt = recorder.instruments.histogram("rtt_us")
+    if rtt.total:
+        lines.append(rtt.render())
+        lines.append("")
+    recovery = recorder.instruments.histogram("watchdog_recovery_us")
+    if recovery.total:
+        lines.append(recovery.render())
+        lines.append("")
+
+    lines.append(f"events recorded: {metrics['events_recorded']} "
+                 f"(truncated {metrics['events_truncated']}, "
+                 f"evicted spans {metrics['spans_evicted']})")
+    return "\n".join(lines)

@@ -1,0 +1,473 @@
+"""Packet lifecycle spans: the flight recorder.
+
+A :class:`FlightRecorder` hangs off the shared :class:`~repro.sim.trace.Tracer`
+(``tracer.flight``) and follows every IP datagram from birth to its terminal
+state.  Datagrams get a monotonically increasing ``pkt_id`` at ``ip_output``
+time; hops in lower layers are correlated back to that span by content --
+``(source address value, IP identification)`` parsed at fixed header offsets --
+because per-host identifications are allocated sequentially, so the pair is
+unique within a run, and forwarding preserves it end to end while
+retransmissions (fresh ident) correctly open fresh spans.
+
+Two classes of events exist because the KISS TNCs are promiscuous (the paper's
+section 3 problem: every station's TNC hands *all* heard frames up the serial
+line):
+
+* **inline terminals** (``drop``/``shed``/``deliver``) happen where the
+  outcome is unambiguous -- at the origin driver, the IP input path, or final
+  delivery -- and settle the span immediately, first terminal wins;
+* **observational ``lost`` events** (collision, fade, half-duplex deafness,
+  TNC wedged on the RX side) are only *recorded* -- at finalize time a span
+  whose last sighting is a ``lost`` event is settled as dropped with that
+  reason.  These are only recorded at the port/TNC whose name matches the
+  frame's AX.25 destination callsign, so bystander copies of a frame never
+  terminate the real span.
+
+The conservation invariant checked by the ``obs`` gate: every born packet ends
+in exactly one of delivered / dropped(reason) / shed(reason) / in-flight.
+A ``conservation_violation`` is counted only for genuine contradictions
+(a delivered span later reported lost, or vice versa); repeated same-direction
+terminals (fragments of one datagram, broadcast copies) count as benign
+``duplicate_terminals``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.ax25.defs import PID_ARPA_IP
+from repro.obs.instruments import Instruments
+from repro.sim.clock import SECOND
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.inet.ip import IPv4Datagram
+    from repro.sim.trace import Tracer
+
+#: (source address value, IP identification) -- the content key that
+#: correlates one datagram across layers and hops.
+FlowKey = Tuple[int, int]
+
+#: Fixed drop/shed reason vocabulary.  Pre-seeded to zero in every summary
+#: so the metric schema -- and therefore the sweep digest key set -- never
+#: depends on which failures a particular seed happened to hit.
+REASONS = (
+    "arp_queue_full",
+    "arp_timeout",
+    "bad_header",
+    "collision",
+    "evicted",
+    "fade",
+    "forward_filtered",
+    "halfduplex_miss",
+    "if_output_failed",
+    "iface_down",
+    "ipintrq_full",
+    "no_route",
+    "serial_backlog",
+    "tnc_wedged",
+    "ttl_expired",
+)
+
+#: Canonical adjacent-stage pairs whose deltas feed per-hop latency
+#: histograms.  Order is the nominal path of an outbound datagram through
+#: the gateway stack and over the air.
+HOP_PAIRS = (
+    ("born", "driver.tx"),
+    ("driver.tx", "tnc.tx"),
+    ("tnc.tx", "radio.tx"),
+    ("radio.tx", "radio.rx"),
+    ("radio.rx", "tnc.up"),
+    ("tnc.up", "driver.rx"),
+    ("driver.rx", "ipintrq"),
+    ("ipintrq", "ip.rx"),
+    ("ip.rx", "ip.forward"),
+    ("ip.rx", "ip.deliver"),
+)
+
+_PROTO_KINDS = {1: "icmp", 6: "tcp", 17: "udp"}
+
+_IN_FLIGHT = "in_flight"
+_DELIVERED = "delivered"
+_DROPPED = "dropped"
+_SHED = "shed"
+
+_LOSS_STATES = (_DROPPED, _SHED)
+
+
+def ip_flow_key(packet: bytes) -> Optional[FlowKey]:
+    """Extract the correlation key from raw IPv4 bytes, or None."""
+    if len(packet) < 20 or (packet[0] >> 4) != 4:
+        return None
+    source = int.from_bytes(packet[12:16], "big")
+    ident = int.from_bytes(packet[4:6], "big")
+    return (source, ident)
+
+
+def probe_ax25(frame: bytes) -> Optional[Tuple[str, FlowKey]]:
+    """Peek into an AX.25 frame: (destination callsign text, flow key).
+
+    Returns None unless the frame carries an ARPA IP payload whose flow key
+    parses.  The destination text matches ``str(AX25Address)`` for
+    non-repeated addresses ("WL0" or "WB6-2"), which is how TNC/radio
+    probes decide whether a copy of the frame is headed *to them* and
+    therefore span-relevant.
+    """
+    end = -1
+    # Address blocks are 7 bytes; the extension bit (bit 0 of the SSID
+    # byte) terminates the field.  Cap at 10 blocks: dest + src + 8 digis.
+    for block in range(10):
+        index = block * 7 + 6
+        if index >= len(frame):
+            return None
+        if frame[index] & 0x01:
+            end = index
+            break
+    if end < 0 or end + 1 >= len(frame):
+        return None
+    control = frame[end + 1]
+    # PID follows the control byte only on I-frames (bit 0 clear) and
+    # UI frames (0x03 / 0x13).
+    if (control & 0x01) != 0 and (control & 0xEF) != 0x03:
+        return None
+    if end + 2 >= len(frame) or frame[end + 2] != PID_ARPA_IP:
+        return None
+    key = ip_flow_key(frame[end + 3:])
+    if key is None:
+        return None
+    callsign = "".join(chr(b >> 1) for b in frame[:6]).strip()
+    ssid = (frame[6] >> 1) & 0x0F
+    dest = callsign if ssid == 0 else f"{callsign}-{ssid}"
+    return (dest, key)
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One sighting of a packet at a stage."""
+
+    time: int
+    pkt_id: int
+    stage: str
+    event: str  # enter | drop | shed | deliver | lost
+    source: str
+    reason: str = ""
+
+    def render(self) -> str:
+        suffix = f" ({self.reason})" if self.reason else ""
+        return (f"{self.time:>12} us  {self.event:<7} "
+                f"{self.stage:<12} at {self.source}{suffix}")
+
+
+@dataclass
+class PacketSpan:
+    """Everything the recorder knows about one datagram."""
+
+    pkt_id: int
+    key: FlowKey
+    origin: str
+    kind: str
+    born_at: int
+    broadcast: bool = False
+    state: str = _IN_FLIGHT
+    reason: str = ""
+    done_at: Optional[int] = None
+    events: List[SpanEvent] = field(default_factory=list)
+    truncated_events: int = 0
+
+
+class FlightRecorder:
+    """Ring-buffered cross-layer packet span store.
+
+    Attaching a recorder to a tracer (``FlightRecorder(tracer)``) sets
+    ``tracer.flight``, which is the single switch every layer checks: with
+    no recorder attached the per-packet cost is one attribute load and a
+    None test.
+    """
+
+    def __init__(self, tracer: "Tracer", capacity: int = 16384,
+                 max_events_per_packet: int = 96) -> None:
+        self.tracer = tracer
+        self.sim = tracer.sim
+        self.capacity = capacity
+        self.max_events_per_packet = max_events_per_packet
+        self.instruments = Instruments()
+        # Pre-create every instrument so the metric schema is fixed.
+        for a, b in HOP_PAIRS:
+            self.instruments.histogram(self._hop_name(a, b))
+        self.instruments.histogram("delivered_latency_us")
+        self.instruments.histogram("rtt_us")
+        self.instruments.histogram("watchdog_recovery_us")
+        self.instruments.gauge("ipintrq_depth")
+        self.instruments.gauge("gateway_serial_backlog")
+        self.instruments.rate("born_per_10s", 10 * SECOND)
+
+        self._next_pkt_id = 1
+        self._spans: "OrderedDict[int, PacketSpan]" = OrderedDict()
+        self._by_key: Dict[FlowKey, int] = {}
+        self.born_total = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.shed = 0
+        self.duplicate_terminals = 0
+        self.conservation_violations = 0
+        self.events_recorded = 0
+        self.events_truncated = 0
+        self.spans_evicted = 0
+        self.drop_reasons: Dict[str, int] = {reason: 0 for reason in REASONS}
+        self.born_by_origin: Dict[str, int] = {}
+        self._finalized = False
+        tracer.flight = self
+
+    @staticmethod
+    def _hop_name(a: str, b: str) -> str:
+        return f"hop_{a.replace('.', '_')}_to_{b.replace('.', '_')}"
+
+    # ------------------------------------------------------------------
+    # span creation
+    # ------------------------------------------------------------------
+
+    def born_datagram(self, origin: str, datagram: "IPv4Datagram") -> Optional[int]:
+        """Open a span for a datagram at its ``ip_output`` birth."""
+        if datagram.source is None:  # not yet addressed; can't correlate
+            return None
+        key = (datagram.source.value, datagram.identification)
+        pkt_id = self._next_pkt_id
+        self._next_pkt_id += 1
+        span = PacketSpan(
+            pkt_id=pkt_id,
+            key=key,
+            origin=origin,
+            kind=_PROTO_KINDS.get(datagram.protocol, "ip"),
+            born_at=self.sim.now,
+            broadcast=datagram.destination.is_broadcast,
+        )
+        self._spans[pkt_id] = span
+        self._by_key[key] = pkt_id  # latest span wins on ident reuse
+        self.born_total += 1
+        self.born_by_origin[origin] = self.born_by_origin.get(origin, 0) + 1
+        self.instruments.rate("born_per_10s", 10 * SECOND).tick(self.sim.now)
+        self._record(span, "born", "enter", origin)
+        if len(self._spans) > self.capacity:
+            _, evicted = self._spans.popitem(last=False)
+            if evicted.state == _IN_FLIGHT:
+                self._terminate(evicted, _DROPPED, "evicted")
+            if self._by_key.get(evicted.key) == evicted.pkt_id:
+                del self._by_key[evicted.key]
+            self.spans_evicted += 1
+        return pkt_id
+
+    # ------------------------------------------------------------------
+    # event recording (bytes-level and key-level)
+    # ------------------------------------------------------------------
+
+    def enter(self, packet: bytes, stage: str, source: str) -> None:
+        """Non-terminal sighting of raw IP bytes at a stage."""
+        key = ip_flow_key(packet)
+        if key is not None:
+            self.enter_key(key, stage, source)
+
+    def drop(self, packet: bytes, stage: str, source: str, reason: str) -> None:
+        """Terminal drop of raw IP bytes (first terminal wins)."""
+        key = ip_flow_key(packet)
+        if key is not None:
+            self.drop_key(key, stage, source, reason)
+
+    def shed_packet(self, packet: bytes, stage: str, source: str,
+                    reason: str) -> None:
+        """Terminal load-shed of raw IP bytes."""
+        key = ip_flow_key(packet)
+        if key is not None:
+            span = self._lookup(key)
+            if span is not None:
+                self._record(span, stage, "shed", source, reason)
+                self._settle(span, _SHED, reason)
+
+    def deliver(self, packet: bytes, source: str) -> None:
+        """Terminal local delivery of raw IP bytes."""
+        key = ip_flow_key(packet)
+        if key is not None:
+            self.deliver_key(key, source)
+
+    def enter_key(self, key: FlowKey, stage: str, source: str) -> None:
+        span = self._lookup(key)
+        if span is not None:
+            self._record(span, stage, "enter", source)
+
+    def lost_key(self, key: FlowKey, stage: str, source: str,
+                 reason: str) -> None:
+        """Observational loss: recorded now, settled at finalize."""
+        span = self._lookup(key)
+        if span is not None:
+            self._record(span, stage, "lost", source, reason)
+
+    def drop_key(self, key: FlowKey, stage: str, source: str,
+                 reason: str) -> None:
+        span = self._lookup(key)
+        if span is not None:
+            self._record(span, stage, "drop", source, reason)
+            self._settle(span, _DROPPED, reason)
+
+    def deliver_key(self, key: FlowKey, source: str) -> None:
+        span = self._lookup(key)
+        if span is not None:
+            self._record(span, "ip.deliver", "deliver", source)
+            self._settle(span, _DELIVERED, "")
+
+    def _lookup(self, key: FlowKey) -> Optional[PacketSpan]:
+        pkt_id = self._by_key.get(key)
+        return None if pkt_id is None else self._spans.get(pkt_id)
+
+    def _record(self, span: PacketSpan, stage: str, event: str, source: str,
+                reason: str = "") -> None:
+        self.events_recorded += 1
+        if len(span.events) >= self.max_events_per_packet:
+            span.truncated_events += 1
+            self.events_truncated += 1
+            return
+        span.events.append(SpanEvent(
+            time=self.sim.now, pkt_id=span.pkt_id, stage=stage,
+            event=event, source=source, reason=reason))
+
+    # ------------------------------------------------------------------
+    # terminal-state bookkeeping
+    # ------------------------------------------------------------------
+
+    def _settle(self, span: PacketSpan, state: str, reason: str) -> None:
+        """Apply a terminal with first-wins semantics and conflict audit."""
+        if span.state == _IN_FLIGHT:
+            self._terminate(span, state, reason)
+            return
+        conflicting = (
+            (span.state == _DELIVERED and state in _LOSS_STATES)
+            or (span.state in _LOSS_STATES and state == _DELIVERED)
+        )
+        if conflicting:
+            self.conservation_violations += 1
+        else:
+            self.duplicate_terminals += 1
+
+    def _terminate(self, span: PacketSpan, state: str, reason: str) -> None:
+        span.state = state
+        span.reason = reason
+        span.done_at = self.sim.now
+        if state == _DELIVERED:
+            self.delivered += 1
+            self.instruments.histogram("delivered_latency_us").record(
+                span.done_at - span.born_at)
+        elif state == _SHED:
+            self.shed += 1
+            self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        else:
+            self.dropped += 1
+            self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        self._feed_hops(span)
+
+    def _feed_hops(self, span: PacketSpan) -> None:
+        pairs = dict()
+        previous: Optional[SpanEvent] = None
+        for event in span.events:
+            if event.event not in ("enter", "deliver"):
+                continue
+            if previous is not None:
+                pairs.setdefault((previous.stage, event.stage),
+                                 event.time - previous.time)
+            previous = event
+        for (a, b), delta in pairs.items():
+            if (a, b) in _HOP_PAIR_SET:
+                self.instruments.histogram(self._hop_name(a, b)).record(delta)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def span(self, pkt_id: int) -> Optional[PacketSpan]:
+        return self._spans.get(pkt_id)
+
+    def timeline(self, pkt_id: int) -> List[str]:
+        """Human-readable hop timeline for one packet."""
+        span = self._spans.get(pkt_id)
+        if span is None:
+            return []
+        lines = [f"pkt {span.pkt_id} {span.kind} from {span.origin} "
+                 f"born@{span.born_at} state={span.state}"
+                 + (f" reason={span.reason}" if span.reason else "")]
+        lines.extend(event.render() for event in span.events)
+        if span.truncated_events:
+            lines.append(f"  ... {span.truncated_events} events truncated")
+        return lines
+
+    def why_dropped(self, pkt_id: int) -> Optional[str]:
+        """One-line answer to "what happened to packet N?"."""
+        span = self._spans.get(pkt_id)
+        if span is None:
+            return None
+        if span.state == _IN_FLIGHT:
+            return f"pkt {pkt_id}: still in flight"
+        if span.state == _DELIVERED:
+            return (f"pkt {pkt_id}: delivered after "
+                    f"{(span.done_at or 0) - span.born_at} us")
+        last = span.events[-1] if span.events else None
+        where = f" at {last.stage} ({last.source})" if last is not None else ""
+        return f"pkt {pkt_id}: {span.state} -- {span.reason}{where}"
+
+    # ------------------------------------------------------------------
+    # finalize + summary
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Settle observational losses; idempotent.
+
+        In-flight spans whose last sighting was a ``lost`` event become
+        drops with that reason; genuinely in-flight spans stay in flight
+        (a legitimate terminal bucket for packets the end of the run
+        caught mid-air).
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        for span in self._spans.values():
+            if span.state != _IN_FLIGHT:
+                continue
+            last = span.events[-1] if span.events else None
+            if last is not None and last.event == "lost":
+                self._terminate(span, _DROPPED, last.reason)
+            else:
+                self._feed_hops(span)
+
+    def in_flight(self) -> int:
+        return self.born_total - self.delivered - self.dropped - self.shed
+
+    def conservation_ok(self) -> bool:
+        """The gate invariant: terminals partition the born population."""
+        return (self.conservation_violations == 0
+                and self.born_total == (self.delivered + self.dropped
+                                        + self.shed + self.in_flight()))
+
+    def summary(self) -> Dict[str, int]:
+        """Fixed-schema integer counters (digest-stable across seeds)."""
+        out = {
+            "born_total": self.born_total,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "shed": self.shed,
+            "in_flight": self.in_flight(),
+            "duplicate_terminals": self.duplicate_terminals,
+            "conservation_violations": self.conservation_violations,
+            "events_recorded": self.events_recorded,
+            "events_truncated": self.events_truncated,
+            "spans_evicted": self.spans_evicted,
+        }
+        for reason in REASONS:
+            out[f"drop_{reason}"] = self.drop_reasons.get(reason, 0)
+        return out
+
+    def finalize_metrics(self) -> Dict[str, int]:
+        """Finalize and return summary + instrument stats, flat."""
+        self.finalize()
+        out = self.summary()
+        out.update(self.instruments.metrics())
+        return out
+
+
+_HOP_PAIR_SET = frozenset(HOP_PAIRS)

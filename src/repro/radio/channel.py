@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.obs.spans import probe_ax25
 from repro.sim.clock import MS
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
@@ -194,6 +195,11 @@ class RadioChannel:
         if self.tracer is not None:
             self.tracer.log("radio.tx", sender.name, "keyed",
                             bytes=len(payload), airtime=airtime)
+        recorder = self.tracer.flight if self.tracer is not None else None
+        if recorder is not None:
+            probe = probe_ax25(payload)
+            if probe is not None:
+                recorder.enter_key(probe[1], "radio.tx", sender.name)
         self.sim.at(tx.end, self._complete_transmission, tx,
                     label=f"radio-end {sender.name}")
         return tx
@@ -243,21 +249,38 @@ class RadioChannel:
     def _complete_transmission(self, tx: Transmission) -> None:
         self.active.remove(tx)
         self._note_busy_maybe_end()
+        recorder = self.tracer.flight if self.tracer is not None else None
+        probe = probe_ax25(tx.payload) if recorder is not None else None
         for port in self.ports.values():
+            # Losses are span-relevant only at the addressed station:
+            # everyone hears everything on the shared channel, but only
+            # the intended receiver losing the frame loses the packet.
+            watched = probe is not None and port.name == probe[0]
             if not self.hears(port, tx.sender):
                 continue
             # Half-duplex receivers that were transmitting during any part
             # of this frame missed it.
             if port.tx_until > tx.start:
+                if watched:
+                    recorder.lost_key(probe[1], "radio.rx", port.name,
+                                      "halfduplex_miss")
                 continue
             if port.name in tx.corrupted_at:
                 port.frames_corrupted += 1
+                if watched:
+                    recorder.lost_key(probe[1], "radio.rx", port.name,
+                                      "collision")
                 continue
             payload = self._maybe_corrupt(tx.payload, port)
             if payload is None:
                 port.frames_corrupted += 1
+                if watched:
+                    recorder.lost_key(probe[1], "radio.rx", port.name,
+                                      "fade")
                 continue
             port.frames_received += 1
+            if watched:
+                recorder.enter_key(probe[1], "radio.rx", port.name)
             port.on_receive(payload)
         if self.tracer is not None:
             self.tracer.log("radio.done", tx.sender.name, "unkeyed",

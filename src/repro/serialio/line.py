@@ -39,6 +39,10 @@ class SerialEndpoint:
         #: to drop it on the floor.  One filter at a time.
         self.rx_fault: Optional[Callable[[int], Optional[int]]] = None
         self.rx_faulted = 0
+        #: Observability tap: called with :attr:`tx_backlog_bytes` after
+        #: every write, so a gauge can sample the serial backlog exactly
+        #: when it changes (no extra polling events).
+        self.on_backlog_sample: Optional[Callable[[int], None]] = None
 
     def on_receive(self, handler: Callable[[int], None]) -> None:
         """Install the per-byte receive interrupt handler."""
@@ -57,6 +61,8 @@ class SerialEndpoint:
             sim.at(arrival, self._deliver, byte, label=f"serial {self.name}")
         self._tx_free_at = start + len(data) * self.line.byte_time
         self.bytes_sent += len(data)
+        if self.on_backlog_sample is not None:
+            self.on_backlog_sample(self.tx_backlog_bytes)
         return self._tx_free_at
 
     @property

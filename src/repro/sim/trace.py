@@ -8,11 +8,15 @@ instead of scraping printed output; examples print it for humans.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, TYPE_CHECKING
 
 from repro.sim.clock import format_time
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.spans import FlightRecorder
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,10 @@ class Tracer:
         self.records: List[TraceRecord] = []
         self.echo = echo
         self._listeners: List[Callable[[TraceRecord], None]] = []
+        self._by_category: Dict[str, List[TraceRecord]] = {}
+        #: Optional attached packet flight recorder (see repro.obs.spans);
+        #: layers check ``tracer.flight`` before emitting span events.
+        self.flight: Optional["FlightRecorder"] = None
 
     def log(
         self,
@@ -56,8 +64,9 @@ class Tracer:
         """Record an event at the current simulated time."""
         record = TraceRecord(self.sim.now, category, source, message, detail)
         self.records.append(record)
+        self._by_category.setdefault(category, []).append(record)
         if self.echo:  # pragma: no cover - interactive convenience
-            print(record.render())
+            print(record.render())  # reprolint: disable=OBS001 -- echo mode is an explicit interactive tap
         for listener in self._listeners:
             listener(record)
         return record
@@ -85,10 +94,27 @@ class Tracer:
         source: Optional[str] = None,
         since: int = 0,
     ) -> Iterator[TraceRecord]:
-        """Iterator form of :meth:`select`."""
-        for record in self.records:
-            if record.time < since:
-                continue
+        """Iterator form of :meth:`select`.
+
+        Records are appended in simulated-time order, so ``since`` is a
+        bisect rather than a scan from index 0; an exact-category query
+        (one whose prefix matches no other logged category) walks only
+        that category's index.
+        """
+        records = self.records
+        if category is not None:
+            exact = self._by_category.get(category)
+            if exact is not None and not any(
+                key.startswith(category) and key != category
+                for key in self._by_category
+            ):
+                records = exact
+                category = None
+        start = 0
+        if since > 0:
+            start = bisect.bisect_left(records, since, key=lambda r: r.time)
+        for index in range(start, len(records)):
+            record = records[index]
             if category is not None and not record.category.startswith(category):
                 continue
             if source is not None and record.source != source:
@@ -107,6 +133,6 @@ class Tracer:
 class NullTracer(Tracer):
     """Tracer that discards everything (for hot benchmark loops)."""
 
-    def log(self, category: str, source: str, message: str, **detail: Any) -> TraceRecord:
-        """Record an event at the current simulated time."""
-        return TraceRecord(self.sim.now, category, source, message, detail)
+    def log(self, category: str, source: str, message: str, **detail: Any) -> None:  # type: ignore[override]
+        """Discard the event without allocating anything."""
+        return None

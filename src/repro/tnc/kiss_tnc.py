@@ -25,6 +25,7 @@ from typing import Optional
 from repro.ax25.address import AX25Address
 from repro.kiss import commands
 from repro.kiss.framing import KissDeframer, frame as kiss_frame
+from repro.obs.spans import probe_ax25
 from repro.radio.channel import RadioChannel
 from repro.radio.csma import CsmaParameters
 from repro.radio.modem import ModemProfile
@@ -94,6 +95,19 @@ class KissTnc:
         self._rebooting = False
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _obs(self):
+        """The attached flight recorder, if any (see repro.obs.spans)."""
+        tracer = self.tracer
+        return tracer.flight if tracer is not None else None
+
+    def _span_target(self) -> str:
+        """The callsign text span probes compare frame destinations to."""
+        return str(self.callsign) if self.callsign is not None else self.name
+
+    # ------------------------------------------------------------------
     # host -> air
     # ------------------------------------------------------------------
 
@@ -112,12 +126,25 @@ class KissTnc:
                 self.reboot()
             else:
                 self.wedged_drops += 1
+                recorder = self._obs()
+                if recorder is not None and command == commands.CMD_DATA:
+                    # Origin-side wedge: our own outbound frame died here,
+                    # so this is an unambiguous terminal.
+                    probe = probe_ax25(payload)
+                    if probe is not None:
+                        recorder.drop_key(probe[1], "tnc.tx", self.name,
+                                          "tnc_wedged")
             return
         if command == commands.CMD_DATA:
             if not payload:
                 self.bad_records += 1
                 return
             self.frames_to_air += 1
+            recorder = self._obs()
+            if recorder is not None:
+                probe = probe_ax25(payload)
+                if probe is not None:
+                    recorder.enter_key(probe[1], "tnc.tx", self.name)
             self.station.send_frame(payload)
             return
         self.command_records += 1
@@ -150,12 +177,26 @@ class KissTnc:
     def _frame_from_air(self, payload: bytes) -> None:
         if self.wedged or self._rebooting:
             self.wedged_drops += 1
+            recorder = self._obs()
+            if recorder is not None:
+                # RX-side wedge: other stations also heard this frame, so
+                # only the intended recipient records the (observational)
+                # loss; finalize settles it if nothing better happened.
+                probe = probe_ax25(payload)
+                if probe is not None and probe[0] == self._span_target():
+                    recorder.lost_key(probe[1], "tnc.up", self.name,
+                                      "tnc_wedged")
             return
         if self.address_filter and self.callsign is not None:
             if not frame_is_for_station(payload, self.callsign):
                 self.frames_filtered += 1
                 return
         self.frames_to_host += 1
+        recorder = self._obs()
+        if recorder is not None:
+            probe = probe_ax25(payload)
+            if probe is not None and probe[0] == self._span_target():
+                recorder.enter_key(probe[1], "tnc.up", self.name)
         record = kiss_frame(commands.type_byte(commands.CMD_DATA), payload)
         self.serial.write(record)
         if self.tracer is not None:

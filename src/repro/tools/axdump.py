@@ -31,6 +31,7 @@ from repro.inet.tcp import TcpError, TcpSegment
 from repro.inet.udp import UdpDatagram, UdpError
 from repro.netrom.protocol import NODES_SIGNATURE, NetRomError, NetRomPacket, NodesBroadcast
 from repro.netrom.transport import TransportError, TransportFrame
+from repro.obs.pcap import PcapWriter
 from repro.radio.channel import RadioChannel
 from repro.sim.clock import format_time
 
@@ -142,17 +143,26 @@ def decode_ax25_frame(data: bytes, indent: str = "") -> List[str]:
 
 
 class ChannelMonitor:
-    """A receive-only station that decodes everything it hears."""
+    """A receive-only station that decodes everything it hears.
 
-    def __init__(self, channel: RadioChannel, name: str = "MONITOR") -> None:
+    Pass a :class:`~repro.obs.pcap.PcapWriter` as ``pcap`` to also
+    capture every heard frame into a Wireshark-compatible file
+    (LINKTYPE_AX25_KISS).
+    """
+
+    def __init__(self, channel: RadioChannel, name: str = "MONITOR",
+                 pcap: Optional[PcapWriter] = None) -> None:
         self.channel = channel
         self.sim = channel.sim
         self.lines: List[str] = []
         self.frames_heard = 0
+        self.pcap = pcap
         channel.attach(name, self._heard)
 
     def _heard(self, payload: bytes) -> None:
         self.frames_heard += 1
+        if self.pcap is not None:
+            self.pcap.add_frame(self.sim.now, payload)
         stamp = format_time(self.sim.now)
         for index, line in enumerate(decode_ax25_frame(payload)):
             prefix = f"[{stamp}] " if index == 0 else " " * (len(stamp) + 3)

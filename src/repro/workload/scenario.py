@@ -34,6 +34,7 @@ from repro.core.topology import (
     synthesize_stations,
 )
 from repro.faults import FaultInjector, FaultPlan
+from repro.obs.spans import FlightRecorder
 from repro.radio.modem import ModemProfile
 from repro.radio.station import RadioStation
 from repro.sim.clock import seconds
@@ -98,6 +99,9 @@ class Scenario:
     fault_plan: Optional[FaultPlan] = None
     watchdog: bool = False
     shed_threshold_bytes: Optional[int] = None
+    #: Attach a packet flight recorder (repro.obs) to the shared tracer;
+    #: adds ``obs_*`` span-conservation and latency metrics to results.
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -149,6 +153,7 @@ class ScenarioRun:
     extra_stations: List[object] = field(default_factory=list)
     injector: Optional[FaultInjector] = None
     watchdog: Optional[object] = None  # TncWatchdog when enabled
+    recorder: Optional[object] = None  # FlightRecorder when observe=True
 
     @property
     def sim(self):
@@ -228,6 +233,11 @@ class ScenarioRun:
                 gateway.stack.counters["ip_input_drops"])
             out["gateway_if_snd_drops"] = float(
                 gateway.stack.counters["if_snd_drops"])
+        # Span/instrument metrics only exist when observe=True, so the
+        # metric sets of pre-existing scenarios are unchanged.
+        if self.recorder is not None:
+            for key, value in self.recorder.finalize_metrics().items():
+                out[f"obs_{key}"] = float(value)
         out["events_executed"] = float(self.sim.events_executed)
         return out
 
@@ -338,6 +348,13 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
     # topology); synthesized stations are addressed by callsign.
     gateway_host = getattr(testbed, "gateway", None)
     primary = gateway_host.radio if gateway_host is not None else testbed.host.radio
+    if scenario.observe:
+        recorder = FlightRecorder(testbed.tracer)
+        run.recorder = recorder
+        # Sample the host->TNC serial backlog (the §4.1 choke point)
+        # whenever the hub's driver writes to the line.
+        backlog_gauge = recorder.instruments.gauge("gateway_serial_backlog")
+        primary.serial.a.on_backlog_sample = backlog_gauge.sample
     if scenario.shed_threshold_bytes is not None:
         primary.interface.shed_threshold_bytes = scenario.shed_threshold_bytes
     if scenario.watchdog:

@@ -187,6 +187,38 @@ def test_fault001_allows_specific_and_handled_exceptions():
 
 
 # ----------------------------------------------------------------------
+# observability pass
+# ----------------------------------------------------------------------
+
+def test_obs001_flags_bare_print():
+    assert "OBS001" in rules_hit("print('queued frame')\n")
+    assert "OBS001" in rules_hit(
+        "def _transmit(self):\n    print(self.backlog)\n")
+
+
+def test_obs001_allows_tracer_and_shadowed_print():
+    assert rules_hit("self.tracer.log('driver.tx', 'NT7GW', 'keyed')\n") == []
+    # A method named print on some object is not stdout.
+    assert rules_hit("report.print(summary)\n") == []
+
+
+def test_obs001_allowlists_cli_and_tools(tmp_path):
+    engine = LintEngine()
+    noisy = "print('hello')\n"
+    for relative in ("repro/tools/netstat.py", "repro/__main__.py"):
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(noisy)
+    simulated = tmp_path / "repro/tnc/kiss_tnc.py"
+    simulated.parent.mkdir(parents=True, exist_ok=True)
+    simulated.write_text(noisy)
+    report = engine.lint_paths([tmp_path])
+    assert [f.rule for f in report.new_findings] == ["OBS001"]
+    assert report.new_findings[0].file.endswith("kiss_tnc.py")
+    assert report.allowlisted == 2
+
+
+# ----------------------------------------------------------------------
 # framework: suppressions, baseline, JSON
 # ----------------------------------------------------------------------
 

@@ -54,3 +54,39 @@ def test_null_tracer_discards(sim):
     tracer = NullTracer(sim)
     tracer.log("x", "A", "m")
     assert tracer.records == []
+
+
+def test_null_tracer_log_is_a_true_noop(sim):
+    tracer = NullTracer(sim)
+    assert tracer.log("x", "A", "m", extra=1) is None
+    assert tracer.records == [] and tracer.flight is None
+
+
+def test_subscribers_fire_in_subscription_order(sim, tracer):
+    calls = []
+    tracer.subscribe(lambda record: calls.append("first"))
+    tracer.subscribe(lambda record: calls.append("second"))
+    tracer.log("x", "A", "m")
+    assert calls == ["first", "second"]
+
+
+def test_select_prefix_still_matches_with_exact_category_index(sim, tracer):
+    # "radio" must keep matching "radio.tx" even though an exact
+    # "radio" category also exists (the index fast path must not
+    # swallow prefix semantics).
+    tracer.log("radio", "A", "bare")
+    tracer.log("radio.tx", "A", "keyed")
+    tracer.log("radiometer", "A", "unrelated prefix-alike")
+    assert len(tracer.select(category="radio")) == 3
+    assert len(tracer.select(category="radio.tx")) == 1
+    assert [r.message for r in tracer.select(category="radio.tx")] == ["keyed"]
+
+
+def test_select_since_uses_time_order(sim, tracer):
+    for delay in (10, 20, 30, 40):
+        sim.schedule(delay, tracer.log, "cat.x", "A", f"t{delay}")
+    sim.run_until_idle()
+    assert [r.message for r in tracer.select(category="cat.x", since=25)] == \
+        ["t30", "t40"]
+    assert [r.message for r in tracer.select(since=35)] == ["t40"]
+    assert tracer.select(category="cat.x", since=999) == []
