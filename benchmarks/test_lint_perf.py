@@ -24,6 +24,10 @@ SRC_ROOT = REPO_ROOT / "src"
 #: quadratic pass before it ships.
 FULL_LINT_BUDGET_SECONDS = 20.0
 
+#: Ceiling for the --deep whole-program pass (call graph + dataflow
+#: fixpoint over every function).  The PR 5 acceptance bound.
+DEEP_LINT_BUDGET_SECONDS = 30.0
+
 _RESULTS: Dict[str, Dict[str, float]] = {}
 
 
@@ -54,6 +58,39 @@ def test_full_repo_lint_under_budget(benchmark):
         "files_per_s": report.files_scanned / mean if mean else 0.0,
         "budget_seconds": FULL_LINT_BUDGET_SECONDS,
     }
+
+
+def test_deep_lint_under_budget(benchmark):
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+
+    def run():
+        engine = LintEngine(baseline=baseline, deep=True)
+        return engine.lint_paths([SRC_ROOT])
+
+    report = benchmark(run)
+    assert report.new_findings == []
+    assert set(report.deep_timings) >= {"project-index", "detflow",
+                                        "races", "conservation", "fsm"}
+
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        mean = float(stats.stats.mean)
+    else:  # --benchmark-disable: fall back to one timed run
+        started = time.perf_counter()
+        run()
+        mean = time.perf_counter() - started
+    assert mean < DEEP_LINT_BUDGET_SECONDS, (
+        f"deep lint took {mean:.2f}s, budget "
+        f"{DEEP_LINT_BUDGET_SECONDS}s")
+    metrics = {
+        "files": float(report.files_scanned),
+        "mean_seconds": mean,
+        "budget_seconds": DEEP_LINT_BUDGET_SECONDS,
+    }
+    # Per-pass columns: where the deep wall-clock actually goes.
+    for name, seconds in sorted(report.deep_timings.items()):
+        metrics[f"pass_{name}_seconds"] = round(seconds, 4)
+    _RESULTS["deep_lint"] = metrics
 
 
 def test_emit_bench_json():

@@ -1,0 +1,233 @@
+"""Project-wide symbol table and call graph for the deep passes.
+
+The per-file passes (PR 2) see one module at a time; the deep passes
+need to know that ``stamp()`` over in ``workload/arrivals.py`` is the
+``stamp`` defined in ``harness/runner.py`` and that it returns a wall
+clock.  :class:`ProjectInfo` parses every module once, assigns each a
+dotted name (by walking up through ``__init__.py`` packages, so the
+same code works on ``src/repro`` and on synthetic test packages), and
+indexes every top-level function, class, and method by qualified name.
+:class:`CallGraph` then resolves direct calls — imported names,
+module-local names, ``self.method()`` (including through base classes
+declared in the project) — into edges between those qualified names.
+
+Dynamic dispatch through arbitrary objects is out of scope on purpose:
+an unresolved call simply contributes no edge, which keeps every deep
+pass sound against false *propagation* rather than chasing precision
+the AST cannot give.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.imports import ImportMap, dotted_name
+from repro.analysis.registry import ModuleInfo
+
+#: How many base-class hops ``self.method()`` resolution will climb.
+_MAX_MRO_HOPS = 5
+
+
+def module_dotted_name(path: Path) -> str:
+    """Dotted module name for a file, walking up while packages last.
+
+    ``src/repro/inet/rip.py`` -> ``repro.inet.rip`` because ``src`` has
+    no ``__init__.py``; a synthetic ``tmp/pkg/a.py`` with package
+    markers resolves to ``pkg.a`` the same way.
+    """
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by qualified name."""
+
+    qualname: str                   #: ``repro.inet.rip.RipService._expire``
+    module: str                     #: dotted module name
+    cls: Optional[str]              #: enclosing class simple name, if any
+    name: str                       #: function simple name
+    node: ast.AST                   #: FunctionDef / AsyncFunctionDef
+    module_info: ModuleInfo
+    params: List[str] = field(default_factory=list)  #: excludes ``self``
+
+
+@dataclass
+class ClassInfo:
+    """One class with its directly-defined methods and textual bases."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: List[str] = field(default_factory=list)  #: unresolved dotted text
+
+
+class ProjectInfo:
+    """Every parsed module of one scan, indexed for whole-program work."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.imports: Dict[str, ImportMap] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    @classmethod
+    def build(cls, modules: Iterable[ModuleInfo]) -> "ProjectInfo":
+        project = cls()
+        for module in modules:
+            name = module_dotted_name(module.path)
+            project.modules[name] = module
+            project.imports[name] = ImportMap.collect(module.tree)
+            project._index_module(name, module)
+        return project
+
+    def _index_module(self, mod_name: str, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod_name, None, node, module)
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    qualname=f"{mod_name}.{node.name}", module=mod_name,
+                    name=node.name, node=node,
+                    bases=[base for base in
+                           (dotted_name(b) for b in node.bases)
+                           if base is not None],
+                )
+                self.classes[info.qualname] = info
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                        fn = self._add_function(mod_name, node.name,
+                                                child, module)
+                        info.methods[child.name] = fn
+
+    def _add_function(self, mod_name: str, cls_name: Optional[str],
+                      node: ast.AST, module: ModuleInfo) -> FunctionInfo:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        params = [arg.arg for arg in node.args.args]
+        if cls_name is not None and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        qual = (f"{mod_name}.{cls_name}.{node.name}" if cls_name
+                else f"{mod_name}.{node.name}")
+        info = FunctionInfo(qualname=qual, module=mod_name, cls=cls_name,
+                            name=node.name, node=node, module_info=module,
+                            params=params)
+        self.functions[qual] = info
+        return info
+
+    # ------------------------------------------------------------------
+
+    def resolve_name(self, mod_name: str, text: str) -> Optional[str]:
+        """Project qualname a dotted text refers to inside a module.
+
+        Resolves through the module's import table first, then against
+        module-local definitions.  Returns a function or class qualname
+        known to the project, or None.
+        """
+        imports = self.imports.get(mod_name)
+        root, _, rest = text.partition(".")
+        candidates = []
+        if imports is not None:
+            resolved = imports.resolve(root)
+            if resolved is not None:
+                candidates.append(f"{resolved}.{rest}" if rest else resolved)
+        candidates.append(f"{mod_name}.{text}")
+        for candidate in candidates:
+            if candidate in self.functions or candidate in self.classes:
+                return candidate
+        return None
+
+    def class_of(self, mod_name: str, cls_name: str) -> Optional[ClassInfo]:
+        resolved = self.resolve_name(mod_name, cls_name)
+        if resolved is not None:
+            return self.classes.get(resolved)
+        return None
+
+    def lookup_method(self, cls_info: ClassInfo,
+                      method: str) -> Optional[FunctionInfo]:
+        """Find a method on a class or its project-known bases."""
+        seen: Set[str] = set()
+        frontier = [cls_info]
+        for _ in range(_MAX_MRO_HOPS):
+            next_frontier: List[ClassInfo] = []
+            for cls in frontier:
+                if cls.qualname in seen:
+                    continue
+                seen.add(cls.qualname)
+                if method in cls.methods:
+                    return cls.methods[method]
+                for base_text in cls.bases:
+                    base = self.class_of(cls.module, base_text)
+                    if base is not None:
+                        next_frontier.append(base)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return None
+
+
+class CallGraph:
+    """Resolved direct-call edges between project functions."""
+
+    def __init__(self, project: ProjectInfo) -> None:
+        self.project = project
+        self.edges: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for fn in self.project.functions.values():
+            targets = self.edges.setdefault(fn.qualname, set())
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self.resolve_call(node, fn.module, fn.cls)
+                if callee is not None:
+                    targets.add(callee)
+                    self.callers.setdefault(callee, set()).add(fn.qualname)
+
+    def resolve_call(self, call: ast.Call, mod_name: str,
+                     cls_name: Optional[str]) -> Optional[str]:
+        """Qualname of a call's target function, or None if unresolved.
+
+        A resolved class reference becomes its ``__init__`` when the
+        project defines one (constructor edge), else the class qualname
+        itself so callers can still see the dependency.
+        """
+        func = call.func
+        # self.method() / cls.method(): resolve inside the class.
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and cls_name is not None):
+            cls_info = self.project.class_of(mod_name, cls_name)
+            if cls_info is not None:
+                method = self.project.lookup_method(cls_info, func.attr)
+                if method is not None:
+                    return method.qualname
+            return None
+        text = dotted_name(func)
+        if text is None:
+            return None
+        resolved = self.project.resolve_name(mod_name, text)
+        if resolved is None:
+            return None
+        if resolved in self.project.classes:
+            init = f"{resolved}.__init__"
+            return init if init in self.project.functions else resolved
+        return resolved
+
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def callers_of(self, qualname: str) -> Set[str]:
+        return self.callers.get(qualname, set())

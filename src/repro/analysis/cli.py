@@ -39,7 +39,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the whole-program passes "
+                             "(call graph + dataflow: DETFLOW, RACE001, "
+                             "CONS001, FSM001)")
+    parser.add_argument("--bench", action="store_true",
+                        help="with --deep: time the deep passes, run the "
+                             "dynamic SimSanitizer, and write the "
+                             "static/dynamic agreement matrix to "
+                             "BENCH_lint.json")
+    parser.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="seeds for the --bench sanitizer runs "
+                             "(default 1)")
+    parser.add_argument("--stations", type=int, default=10, metavar="N",
+                        help="station count for the --bench sanitizer "
+                             "runs (default 10)")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="simulated duration of each --bench "
+                             "sanitizer run (default 60)")
     args = parser.parse_args(argv)
+
+    if args.bench and not args.deep:
+        print("--bench requires --deep", file=sys.stderr)
+        return 2
 
     if args.list_rules:
         print(list_rules())
@@ -59,7 +82,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
-    engine = LintEngine(baseline=baseline)
+    engine = LintEngine(baseline=baseline, deep=args.deep)
     report = engine.lint_paths(paths, display_root=Path.cwd())
 
     if args.write_baseline:
@@ -70,4 +93,88 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(report.render_json() if args.format == "json"
           else report.render_text())
+
+    if args.bench:
+        bench_code = _run_bench(report, seeds=args.seeds,
+                                stations=args.stations,
+                                duration=args.duration)
+        return report.exit_code or bench_code
     return report.exit_code
+
+
+#: Deep rules whose dynamic counterpart is the ordering shuffle.
+_ORDERING_RULES = ("DETFLOW001", "DETFLOW002", "RACE001")
+#: Deep rules whose dynamic counterpart is live span conservation.
+_CONSERVATION_RULES = ("CONS001",)
+
+
+def _run_bench(report, seeds: int, stations: int, duration: float) -> int:
+    """The --deep --bench tail: dynamic runs + agreement matrix.
+
+    The matrix pairs each static family with its runtime check: the
+    analyses *agree* when both sides are clean or both sides fire.  A
+    dynamic failure with a clean static side is the interesting row --
+    a bug class the passes cannot yet see.
+    """
+    from repro.harness.experiments import run_sanitize
+    from repro.harness.results import bench_json_path, write_bench_json
+
+    static_ordering = sum(1 for f in report.new_findings
+                          if f.rule in _ORDERING_RULES)
+    static_conservation = sum(1 for f in report.new_findings
+                              if f.rule in _CONSERVATION_RULES)
+    runs = [{
+        "params": {"case": "deep_static"},
+        "seed": 0,
+        "metrics": {
+            **{f"pass_{name}_seconds": round(seconds, 4)
+               for name, seconds in sorted(report.deep_timings.items())},
+            "deep_total_seconds": round(sum(report.deep_timings.values()), 4),
+            "new_findings": float(len(report.new_findings)),
+        },
+    }]
+    dynamic_disagreements = 0
+    dynamic_conservation_failures = 0
+    for seed in range(seeds):
+        metrics = run_sanitize(seed=seed, stations=stations,
+                               duration_seconds=duration)
+        if metrics["sanitize_ordering_agree"] != 1.0:
+            dynamic_disagreements += 1
+        if metrics["sanitize_conservation_ok"] != 1.0:
+            dynamic_conservation_failures += 1
+        runs.append({
+            "params": {"case": "sanitize", "stations": stations,
+                       "duration_seconds": duration},
+            "seed": seed,
+            "metrics": {key: metrics[key] for key in (
+                "sanitize_ordering_agree", "sanitize_conservation_ok",
+                "sanitizer_checks", "sanitizer_stale_spans",
+                "obs_born_total")},
+        })
+    agreement = {
+        "ordering": {
+            "static_findings": static_ordering,
+            "dynamic_disagreements": dynamic_disagreements,
+            "agree": (static_ordering == 0) == (dynamic_disagreements == 0),
+        },
+        "conservation": {
+            "static_findings": static_conservation,
+            "dynamic_failures": dynamic_conservation_failures,
+            "agree": (static_conservation == 0)
+                     == (dynamic_conservation_failures == 0),
+        },
+    }
+    path = write_bench_json(
+        bench_json_path("lint"),
+        {"bench": "lint",
+         "spec": {"source": "python -m repro lint --deep --bench",
+                  "seeds": seeds, "stations": stations,
+                  "duration_seconds": duration},
+         "runs": runs,
+         "agreement": agreement},
+    )
+    ok = all(row["agree"] for row in agreement.values())
+    print(f"wrote {path}: ordering agree="
+          f"{agreement['ordering']['agree']} conservation agree="
+          f"{agreement['conservation']['agree']}")
+    return 0 if ok else 1

@@ -30,11 +30,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
+from repro.analysis.callgraph import CallGraph, ProjectInfo
 from repro.analysis.findings import Finding
 from repro.analysis.registry import (
+    DEEP_PASS_REGISTRY,
     PASS_REGISTRY,
     LintPass,
     ModuleInfo,
+    ProjectPass,
     rule_table,
 )
 
@@ -58,6 +61,11 @@ DEFAULT_ALLOWLIST: Dict[str, Sequence[str]] = {
     # reproducibility comparisons.
     "SIM001": ("*/repro/harness/*", "*/repro/analysis/*",
                "*/repro/__main__.py"),
+    # Same boundary for the flow-sensitive variant: wall-clock values
+    # stored by the harness/runner are diagnostic metadata by design.
+    "DETFLOW001": ("*/repro/harness/*", "*/repro/analysis/*",
+                   "*/repro/__main__.py", "*/repro/sim/rand.py",
+                   "*/repro/sim/sanitizer.py"),
     # CLI front doors and operator tools print to a terminal on
     # purpose; everything simulated must speak through the tracer.
     "OBS001": ("*/repro/__main__.py", "*/repro/analysis/*",
@@ -75,6 +83,8 @@ class LintReport:
     allowlisted: int = 0
     files_scanned: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: deep-pass name -> wall seconds (populated only under ``deep``).
+    deep_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -92,6 +102,8 @@ class LintReport:
                 "allowlisted": self.allowlisted,
                 "parse_errors": len(self.parse_errors),
             },
+            "deep_timings": {name: round(seconds, 4) for name, seconds
+                             in sorted(self.deep_timings.items())},
             "findings": [f.to_dict() for f in self.new_findings],
             "baselined": [f.to_dict() for f in self.baselined],
             "parse_errors": list(self.parse_errors),
@@ -162,19 +174,30 @@ class LintEngine:
     def __init__(self,
                  passes: Optional[Sequence[LintPass]] = None,
                  allowlist: Optional[Dict[str, Sequence[str]]] = None,
-                 baseline: Optional[Set[str]] = None) -> None:
+                 baseline: Optional[Set[str]] = None,
+                 deep: bool = False,
+                 deep_passes: Optional[Sequence[ProjectPass]] = None) -> None:
         self.passes: List[LintPass] = (list(passes) if passes is not None
                                        else [cls() for cls in PASS_REGISTRY])
         self.allowlist = (allowlist if allowlist is not None
                           else DEFAULT_ALLOWLIST)
         self.baseline = baseline or set()
+        self.deep = deep
+        self.deep_passes: List[ProjectPass] = (
+            list(deep_passes) if deep_passes is not None
+            else [cls() for cls in DEEP_PASS_REGISTRY])
 
     def lint_paths(self, paths: Iterable[Union[str, Path]],
                    display_root: Optional[Path] = None) -> LintReport:
         """Lint every python file under ``paths``."""
         report = LintReport()
+        modules: List[ModuleInfo] = []
         for path in collect_files(paths):
-            self._lint_file(path, report, display_root)
+            module = self._lint_file(path, report, display_root)
+            if module is not None:
+                modules.append(module)
+        if self.deep:
+            self._run_deep_passes(modules, report)
         report.new_findings.sort(key=Finding.sort_key)
         report.baselined.sort(key=Finding.sort_key)
         return report
@@ -193,7 +216,7 @@ class LintEngine:
     # ------------------------------------------------------------------
 
     def _lint_file(self, path: Path, report: LintReport,
-                   display_root: Optional[Path]) -> None:
+                   display_root: Optional[Path]) -> Optional[ModuleInfo]:
         display = path.as_posix()
         if display_root is not None:
             try:
@@ -206,9 +229,49 @@ class LintEngine:
         except SyntaxError as exc:
             report.parse_errors.append(f"{display}: {exc.msg} "
                                        f"(line {exc.lineno})")
-            return
+            return None
         report.files_scanned += 1
         self._run_passes(module, report)
+        return module
+
+    def _run_deep_passes(self, modules: List[ModuleInfo],
+                         report: LintReport) -> None:
+        """Build the project index once, then run every deep pass.
+
+        Deep findings go through the same allowlist / suppression /
+        baseline pipeline as per-file findings; the module a finding
+        lands in is looked up by its display path so inline
+        ``# reprolint: disable=...`` comments keep working.
+        """
+        import time as _time  # perf_counter only: diagnostic timings
+
+        build_start = _time.perf_counter()
+        project = ProjectInfo.build(modules)
+        graph = CallGraph(project)
+        report.deep_timings["project-index"] = (_time.perf_counter()
+                                                - build_start)
+        by_display = {module.display: module for module in modules}
+        suppression_cache: Dict[str, Dict[int, Set[str]]] = {}
+        for deep_pass in self.deep_passes:
+            pass_start = _time.perf_counter()
+            for finding in deep_pass.check_project(project, graph):
+                module = by_display.get(finding.file)
+                if module is None:
+                    report.new_findings.append(finding)
+                    continue
+                if finding.file not in suppression_cache:
+                    suppression_cache[finding.file] = parse_suppressions(
+                        module.lines)
+                if _is_allowlisted(finding, module.path, self.allowlist):
+                    report.allowlisted += 1
+                elif _is_suppressed(finding, suppression_cache[finding.file]):
+                    report.suppressed += 1
+                elif finding.fingerprint() in self.baseline:
+                    report.baselined.append(finding)
+                else:
+                    report.new_findings.append(finding)
+            report.deep_timings[deep_pass.name] = (_time.perf_counter()
+                                                   - pass_start)
 
     def _run_passes(self, module: ModuleInfo, report: LintReport) -> None:
         suppressions = parse_suppressions(module.lines)

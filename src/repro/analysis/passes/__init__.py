@@ -10,10 +10,21 @@ from repro.analysis.passes.invariants import ProtocolInvariantPass
 from repro.analysis.passes.observability import ObservabilityPass
 from repro.analysis.passes.simsafety import SimSafetyPass
 
+# Whole-program (deep) passes; they register into DEEP_PASS_REGISTRY
+# and run only under ``--deep``.
+from repro.analysis.passes.conservation import ConservationPass
+from repro.analysis.passes.detflow import DetFlowPass
+from repro.analysis.passes.fsm import FsmPass
+from repro.analysis.passes.races import EventRacePass
+
 __all__ = [
     "DeterminismPass",
     "FaultHandlingPass",
     "ObservabilityPass",
     "SimSafetyPass",
     "ProtocolInvariantPass",
+    "ConservationPass",
+    "DetFlowPass",
+    "EventRacePass",
+    "FsmPass",
 ]

@@ -1,0 +1,264 @@
+"""CONS001: counter-conservation proof obligations for drop paths.
+
+The flight recorder's invariant (``born == delivered + dropped + shed +
+in_flight``) only holds if every code path that discards a frame both
+*counts* it and *says why* in a place the recorder or tracer can see.
+This pass discharges the static half of that proof over the four
+modules that own drop paths — ``netif/queues.py``, ``core/driver.py``,
+``inet/netstack.py``, ``tnc/kiss_tnc.py`` — with three obligations:
+
+1. **Vocabulary** (all modules): every literal reason handed to a
+   recorder terminal (``drop`` / ``drop_key`` / ``shed_packet`` /
+   ``lost_key``) must come from the fixed 15-word vocabulary in
+   ``repro.obs.spans.REASONS``, cross-checked *live* against the
+   imported tuple so the lint can never drift from the runtime.
+2. **Pairing** (target modules): a statement suite that bumps a
+   drop-accounting counter (``self.*drop*``/``*bad*``/``*shed*``,
+   ``ierrors``/``oerrors``, or a ``CounterSet.bump`` of a known drop
+   counter) must also contain an observability emission — a recorder
+   terminal, a ``tracer.log``, or an ``on_drop``/``on_shed`` hook call
+   (the hook *is* the conduit: its installer owns the terminal).
+3. **Schema** (netstack): every ``self.counters.bump("name")`` uses a
+   name pre-seeded in the ``CounterSet(...)`` constructor, so a typo'd
+   counter cannot silently count into a row netstat never renders.
+
+Discard paths that bump *no* counter at all are invisible to syntax —
+that blind spot is exactly what the runtime ``SimSanitizer`` covers
+with stale-span detection (static/dynamic agreement, DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, ProjectInfo
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleInfo, ProjectPass, Rule, register_deep_pass
+from repro.obs.spans import REASONS
+
+RULE_CONSERVATION = Rule(
+    id="CONS001", name="unaccounted-drop-path", severity="error",
+    summary="drop path must bump a counter AND emit a recorder/tracer "
+            "reason from the fixed obs vocabulary",
+)
+
+#: Modules carrying the pairing obligation (posix path suffixes).
+TARGET_SUFFIXES = (
+    "netif/queues.py",
+    "core/driver.py",
+    "inet/netstack.py",
+    "tnc/kiss_tnc.py",
+)
+
+#: Recorder terminals whose last literal argument is a reason word.
+TERMINAL_METHODS = frozenset({"drop", "drop_key", "shed_packet",
+                              "lost_key"})
+
+#: Calls that satisfy the emission obligation inside a drop suite.
+_EMISSION_METHODS = TERMINAL_METHODS | {"log", "on_drop", "on_shed"}
+
+#: ``self.<attr> += 1`` counters that mark a discarded frame.  The
+#: promiscuous-overhead counters (``frames_not_for_us``,
+#: ``frames_filtered``) are deliberately absent: a bystander copy of a
+#: broadcast medium is not *our* packet dying, and terminating its span
+#: would double-count the real receiver's.
+_DROP_ATTR_SUBSTRINGS = ("drop", "bad", "shed")
+_DROP_ATTR_EXACT = frozenset({"ierrors", "oerrors"})
+
+#: ``CounterSet.bump`` names that mark a discarded datagram.
+#: ``udp_no_port`` is absent on purpose: the datagram was *delivered*
+#: (its span already terminated) before the demux missed.
+_DROP_BUMP_NAMES = frozenset({
+    "ip_bad", "ip_no_route", "ip_ttl_expired", "ip_forward_filtered",
+    "ip_input_drops", "if_snd_drops", "if_output_sheds",
+})
+
+
+@register_deep_pass
+class ConservationPass(ProjectPass):
+    name = "conservation"
+    rules = (RULE_CONSERVATION,)
+
+    def check_project(self, project: ProjectInfo,
+                      graph: CallGraph) -> Iterator[Finding]:
+        for mod_name in sorted(project.modules):
+            module = project.modules[mod_name]
+            yield from self._check_vocabulary(module)
+            if module.path.as_posix().endswith(TARGET_SUFFIXES):
+                yield from self._check_pairing(module)
+            if module.path.as_posix().endswith("inet/netstack.py"):
+                yield from self._check_schema(module)
+
+    # ------------------------------------------------------------------
+    # obligation 1: reason vocabulary
+    # ------------------------------------------------------------------
+
+    def _check_vocabulary(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in TERMINAL_METHODS
+                    and len(node.args) >= 3):
+                continue
+            reason = node.args[-1]
+            for keyword in node.keywords:
+                if keyword.arg == "reason":
+                    reason = keyword.value
+            if (isinstance(reason, ast.Constant)
+                    and isinstance(reason.value, str)
+                    and reason.value not in REASONS):
+                yield self.finding(
+                    module, node, RULE_CONSERVATION,
+                    f"reason {reason.value!r} passed to recorder "
+                    f".{node.func.attr}() is not in the fixed obs "
+                    f"vocabulary (repro.obs.spans.REASONS); invent no "
+                    f"new words — reuse or extend the vocabulary in one "
+                    f"place",
+                )
+
+    # ------------------------------------------------------------------
+    # obligation 2: counter bump <-> emission pairing
+    # ------------------------------------------------------------------
+
+    def _check_pairing(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: ModuleInfo,
+                        fn: ast.AST) -> Iterator[Finding]:
+        for suite in _suites(getattr(fn, "body", [])):
+            triggers = [t for statement in suite
+                        for t in _triggers(statement)]
+            if not triggers:
+                continue
+            if _suite_emits(suite):
+                continue
+            name, node = triggers[0]
+            yield self.finding(
+                module, node, RULE_CONSERVATION,
+                f"drop accounting '{name}' in "
+                f"{getattr(fn, 'name', '?')}() has no observability "
+                f"emission on this path; pair the counter with a "
+                f"FlightRecorder terminal, a tracer.log, or an "
+                f"on_drop/on_shed hook so the conservation invariant "
+                f"stays checkable",
+            )
+
+    # ------------------------------------------------------------------
+    # obligation 3: bumped counters are declared
+    # ------------------------------------------------------------------
+
+    def _check_schema(self, module: ModuleInfo) -> Iterator[Finding]:
+        declared = _declared_counters(module.tree)
+        if declared is None:
+            return
+        for node in ast.walk(module.tree):
+            name = _bump_name(node)
+            if name is not None and name not in declared:
+                yield self.finding(
+                    module, node, RULE_CONSERVATION,
+                    f"counter {name!r} is bumped but not pre-seeded in "
+                    f"the CounterSet constructor; netstat would never "
+                    f"render it on a quiet host — add it to the seed "
+                    f"tuple",
+                )
+
+
+# ----------------------------------------------------------------------
+# suite plumbing
+# ----------------------------------------------------------------------
+
+def _suites(body: List[ast.stmt]) -> Iterator[List[ast.stmt]]:
+    """Every statement list reachable from ``body``, including itself."""
+    yield body
+    for statement in body:
+        for field in ("body", "orelse", "finalbody"):
+            child = getattr(statement, field, None)
+            if isinstance(child, list) and child:
+                yield from _suites(child)
+        for handler in getattr(statement, "handlers", []):
+            yield from _suites(handler.body)
+
+
+def _walk_no_lambda(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into lambdas or nested defs.
+
+    A bump inside a lambda is a hook *installation* (the accounting
+    conduit itself), not a drop path; nested defs are their own suites.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.Lambda, ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+def _triggers(statement: ast.stmt) -> List[Tuple[str, ast.AST]]:
+    """Drop-accounting bumps directly in this statement (not in child
+    suites — those are visited as their own suites)."""
+    if isinstance(statement, (ast.If, ast.For, ast.AsyncFor, ast.While,
+                              ast.With, ast.AsyncWith, ast.Try,
+                              ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+        return []
+    out: List[Tuple[str, ast.AST]] = []
+    for node in _walk_no_lambda(statement):
+        if (isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"):
+            attr = node.target.attr
+            if (attr in _DROP_ATTR_EXACT
+                    or any(token in attr
+                           for token in _DROP_ATTR_SUBSTRINGS)):
+                out.append((attr, node))
+        name = _bump_name(node)
+        if name is not None and name in _DROP_BUMP_NAMES:
+            out.append((name, node))
+    return out
+
+
+def _bump_name(node: ast.AST) -> Optional[str]:
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "bump"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)):
+        return node.args[0].value
+    return None
+
+
+def _suite_emits(suite: List[ast.stmt]) -> bool:
+    """True when any statement in the suite (nested compounds included,
+    lambdas excluded) makes an observability emission call."""
+    for statement in suite:
+        for node in _walk_no_lambda(statement):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _EMISSION_METHODS):
+                return True
+    return False
+
+
+def _declared_counters(tree: ast.Module) -> Optional[Set[str]]:
+    """Names seeded into the first ``CounterSet((...))`` constructor."""
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "CounterSet"
+                and node.args
+                and isinstance(node.args[0], (ast.Tuple, ast.List))):
+            names: Set[str] = set()
+            for element in node.args[0].elts:
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    names.add(element.value)
+            return names
+    return None

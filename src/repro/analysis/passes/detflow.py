@@ -1,0 +1,221 @@
+"""DETFLOW: flow-sensitive determinism taint over the whole program.
+
+The per-file DET00x rules flag nondeterministic *call sites*; DETFLOW
+follows the *values*.  Two rules:
+
+* **DETFLOW001 taint-reaches-sim-state** — a value originating from a
+  wall clock, the host entropy pool, or the process-global RNG flows —
+  possibly through project function calls and returns — into simulated
+  object state (a ``self.attr`` store) or into the discrete-event
+  scheduler.  This closes the two gaps DET002 leaves open by design:
+  ``time.perf_counter()`` is exempt per-file (diagnostic timing is
+  fine) but becomes a bug the moment its value steers the model, and a
+  helper in an allowlisted module can launder a wall clock through its
+  return value into seeded code.
+* **DETFLOW002 unstable-wire-order** — an unsorted iteration over a
+  mutable mapping attribute (``self.x.values()`` et al.) aggregated
+  into an ordered collection that reaches wire encoding (``.encode()``
+  / ``send*`` in the same function, or returned to a caller that
+  encodes).  Dict order is insertion order, and insertion order in
+  protocol tables is *event arrival order* — exactly what the
+  SimSanitizer's same-timestamp shuffle perturbs.  Advertisements and
+  broadcasts must sort on a protocol key instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, ProjectInfo
+from repro.analysis.dataflow import TaintEngine
+from repro.analysis.findings import Finding
+from repro.analysis.imports import dotted_name
+from repro.analysis.passes.determinism import (
+    GLOBAL_RNG_FUNCTIONS,
+    WALL_CLOCK_CALLS,
+)
+from repro.analysis.registry import ProjectPass, Rule, register_deep_pass
+
+RULE_TAINT_STATE = Rule(
+    id="DETFLOW001", name="taint-reaches-sim-state", severity="error",
+    summary="wall-clock/entropy/global-RNG value flows into sim object "
+            "state or the event scheduler (interprocedural)",
+)
+RULE_WIRE_ORDER = Rule(
+    id="DETFLOW002", name="unstable-wire-order", severity="error",
+    summary="unsorted mapping iteration feeds wire encoding; insertion "
+            "order is event-arrival order — sort on a protocol key",
+)
+
+#: Mapping-view methods whose iteration order is insertion order.
+_VIEW_METHODS = frozenset({"values", "items", "keys"})
+
+#: Call names that put bytes on the wire (used by the escape check).
+_WIRE_CALL_PREFIXES = ("send", "broadcast", "transmit", "write")
+
+
+def _taint_sources() -> Dict[str, str]:
+    sources: Dict[str, str] = {}
+    for name in GLOBAL_RNG_FUNCTIONS:
+        sources[f"random.{name}"] = f"random.{name}()"
+    for qual in WALL_CLOCK_CALLS:
+        sources[qual] = f"{qual}()"
+    # perf_counter is DET002-exempt as pure diagnostics; the flow rule
+    # exists precisely to catch its value escaping into the model.
+    for extra in ("time.perf_counter", "time.perf_counter_ns",
+                  "time.process_time", "time.process_time_ns",
+                  "secrets.token_bytes", "secrets.token_hex",
+                  "secrets.randbits", "secrets.choice"):
+        sources[extra] = f"{extra}()"
+    return sources
+
+
+@register_deep_pass
+class DetFlowPass(ProjectPass):
+    name = "detflow"
+    rules = (RULE_TAINT_STATE, RULE_WIRE_ORDER)
+
+    def check_project(self, project: ProjectInfo,
+                      graph: CallGraph) -> Iterator[Finding]:
+        engine = TaintEngine(project, graph, sources=_taint_sources())
+        engine.run()
+        for fn in project.functions.values():
+            for hit in engine.source_hits(fn.qualname):
+                origin = sorted(o.described() for o in hit.origins)[0]
+                yield self.finding(
+                    fn.module_info, hit.node, RULE_TAINT_STATE,
+                    f"nondeterministic value from {origin} reaches "
+                    f"{hit.target} ({hit.sink}) in {fn.qualname}; plumb a "
+                    f"seeded stream or keep the value out of the model",
+                )
+            yield from self._wire_order(project, graph, fn)
+
+    # ------------------------------------------------------------------
+    # DETFLOW002
+    # ------------------------------------------------------------------
+
+    def _wire_order(self, project: ProjectInfo, graph: CallGraph,
+                    fn: FunctionInfo) -> Iterator[Finding]:
+        candidates = self._view_iterations(fn)
+        if not candidates:
+            return
+        encodes_here = _contains_wire_call(fn.node)
+        returned_names = _returned_collection_names(fn.node)
+        for node, view_text, aggregate in candidates:
+            if aggregate is None:
+                continue
+            escapes = encodes_here
+            escape_hint = "wire encoding in this function"
+            if not escapes and aggregate in returned_names:
+                caller = self._encoding_caller(project, graph, fn)
+                if caller is not None:
+                    escapes = True
+                    escape_hint = f"encoded by caller {caller}"
+            if escapes:
+                yield self.finding(
+                    fn.module_info, node, RULE_WIRE_ORDER,
+                    f"iteration over {view_text} in {fn.qualname} feeds "
+                    f"{escape_hint} in insertion (event-arrival) order; "
+                    f"wrap it in sorted(...) with an explicit protocol key",
+                )
+
+    def _view_iterations(
+            self, fn: FunctionInfo
+    ) -> List[Tuple[ast.AST, str, Optional[str]]]:
+        """(node, view text, aggregate name) per unsorted view iteration.
+
+        The aggregate name is the local list the loop appends to,
+        ``"<expr>"`` for comprehensions/generators (always ordered
+        aggregation), or None when the loop does not aggregate.
+        """
+        out: List[Tuple[ast.AST, str, Optional[str]]] = []
+        comp_aggregates = _assigned_comprehensions(fn.node)
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                view = _self_mapping_view(node.iter)
+                if view is not None:
+                    out.append((node, view, _loop_aggregate(node)))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    view = _self_mapping_view(generator.iter)
+                    if view is not None:
+                        out.append((node, view,
+                                    comp_aggregates.get(id(node))))
+        return out
+
+    def _encoding_caller(self, project: ProjectInfo, graph: CallGraph,
+                         fn: FunctionInfo) -> Optional[str]:
+        for caller in sorted(graph.callers_of(fn.qualname)):
+            caller_fn = project.functions.get(caller)
+            if caller_fn is not None and _contains_wire_call(caller_fn.node):
+                return caller
+        return None
+
+
+def _self_mapping_view(node: ast.AST) -> Optional[str]:
+    """Dotted text of ``self.<...>.values()``-style iterables, else None."""
+    if not (isinstance(node, ast.Call) and not node.args
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _VIEW_METHODS):
+        return None
+    base = dotted_name(node.func.value)
+    if base is None or not (base == "self" or base.startswith("self.")):
+        return None
+    return f"{base}.{node.func.attr}()"
+
+
+def _assigned_comprehensions(fn_node: ast.AST) -> Dict[int, str]:
+    """id(comp node) -> local name it is assigned to (possibly through
+    a ``tuple(...)`` / ``list(...)`` wrapper).  Comprehensions in any
+    other position (a loop's iterable, a bare expression) do not build
+    an ordered collection that escapes, and map to nothing."""
+    table: Dict[int, str] = {}
+    for node in ast.walk(fn_node):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        value = node.value
+        if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id in ("tuple", "list") and value.args):
+            value = value.args[0]
+        if isinstance(value, (ast.ListComp, ast.GeneratorExp)):
+            table[id(value)] = node.targets[0].id
+    return table
+
+
+def _loop_aggregate(loop: ast.For) -> Optional[str]:
+    """Name of the bare local list the loop body appends into."""
+    for node in ast.walk(loop):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Name)):
+            return node.func.value.id
+    return None
+
+
+def _returned_collection_names(fn_node: ast.AST) -> Set[str]:
+    """Locals returned directly (or via ``tuple(x)`` / ``list(x)``)."""
+    names: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        value = node.value
+        if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id in ("tuple", "list") and value.args):
+            value = value.args[0]
+        if isinstance(value, ast.Name):
+            names.add(value.id)
+    return names
+
+
+def _contains_wire_call(fn_node: ast.AST) -> bool:
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "encode" or attr.startswith(_WIRE_CALL_PREFIXES):
+                return True
+    return False

@@ -74,8 +74,45 @@ class LintPass:
         )
 
 
+class ProjectPass:
+    """Base class for whole-program (deep) passes.
+
+    Deep passes see the full :class:`~repro.analysis.callgraph.ProjectInfo`
+    symbol table and its call graph at once, instead of one module at a
+    time.  They run only under ``--deep`` because building the project
+    index costs a parse of every file plus a fixpoint — cheap enough for
+    CI, too slow for an editor keystroke.
+    """
+
+    name: str = "project-pass"
+    rules: tuple = ()
+
+    def check_project(self, project, graph) -> Iterator[Finding]:
+        """Yield findings over the whole project.
+
+        ``project`` is a :class:`~repro.analysis.callgraph.ProjectInfo`,
+        ``graph`` a :class:`~repro.analysis.callgraph.CallGraph` (typed
+        loosely here to keep registry import-light).
+        """
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, rule: Rule,
+                message: str) -> Finding:
+        return Finding(
+            file=module.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+        )
+
+
 #: All registered pass classes, in registration order.
 PASS_REGISTRY: List[Type[LintPass]] = []
+
+#: Whole-program passes, run only in ``--deep`` mode.
+DEEP_PASS_REGISTRY: List[Type[ProjectPass]] = []
 
 
 def register_pass(cls: Type[LintPass]) -> Type[LintPass]:
@@ -84,10 +121,16 @@ def register_pass(cls: Type[LintPass]) -> Type[LintPass]:
     return cls
 
 
+def register_deep_pass(cls: Type[ProjectPass]) -> Type[ProjectPass]:
+    """Class decorator adding a whole-program pass to the registry."""
+    DEEP_PASS_REGISTRY.append(cls)
+    return cls
+
+
 def rule_table() -> Dict[str, Rule]:
     """All rules of all registered passes, keyed by rule id."""
     table: Dict[str, Rule] = {}
-    for pass_cls in PASS_REGISTRY:
+    for pass_cls in list(PASS_REGISTRY) + list(DEEP_PASS_REGISTRY):
         for rule in pass_cls.rules:
             if rule.id in table:
                 raise ValueError(f"duplicate rule id {rule.id}")

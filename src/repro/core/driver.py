@@ -174,6 +174,9 @@ class PacketRadioInterface(NetworkInterface):
             # A lost FEND must not grow the buffer without bound: dump
             # the partial frame and resynchronise at the next FEND.
             self.raw_overflow_drops += 1
+            if self.tracer is not None:
+                self.tracer.log("driver.drop", str(self.callsign),
+                                "raw buffer overflow; resync at next FEND")
             self._raw_buffer.clear()
             self._raw_discarding = True
 
@@ -191,6 +194,12 @@ class PacketRadioInterface(NetworkInterface):
         except FrameError:
             self.frames_bad += 1
             self.ierrors += 1
+            # No recorder terminal: an undecodable frame has no parseable
+            # IP payload to correlate a span with.  The tracer is the
+            # observability channel for pre-span losses (CONS001).
+            if self.tracer is not None:
+                self.tracer.log("driver.drop", str(self.callsign),
+                                "undecodable AX.25 frame")
             return
         # "It verifies that the recipient's amateur radio callsign (which
         # is used as a link address) is either its own, or the broadcast
@@ -226,6 +235,9 @@ class PacketRadioInterface(NetworkInterface):
                 self.non_ip_queue.append(frame)
             else:
                 self.non_ip_drops += 1
+                if self.tracer is not None:
+                    self.tracer.log("driver.drop", str(self.callsign),
+                                    "non-IP input queue full")
 
     # ------------------------------------------------------------------
     # transmit path

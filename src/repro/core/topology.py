@@ -55,9 +55,15 @@ def build_figure1_testbed(
     seed: int = 0,
     bit_rate: int = 1200,
     serial_baud: int = 9600,
+    sim: Optional[Simulator] = None,
 ) -> Figure1Testbed:
-    """One radio host and one peer on a shared channel."""
-    sim = Simulator()
+    """One radio host and one peer on a shared channel.
+
+    ``sim`` lets a caller supply the engine -- the SimSanitizer passes an
+    :class:`~repro.sim.sanitizer.OrderShuffleSimulator` here so the same
+    seeded build runs under a perturbed equal-time tie-break.
+    """
+    sim = sim if sim is not None else Simulator()
     streams = RandomStreams(seed=seed)
     tracer = Tracer(sim)
     channel = RadioChannel(sim, streams, tracer=tracer)
@@ -98,9 +104,14 @@ def build_gateway_testbed(
     serial_baud: int = 9600,
     tnc_address_filter: bool = False,
     csma: Optional[CsmaParameters] = None,
+    sim: Optional[Simulator] = None,
 ) -> GatewayTestbed:
-    """Gateway + Ethernet host + isolated radio PC, routes configured."""
-    sim = Simulator()
+    """Gateway + Ethernet host + isolated radio PC, routes configured.
+
+    ``sim`` lets a caller supply the engine (see
+    :func:`build_figure1_testbed`).
+    """
+    sim = sim if sim is not None else Simulator()
     streams = RandomStreams(seed=seed)
     tracer = Tracer(sim)
     lan = EthernetLan(sim, tracer=tracer)

@@ -29,6 +29,7 @@ from repro.radio.station import RadioStation
 from repro.sim.clock import MS, SECOND
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
+from repro.sim.sanitizer import ordering_comparable
 from repro.faults import chaos_plan
 from repro.workload.arrivals import BurstArrivals, PoissonArrivals
 from repro.workload.generators import UiChatterGenerator
@@ -336,6 +337,54 @@ def run_obs(
 
 
 # ----------------------------------------------------------------------
+# sanitize -- dynamic ordering + conservation checks (PR 5)
+# ----------------------------------------------------------------------
+
+def run_sanitize(
+    seed: int = 0,
+    variant: str = "e3",
+    stations: int = 8,
+    duration_seconds: float = 120.0,
+    order_salt: int = 0xD1CE,
+) -> Dict[str, float]:
+    """The dynamic halves of RACE001 and CONS001 on a live scenario.
+
+    Runs the same seeded scenario twice -- once on the stock FIFO
+    tie-break, once on an :class:`~repro.sim.sanitizer.OrderShuffleSimulator`
+    salted with ``order_salt`` -- and compares the order-sensitive metric
+    subset; any difference is a hidden equal-timestamp ordering
+    dependence the static RACE001 pass should have caught.  Both runs
+    carry a :class:`~repro.sim.sanitizer.SimSanitizer` doing live span
+    conservation checks, the dynamic counterpart of CONS001's static
+    drop-accounting proof.  The headline metrics are
+    ``sanitize_ordering_agree`` and ``sanitize_conservation_ok``.
+    """
+    if variant not in ("e3", "chaos"):
+        raise ValueError(f"unknown sanitize variant {variant!r}")
+    scenario = Scenario(
+        name=f"sanitize-{variant}", topology="gateway", stations=stations,
+        duration_seconds=duration_seconds, mix=OBS_MIX, seed=seed,
+        sanitize=True,
+    )
+    if variant == "chaos":
+        plan = chaos_plan(int(duration_seconds), gateway="gateway",
+                          stations=["WL0"])
+        scenario = replace(scenario, fault_plan=plan, watchdog=True,
+                           shed_threshold_bytes=2048)
+    base = build_scenario(scenario).run()
+    salted = build_scenario(replace(scenario, order_salt=order_salt)).run()
+    agree = ordering_comparable(base) == ordering_comparable(salted)
+    conserved = (base["sanitizer_conservation_failures"] == 0
+                 and salted["sanitizer_conservation_failures"] == 0
+                 and base["obs_born_total"] > 0)
+    metrics = dict(base)
+    metrics["sanitize_ordering_agree"] = 1.0 if agree else 0.0
+    metrics["sanitize_conservation_ok"] = 1.0 if conserved else 0.0
+    metrics["sanitize_stale_spans_salted"] = salted["sanitizer_stale_spans"]
+    return metrics
+
+
+# ----------------------------------------------------------------------
 # perf -- the simulator as software (wall-clock; not seed-deterministic)
 # ----------------------------------------------------------------------
 
@@ -434,6 +483,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
             description="packet flight recorder: span conservation and "
                         "per-hop latency under load (plain + chaos)",
             fn=run_obs,
+            grid=({"variant": "e3"}, {"variant": "chaos"}),
+            default_seed_count=3,
+        ),
+        Experiment(
+            name="sanitize",
+            description="runtime sim sanitizer: order-shuffle agreement "
+                        "and live span conservation (dynamic RACE/CONS)",
+            fn=run_sanitize,
             grid=({"variant": "e3"}, {"variant": "chaos"}),
             default_seed_count=3,
         ),

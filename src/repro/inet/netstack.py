@@ -329,6 +329,11 @@ class NetStack:
         route = self.routes.lookup(destination)
         if route is None:
             self.counters.bump("ip_no_route")
+            # The datagram was never built, so no span was born to
+            # terminate; the tracer carries the pre-span loss (CONS001).
+            if self.tracer is not None:
+                self.tracer.log("ip.drop", self.hostname,
+                                f"no route to {destination}")
             return False
         datagram = IPv4Datagram(
             source=source or self.source_address_for(route),

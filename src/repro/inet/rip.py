@@ -182,8 +182,11 @@ class RipDaemon:
         # directly-connected networks, metric 1
         for iface in self._connected_interfaces():
             entries.append(RipEntry(iface.address.network, 1))
-        # learned routes, honouring split horizon
-        for learned in self._learned.values():
+        # learned routes, honouring split horizon; sorted on the network
+        # number so advertisement wire order is a protocol property, not
+        # the accident of which update arrived first (DETFLOW002)
+        for learned in sorted(self._learned.values(),
+                              key=lambda route: route.network.value):
             if learned.interface is out_iface:
                 continue
             entries.append(RipEntry(learned.network,

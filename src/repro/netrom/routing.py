@@ -244,9 +244,12 @@ class NetRomNode:
                           label=f"netrom-nodes {self.callsign}")
 
     def _send_nodes_broadcast(self) -> None:
+        # Sorted on the destination callsign so NODES wire order is a
+        # protocol property, not gossip-arrival order (DETFLOW002).
         entries = tuple(
             NodesEntry(route.destination, route.alias, route.neighbour, route.quality)
-            for route in self.routes.values()
+            for route in sorted(self.routes.values(),
+                                key=lambda r: str(r.destination))
             if route.quality >= MIN_QUALITY
         )
         broadcast = NodesBroadcast(self.alias, entries)

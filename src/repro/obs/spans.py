@@ -384,6 +384,10 @@ class FlightRecorder:
     def span(self, pkt_id: int) -> Optional[PacketSpan]:
         return self._spans.get(pkt_id)
 
+    def iter_spans(self):
+        """All retained spans, oldest first (the SimSanitizer's census)."""
+        return iter(self._spans.values())
+
     def timeline(self, pkt_id: int) -> List[str]:
         """Human-readable hop timeline for one packet."""
         span = self._spans.get(pkt_id)

@@ -17,6 +17,7 @@ Public surface:
 from repro.sim.clock import MICROSECOND, MILLISECOND, MS, SECOND, US, format_time, seconds, us_to_seconds
 from repro.sim.engine import Event, Simulator, SimulationError
 from repro.sim.rand import RandomStreams
+from repro.sim.sanitizer import OrderShuffleSimulator, SanitizerError, SimSanitizer
 from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
@@ -24,8 +25,11 @@ __all__ = [
     "MICROSECOND",
     "MILLISECOND",
     "MS",
+    "OrderShuffleSimulator",
     "RandomStreams",
     "SECOND",
+    "SanitizerError",
+    "SimSanitizer",
     "SimulationError",
     "Simulator",
     "TraceRecord",

@@ -61,6 +61,13 @@ class Event:
         return not self.cancelled
 
     def __lt__(self, other: "Event") -> bool:
+        # The ordering key (time, seq) is a *total* order: ``seq`` is
+        # unique per simulator (monotonic at registration), so no two
+        # events ever compare equal and heap order cannot depend on
+        # heap-internal tie handling.  Cancellation never touches the
+        # key — a cancelled event keeps its slot and is skipped at pop,
+        # so it cannot reorder the surviving equal-time events either.
+        # (Audited for PR 5; regression: test_same_timestamp_total_order.)
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -142,10 +149,22 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {format_time(time)}; now is {format_time(self._now)}"
             )
-        event = Event(time, self._seq, fn, args, kwargs, label=label)
-        self._seq += 1
+        event = Event(time, self._next_seq(time), fn, args, kwargs, label=label)
         heapq.heappush(self._queue, event)
         return event
+
+    def _next_seq(self, time: int):
+        """Tie-break key for a new event at ``time``.
+
+        The default — a monotonic integer — gives strict registration
+        (FIFO) order among equal-time events.  The SimSanitizer's
+        shuffle simulator overrides this to perturb *cross-instant*
+        ties while preserving FIFO among events scheduled in the same
+        instant; any override must keep keys unique and totally ordered
+        or :meth:`Event.__lt__` stops being a total order.
+        """
+        self._seq += 1
+        return self._seq
 
     def call_soon(self, fn: Callable[..., Any], *args: Any, label: str = "", **kwargs: Any) -> Event:
         """Schedule ``fn`` at the current instant (after already-queued work).

@@ -138,6 +138,9 @@ class KissTnc:
         if command == commands.CMD_DATA:
             if not payload:
                 self.bad_records += 1
+                if self.tracer is not None:
+                    self.tracer.log("tnc.drop", self.name,
+                                    "empty KISS data record")
                 return
             self.frames_to_air += 1
             recorder = self._obs()
@@ -169,6 +172,9 @@ class KissTnc:
             self.reboot()
         else:
             self.bad_records += 1
+            if self.tracer is not None:
+                self.tracer.log("tnc.drop", self.name,
+                                f"unknown KISS command {command:#04x}")
 
     # ------------------------------------------------------------------
     # air -> host

@@ -38,6 +38,7 @@ from repro.obs.spans import FlightRecorder
 from repro.radio.modem import ModemProfile
 from repro.radio.station import RadioStation
 from repro.sim.clock import seconds
+from repro.sim.sanitizer import OrderShuffleSimulator, SimSanitizer
 from repro.workload.arrivals import make_arrivals
 from repro.workload.generators import (
     BbsTerminalGenerator,
@@ -102,6 +103,15 @@ class Scenario:
     #: Attach a packet flight recorder (repro.obs) to the shared tracer;
     #: adds ``obs_*`` span-conservation and latency metrics to results.
     observe: bool = False
+    #: Attach the runtime SimSanitizer (repro.sim.sanitizer): live span
+    #: conservation checks plus a stale-span census at the end of the
+    #: run.  Implies a flight recorder; adds ``sanitizer_*`` metrics.
+    sanitize: bool = False
+    #: Run on an OrderShuffleSimulator with this salt: equal-timestamp
+    #: events registered in different instants are reordered by a salted
+    #: hash instead of FIFO.  Order-independent models produce identical
+    #: metrics (minus event-queue bookkeeping) for every salt.
+    order_salt: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -154,6 +164,7 @@ class ScenarioRun:
     injector: Optional[FaultInjector] = None
     watchdog: Optional[object] = None  # TncWatchdog when enabled
     recorder: Optional[object] = None  # FlightRecorder when observe=True
+    sanitizer: Optional[SimSanitizer] = None  # when sanitize=True
 
     @property
     def sim(self):
@@ -238,6 +249,8 @@ class ScenarioRun:
         if self.recorder is not None:
             for key, value in self.recorder.finalize_metrics().items():
                 out[f"obs_{key}"] = float(value)
+        if self.sanitizer is not None:
+            out.update(self.sanitizer.finalize_metrics())
         out["events_executed"] = float(self.sim.events_executed)
         return out
 
@@ -245,11 +258,14 @@ class ScenarioRun:
 def build_scenario(scenario: Scenario) -> ScenarioRun:
     """Materialise a :class:`Scenario` into a live simulation."""
     modem = ModemProfile(bit_rate=scenario.bit_rate)
+    engine = (OrderShuffleSimulator(scenario.order_salt)
+              if scenario.order_salt is not None else None)
     if scenario.topology == "gateway":
         testbed = build_gateway_testbed(
             seed=scenario.seed, bit_rate=scenario.bit_rate,
             serial_baud=scenario.serial_baud,
             tnc_address_filter=scenario.tnc_address_filter,
+            sim=engine,
         )
         target_stack = testbed.ether_host
         target_ip = testbed.ETHER_HOST_IP
@@ -258,6 +274,7 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
         testbed = build_figure1_testbed(
             seed=scenario.seed, bit_rate=scenario.bit_rate,
             serial_baud=scenario.serial_baud,
+            sim=engine,
         )
         target_stack = testbed.peer.stack
         target_ip = "44.24.0.5"
@@ -348,13 +365,16 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
     # topology); synthesized stations are addressed by callsign.
     gateway_host = getattr(testbed, "gateway", None)
     primary = gateway_host.radio if gateway_host is not None else testbed.host.radio
-    if scenario.observe:
+    if scenario.observe or scenario.sanitize:
         recorder = FlightRecorder(testbed.tracer)
         run.recorder = recorder
         # Sample the host->TNC serial backlog (the §4.1 choke point)
         # whenever the hub's driver writes to the line.
         backlog_gauge = recorder.instruments.gauge("gateway_serial_backlog")
         primary.serial.a.on_backlog_sample = backlog_gauge.sample
+        if scenario.sanitize:
+            run.sanitizer = SimSanitizer(sim, recorder)
+            run.sanitizer.start()
     if scenario.shed_threshold_bytes is not None:
         primary.interface.shed_threshold_bytes = scenario.shed_threshold_bytes
     if scenario.watchdog:

@@ -389,3 +389,350 @@ def test_module_entry_point_gates_seeded_violation(tmp_path):
     document = json.loads(completed.stdout)
     assert document["summary"]["new"] == 1
     assert document["findings"][0]["rule"] == "DET002"
+
+
+# ----------------------------------------------------------------------
+# PR 5 deep passes: whole-program fixtures
+# ----------------------------------------------------------------------
+
+from repro.analysis.callgraph import CallGraph, ProjectInfo, module_dotted_name  # noqa: E402
+from repro.analysis.registry import ModuleInfo  # noqa: E402
+
+
+def _deep_findings(tmp_path, files):
+    """Lint a synthetic package (written under tmp_path) with --deep."""
+    pkg = tmp_path / "pkg"
+    for relpath, source in files.items():
+        target = pkg / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        step = target.parent
+        while step != tmp_path:
+            (step / "__init__.py").touch()
+            step = step.parent
+        target.write_text(source)
+    return LintEngine(deep=True).lint_paths([pkg]).new_findings
+
+
+def _deep_rules(tmp_path, files):
+    return [finding.rule for finding in _deep_findings(tmp_path, files)]
+
+
+# ---------------------------------------------------------------- DETFLOW001
+
+def test_detflow001_flags_rng_into_sim_state(tmp_path):
+    rules = _deep_rules(tmp_path, {"model.py": (
+        "import random\n"
+        "class Model:\n"
+        "    def jitter(self):\n"
+        "        self.delay = random.random()\n")})
+    assert "DETFLOW001" in rules
+
+
+def test_detflow001_follows_taint_through_helper_return(tmp_path):
+    # The laundering case DET002 cannot see: perf_counter is exempt
+    # per-file, but its value must not steer the model.
+    rules = _deep_rules(tmp_path, {
+        "clockutil.py": (
+            "import time\n"
+            "def stamp():\n"
+            "    return time.perf_counter()\n"),
+        "model.py": (
+            "from pkg.clockutil import stamp\n"
+            "class Model:\n"
+            "    def mark(self):\n"
+            "        self.when = stamp()\n"),
+    })
+    assert "DETFLOW001" in rules
+
+
+def test_detflow001_allows_seeded_streams(tmp_path):
+    rules = _deep_rules(tmp_path, {"model.py": (
+        "class Model:\n"
+        "    def jitter(self, rng):\n"
+        "        self.delay = rng.random()\n")})
+    assert "DETFLOW001" not in rules
+
+
+def test_detflow001_allows_diagnostic_perf_counter(tmp_path):
+    # Timing a computation without the value reaching model state.
+    rules = _deep_rules(tmp_path, {"model.py": (
+        "import time\n"
+        "def timed(fn):\n"
+        "    started = time.perf_counter()\n"
+        "    fn()\n"
+        "    return time.perf_counter() - started\n")})
+    assert "DETFLOW001" not in rules
+
+
+# ---------------------------------------------------------------- DETFLOW002
+
+def test_detflow002_flags_unsorted_view_reaching_wire(tmp_path):
+    rules = _deep_rules(tmp_path, {"table.py": (
+        "class Table:\n"
+        "    def advertise(self):\n"
+        "        out = []\n"
+        "        for route in self.routes.values():\n"
+        "            out.append(route.pack())\n"
+        "        self.port.send_frame(b''.join(out))\n")})
+    assert "DETFLOW002" in rules
+
+
+def test_detflow002_flags_comprehension_returned_to_encoder(tmp_path):
+    rules = _deep_rules(tmp_path, {"table.py": (
+        "class Table:\n"
+        "    def entries(self):\n"
+        "        rows = [route for route in self.routes.values()]\n"
+        "        return rows\n"
+        "    def advertise(self):\n"
+        "        self.port.send_frame(bytes(self.entries()))\n")})
+    assert "DETFLOW002" in rules
+
+
+def test_detflow002_allows_sorted_iteration_and_searches(tmp_path):
+    rules = _deep_rules(tmp_path, {"table.py": (
+        "class Table:\n"
+        "    def advertise(self):\n"
+        "        out = []\n"
+        "        for route in sorted(self.routes.values(), key=str):\n"
+        "            out.append(route.pack())\n"
+        "        self.port.send_frame(b''.join(out))\n"
+        "    def find(self, key):\n"
+        "        for route in self.routes.values():\n"
+        "            if route.key == key:\n"
+        "                return route\n"
+        "        return None\n")})
+    assert "DETFLOW002" not in rules
+
+
+# ------------------------------------------------------------------ RACE001
+
+_RACE_POSITIVE = (
+    "class Node:\n"
+    "    def start(self):\n"
+    "        self.sim.schedule(10, self._drain)\n"
+    "        self.sim.schedule(10, self._reset)\n"
+    "    def _drain(self):\n"
+    "        self.backlog -= 1\n"
+    "    def _reset(self):\n"
+    "        self.backlog = 0\n")
+
+
+def test_race001_flags_same_delay_conflicting_callbacks(tmp_path):
+    assert "RACE001" in _deep_rules(tmp_path, {"node.py": _RACE_POSITIVE})
+
+
+def test_race001_allows_distinct_delays_and_disjoint_state(tmp_path):
+    rules = _deep_rules(tmp_path, {"node.py": (
+        "class Node:\n"
+        "    def start(self):\n"
+        "        self.sim.schedule(10, self._drain)\n"
+        "        self.sim.schedule(20, self._reset)\n"   # different instant
+        "        self.sim.schedule(10, self._count)\n"   # disjoint attrs
+        "    def _drain(self):\n"
+        "        self.backlog -= 1\n"
+        "    def _reset(self):\n"
+        "        self.backlog = 0\n"
+        "    def _count(self):\n"
+        "        self.ticks += 1\n")})
+    assert "RACE001" not in rules
+
+
+def test_race001_follows_conflicts_through_helpers(tmp_path):
+    rules = _deep_rules(tmp_path, {"node.py": (
+        "class Node:\n"
+        "    def start(self):\n"
+        "        self.sim.schedule(10, self._drain)\n"
+        "        self.sim.schedule(10, self._reset)\n"
+        "    def _drain(self):\n"
+        "        self._shrink()\n"
+        "    def _shrink(self):\n"
+        "        self.backlog -= 1\n"
+        "    def _reset(self):\n"
+        "        self.backlog = 0\n")})
+    assert "RACE001" in rules
+
+
+# ------------------------------------------------------------------ CONS001
+
+def test_cons001_flags_invented_reason_word(tmp_path):
+    findings = _deep_findings(tmp_path, {"layer.py": (
+        "class Layer:\n"
+        "    def toss(self, recorder, key):\n"
+        "        recorder.drop_key(key, 'ip.rx', 'gw', 'gremlins_ate_it')\n")})
+    assert any(f.rule == "CONS001" and "gremlins_ate_it" in f.message
+               for f in findings)
+
+
+def test_cons001_allows_vocabulary_reasons(tmp_path):
+    rules = _deep_rules(tmp_path, {"layer.py": (
+        "class Layer:\n"
+        "    def toss(self, recorder, key):\n"
+        "        recorder.drop_key(key, 'ip.rx', 'gw', 'no_route')\n")})
+    assert "CONS001" not in rules
+
+
+def test_cons001_flags_unpaired_drop_counter(tmp_path):
+    # Pairing obligation only binds the four drop-owning modules, so the
+    # fixture lives at a matching path suffix.
+    rules = _deep_rules(tmp_path, {"netif/queues.py": (
+        "class Queue:\n"
+        "    def push(self, frame):\n"
+        "        self.drops += 1\n")})
+    assert "CONS001" in rules
+
+
+def test_cons001_allows_paired_drop_counter(tmp_path):
+    rules = _deep_rules(tmp_path, {"netif/queues.py": (
+        "class Queue:\n"
+        "    def push(self, frame):\n"
+        "        self.drops += 1\n"
+        "        self.tracer.log('ifq.drop', self.name, 'queue full')\n")})
+    assert "CONS001" not in rules
+
+
+def test_cons001_pairing_not_required_outside_target_modules(tmp_path):
+    rules = _deep_rules(tmp_path, {"elsewhere.py": (
+        "class Widget:\n"
+        "    def push(self, frame):\n"
+        "        self.drops += 1\n")})
+    assert "CONS001" not in rules
+
+
+def test_cons001_flags_undeclared_netstack_counter(tmp_path):
+    rules = _deep_rules(tmp_path, {"inet/netstack.py": (
+        "def CounterSet(names):\n"
+        "    return dict.fromkeys(names, 0)\n"
+        "class Stack:\n"
+        "    def __init__(self):\n"
+        "        self.counters = CounterSet(('ip_bad',))\n"
+        "    def input(self):\n"
+        "        self.counters.bump('ip_badd')\n"   # typo'd row
+        "        self.tracer.log('ip.drop', 'h', 'bad header')\n")})
+    assert "CONS001" in rules
+
+
+# ------------------------------------------------------------------- FSM001
+
+_FSM_PREAMBLE = (
+    "import enum\n"
+    "class LinkState(enum.Enum):\n"
+    "    UP = 1\n"
+    "    DOWN = 2\n"
+    "    GHOST = 3\n")
+
+
+def test_fsm001_flags_dead_unreachable_and_unhandled_states(tmp_path):
+    findings = _deep_findings(tmp_path, {"link.py": (
+        _FSM_PREAMBLE +
+        "class Link:\n"
+        "    def __init__(self):\n"
+        "        self.state = LinkState.UP\n"       # UP entered
+        "    def poll(self):\n"
+        "        if self.state is LinkState.DOWN:\n"  # DOWN compared only
+        "            pass\n")})
+    messages = [f.message for f in findings if f.rule == "FSM001"]
+    assert any("dead state" in m and "GHOST" in m for m in messages)
+    assert any("unreachable state" in m and "DOWN" in m for m in messages)
+    assert any("unhandled state" in m and "UP" in m for m in messages)
+
+
+def test_fsm001_quiet_on_fully_covered_machine(tmp_path):
+    rules = _deep_rules(tmp_path, {"link.py": (
+        _FSM_PREAMBLE +
+        "class Link:\n"
+        "    def __init__(self):\n"
+        "        self.state = LinkState.UP\n"
+        "    def fail(self):\n"
+        "        self.state = LinkState.DOWN\n"
+        "    def haunt(self):\n"
+        "        self.state = LinkState.GHOST\n"
+        "    def poll(self):\n"
+        "        if self.state is LinkState.UP:\n"
+        "            return 1\n"
+        "        if self.state is LinkState.DOWN:\n"
+        "            return 0\n"
+        "        if self.state is LinkState.GHOST:\n"
+        "            return -1\n")})
+    assert "FSM001" not in rules
+
+
+def test_fsm001_skips_machines_referenced_opaquely(tmp_path):
+    # A bare reference to the class (iteration, serialization) means the
+    # pass cannot prove anything member-wise; it must stay silent.
+    rules = _deep_rules(tmp_path, {"link.py": (
+        _FSM_PREAMBLE +
+        "def dump():\n"
+        "    return [member.name for member in LinkState]\n")})
+    assert "FSM001" not in rules
+
+
+# ------------------------------------------------- the call graph itself
+
+def _synthetic_project(tmp_path):
+    pkg = tmp_path / "cgpkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").touch()
+    (pkg / "a.py").write_text(
+        "from cgpkg.b import helper\n"
+        "def top():\n"
+        "    return helper()\n")
+    (pkg / "b.py").write_text(
+        "import cgpkg.c\n"
+        "def helper():\n"
+        "    return cgpkg.c.leaf()\n")
+    (pkg / "c.py").write_text(
+        "def leaf():\n"
+        "    return 1\n"
+        "def make():\n"
+        "    return Thing()\n"
+        "class Thing:\n"
+        "    def __init__(self):\n"
+        "        self.x = 1\n"
+        "    def run(self):\n"
+        "        return self.step()\n"
+        "    def step(self):\n"
+        "        return 2\n")
+    modules = [ModuleInfo.parse(path, path.name)
+               for path in sorted(pkg.glob("*.py"))]
+    project = ProjectInfo.build(modules)
+    return project, CallGraph(project)
+
+
+def test_module_dotted_name_walks_init_chain(tmp_path):
+    pkg = tmp_path / "cgpkg"
+    sub = pkg / "sub"
+    sub.mkdir(parents=True)
+    (pkg / "__init__.py").touch()
+    (sub / "__init__.py").touch()
+    (sub / "mod.py").touch()
+    assert module_dotted_name(sub / "mod.py") == "cgpkg.sub.mod"
+    assert module_dotted_name(sub / "__init__.py") == "cgpkg.sub"
+
+
+def test_callgraph_resolves_imports_methods_and_constructors(tmp_path):
+    project, graph = _synthetic_project(tmp_path)
+    assert "cgpkg.b.helper" in graph.callees("cgpkg.a.top")
+    assert "cgpkg.c.leaf" in graph.callees("cgpkg.b.helper")
+    assert "cgpkg.c.Thing.step" in graph.callees("cgpkg.c.Thing.run")
+    assert "cgpkg.c.Thing.__init__" in graph.callees("cgpkg.c.make")
+    assert "cgpkg.b.helper" in graph.callers_of("cgpkg.c.leaf")
+
+
+def test_projectinfo_symbol_tables(tmp_path):
+    project, _ = _synthetic_project(tmp_path)
+    assert set(project.modules) >= {"cgpkg.a", "cgpkg.b", "cgpkg.c"}
+    assert "cgpkg.c.Thing" in project.classes
+    assert "cgpkg.a.top" in project.functions
+    assert project.functions["cgpkg.c.Thing.run"].cls == "Thing"
+
+
+# ------------------------------------------------- the deep gate itself
+
+def test_repo_src_deep_lints_clean():
+    report = LintEngine(deep=True).lint_paths([SRC_ROOT])
+    deep_rules = {"DETFLOW001", "DETFLOW002", "RACE001", "CONS001",
+                  "FSM001"}
+    offenders = [f for f in report.new_findings if f.rule in deep_rules]
+    assert offenders == [], [f.render() for f in offenders]
+    assert set(report.deep_timings) >= {"project-index", "detflow",
+                                        "races", "conservation", "fsm"}

@@ -166,3 +166,48 @@ def test_determinism_same_schedule_same_order():
         return order
 
     assert build() == build()
+
+
+def test_same_timestamp_total_order():
+    """PR 5 tie-break audit: (time, seq) stays a total order at scale.
+
+    1000 events on one timestamp must run in exact registration order,
+    identically across fresh simulators, and interleaved cancellation
+    must not reorder the survivors (a cancelled event keeps its heap
+    slot and is skipped at pop, never re-keyed).
+    """
+    def run_once(cancel_every=None):
+        sim = Simulator()
+        order = []
+        events = [sim.at(1000, order.append, index) for index in range(1000)]
+        if cancel_every is not None:
+            for index in range(0, 1000, cancel_every):
+                events[index].cancel()
+        sim.run_until_idle()
+        return order
+
+    full = run_once()
+    assert full == list(range(1000))
+    assert run_once() == full
+
+    survivors = run_once(cancel_every=3)
+    assert survivors == [i for i in range(1000) if i % 3 != 0]
+    assert run_once(cancel_every=3) == survivors
+
+
+def test_cancellation_during_dispatch_keeps_equal_time_order():
+    """Cancelling a later equal-time event from inside an earlier one
+    must not disturb the ordering of the remaining events."""
+    sim = Simulator()
+    order = []
+    events = []
+
+    def head():
+        order.append("head")
+        events[2].cancel()  # a same-timestamp victim further down
+
+    sim.at(500, head)
+    for index in range(5):
+        events.append(sim.at(500, order.append, index))
+    sim.run_until_idle()
+    assert order == ["head", 0, 1, 3, 4]
