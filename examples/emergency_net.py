@@ -10,8 +10,14 @@ Scenario: an earthquake exercise around Puget Sound.  Field stations in
 Tacoma and Everett can only reach the Seattle EOC through a hilltop
 digipeater (hidden-terminal topology); the EOC's MicroVAX gateways
 traffic onto the surviving campus Ethernet where a message hub runs.
-Field stations report in over UDP, the hub acknowledges, and a NET/ROM
-node provides a backup long-haul path.
+Field stations report in over UDP and the hub acknowledges.
+
+Then the real emergency arrives: thousands of hams converge on the
+frequency.  The surge is modelled at *flow fidelity* -- a
+:class:`~repro.scale.flow.FlowStationCloud` stands in for the crowd,
+occupying real airtime on the shared channel without simulating each
+joiner's TNC -- and the priority reports must still get through the
+now-congested channel.
 
 Run:  python examples/emergency_net.py
 """
@@ -23,6 +29,7 @@ from repro.ethernet.lan import EthernetLan
 from repro.inet.sockets import UdpSocket
 from repro.radio.channel import RadioChannel
 from repro.radio.modem import ModemProfile
+from repro.scale.flow import FlowStationCloud
 from repro.sim.clock import SECOND
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
@@ -121,6 +128,65 @@ def main() -> None:
     assert len(acks["tacoma"]) == 2 and len(acks["everett"]) == 2
     assert hilltop.frames_relayed > 0
     print("\nexercise complete: all stations checked in and were acknowledged")
+
+    # -- the surge: thousands of joiners converge on the frequency ----
+    # Flow fidelity stands in for the crowd: one carrier-only burst per
+    # epoch carries their aggregate airtime, so the channel congests the
+    # way a real pile-up congests it without 2,500 simulated TNCs.
+    surge = FlowStationCloud(sim, channel, streams, name="SURGE",
+                             stations=2500, rate_per_minute=0.4,
+                             frame_bytes=96, modem=modem,
+                             duration=500 * SECOND)
+    # The channel uses explicit propagation links, so the crowd must be
+    # made audible: everyone on the hill or in town hears the pile-up.
+    for callsign in ("W7EOC", "KB7DZ", "N7AKR", "WR7HIL"):
+        channel.add_link(callsign, "FLOW/SURGE")
+    surge.start()
+
+    # Emergency procedure on a congested channel: repeat priority
+    # traffic until the hub's acknowledgement makes it back.
+    def send_until_acked(socket, station, text, attempts=6):
+        baseline = len(acks[station])
+        socket.sendto(text.encode("latin-1"), "128.95.10.2", REPORT_PORT)
+
+        def check():
+            if len(acks[station]) == baseline and attempts > 1:
+                send_until_acked(socket, station, text, attempts - 1)
+        sim.schedule(45 * SECOND, check)
+
+    priority = [
+        (700, tacoma_socket, "tacoma",
+         "TACOMA PRIORITY: aftershock, shelter full"),
+        (820, everett_socket, "everett",
+         "EVERETT PRIORITY: medevac staged at field"),
+    ]
+    for t, socket, station, text in priority:
+        sim.schedule((t - 600) * SECOND, send_until_acked,
+                     socket, station, text)
+
+    busy_before = channel.busy_time()
+    sim.run(until=1200 * SECOND)
+
+    stats = surge.metrics()
+    surge_busy = channel.busy_time() - busy_before
+    print(f"\nsurge: {surge.stations} flow-level joiners for "
+          f"{stats['flow_epochs']:.0f} epochs")
+    print(f"  frames offered {stats['flow_offered']:.0f}, served "
+          f"{stats['flow_served']:.0f}, deferred {stats['flow_deferred']:.0f}, "
+          f"dropped {stats['flow_dropped']:.0f}")
+    print(f"  channel busy {100 * surge_busy / (600 * SECOND):.1f}% "
+          "of the surge hour")
+    print("priority reports through the pile-up:")
+    for when, source, text in checkins[4:]:
+        print(f"  [{when / SECOND:7.1f}s] {source:<14} {text}")
+
+    assert stats["flow_served"] > 0 and stats["flow_offered"] > 0
+    delivered = {text for _, _, text in checkins[4:]}
+    assert all(text in delivered for _, _, _, text in priority), \
+        "priority reports lost in the surge"
+    assert len(acks["tacoma"]) >= 3 and len(acks["everett"]) >= 3, \
+        "priority acknowledgements never made it back"
+    print("\nsurge survived: priority traffic acknowledged under load")
 
 
 if __name__ == "__main__":

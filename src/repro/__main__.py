@@ -9,6 +9,7 @@ directory, so an installed copy of the library can demonstrate itself:
     python -m repro sweep ...      # parallel seeded experiment sweeps
     python -m repro chaos ...      # fault-injection soak + digest gate
     python -m repro report ...     # packet flight recorder report / gate
+    python -m repro scale ...      # multi-fidelity sharding digest gate
     python -m repro lint ...       # reprolint static-analysis gate
     python -m repro list           # show this list
 
@@ -29,6 +30,15 @@ in every run and byte-identical digests across layouts:
 
     python -m repro report --pcap capture.pcap
     python -m repro report --bench --seeds 3
+
+``scale`` is the multi-fidelity sharding gate: every seed's regional
+layout runs with 1, 2 and 4 worker processes and must produce
+byte-identical merged digests; a fault-free scenario must produce
+identical metrics at ``per_char`` and ``frame`` serial fidelity; and a
+headline run with thousands of flow-level background stations records
+wall-clock and events/s into ``BENCH_scale.json``:
+
+    python -m repro scale --seeds 3 --flow 1000
 
 ``lint`` is the reprolint static-analysis gate: AST passes for
 determinism, sim-safety, and protocol invariants, exiting nonzero on
@@ -415,6 +425,183 @@ def _report(argv: List[str]) -> int:
     return 0
 
 
+def _scale(argv: List[str]) -> int:
+    """``python -m repro scale``: the multi-fidelity sharding gate.
+
+    Three checks, all digest-based:
+
+    1. **Shard invariance** -- every seed's regional layout is run with
+       1, 2 and 4 worker processes; the merged metric digests must be
+       byte-identical (and traffic must actually cross regions).
+    2. **Fidelity equivalence** -- one seeded fault-free gateway
+       scenario is run at ``per_char`` and ``frame`` serial fidelity;
+       all metrics except event-queue bookkeeping must be identical.
+    3. **Headline scale run** -- a mixed-fidelity layout with thousands
+       of flow-level background stations must complete, recording
+       wall-clock and simulated-events/s in ``BENCH_scale.json``.
+    """
+    import time
+    from dataclasses import replace as dc_replace
+
+    from repro.harness import bench_json_path, metrics_digest, write_bench_json
+    from repro.scale.fidelity import fidelity_comparable
+    from repro.scale.regions import ScaleLayout
+    from repro.scale.shard import run_sharded
+    from repro.workload.scenario import Scenario, run_scenario
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scale",
+        description="Multi-fidelity sharded regional runner: digest "
+                    "gates for shard invariance and frame-fidelity "
+                    "equivalence, plus a headline scale run.",
+    )
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="number of seeds (default: 3)")
+    parser.add_argument("--seed-base", type=int, default=1,
+                        help="first seed value (default: 1)")
+    parser.add_argument("--regions", type=int, default=2,
+                        help="regions / shards (default: 2)")
+    parser.add_argument("--stations", type=int, default=2,
+                        help="per-char/frame foreground stations per "
+                             "region (default: 2)")
+    parser.add_argument("--flow", type=int, default=1000,
+                        help="flow-level background stations across all "
+                             "regions (default: 1000)")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds of offered load per run "
+                             "(default: 60)")
+    parser.add_argument("--fidelity", choices=("per_char", "frame"),
+                        default="per_char",
+                        help="foreground serial fidelity for the "
+                             "invariance runs (default: per_char)")
+    parser.add_argument("--headline-flow", type=int, default=5000,
+                        metavar="N",
+                        help="background stations in the headline scale "
+                             "run; 0 skips it (default: 5000)")
+    parser.add_argument("--out", default=None,
+                        help="results path (default: ./BENCH_scale.json)")
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+
+    failures: List[str] = []
+    layouts = ScaleLayout(
+        regions=args.regions, stations_per_region=args.stations,
+        flow_stations=args.flow, duration_seconds=args.duration,
+        fidelity=args.fidelity,
+    )
+    proc_counts = (1, 2, 4)
+    digests: Dict[str, Dict[str, str]] = {
+        f"procs{procs}": {} for procs in proc_counts}
+    runs: Dict[str, Dict[str, float]] = {}
+    for index in range(args.seeds):
+        seed = args.seed_base + index
+        layout = dc_replace(layouts, seed=seed)
+        per_procs = {}
+        for procs in proc_counts:
+            started = time.perf_counter()
+            metrics = run_sharded(layout, procs=procs)
+            wall = time.perf_counter() - started
+            digest = metrics_digest(metrics)
+            per_procs[procs] = digest
+            digests[f"procs{procs}"][f"seed={seed}"] = digest
+            print(f"  seed={seed} procs={procs} digest={digest[:12]} "
+                  f"({wall:.1f}s) pings="
+                  f"{metrics.get('total/pings_received', 0):.0f}/"
+                  f"{metrics.get('total/pings_sent', 0):.0f}")
+            if procs == 1:
+                runs[f"seed={seed}"] = metrics
+                if metrics.get("total/pings_received", 0) < 1:
+                    failures.append(
+                        f"seed={seed}: no cross-region ping completed")
+        if len(set(per_procs.values())) != 1:
+            failures.append(
+                f"seed={seed}: digests differ across process counts "
+                + " ".join(f"procs={p}:{d[:12]}"
+                           for p, d in sorted(per_procs.items())))
+
+    # Fidelity equivalence on a fault-free single-simulator scenario:
+    # the frame path must be byte-identical to the per-char path in
+    # every metric except event-queue bookkeeping.
+    fid_scenario = Scenario(
+        name="scale-fidelity", topology="gateway", stations=4,
+        duration_seconds=min(args.duration, 60.0), seed=args.seed_base,
+    )
+    per_char = run_scenario(fid_scenario)
+    frame = run_scenario(dc_replace(fid_scenario, fidelity="frame"))
+    fid_digests = {
+        "per_char": metrics_digest(fidelity_comparable(per_char)),
+        "frame": metrics_digest(fidelity_comparable(frame)),
+    }
+    fid_identical = fid_digests["per_char"] == fid_digests["frame"]
+    saved = per_char["events_executed"] - frame["events_executed"]
+    print(f"  fidelity: per_char={fid_digests['per_char'][:12]} "
+          f"frame={fid_digests['frame'][:12]} "
+          f"({saved:.0f} events saved)")
+    if not fid_identical:
+        failures.append("frame fidelity digest differs from per_char "
+                        "on a fault-free line")
+
+    headline: Dict[str, float] = {}
+    if args.headline_flow > 0:
+        layout = dc_replace(
+            layouts, seed=args.seed_base, fidelity="frame",
+            flow_stations=args.headline_flow)
+        total_stations = (args.headline_flow
+                          + args.regions * args.stations + args.regions)
+        print(f"  headline: {total_stations} stations "
+              f"({args.headline_flow} flow-level), "
+              f"{args.regions} shard(s), {args.duration:.0f}s simulated")
+        started = time.perf_counter()
+        metrics = run_sharded(layout, procs=min(4, args.regions))
+        wall = max(time.perf_counter() - started, 1e-9)
+        events = metrics.get("total/events_executed", 0.0)
+        headline = {
+            "stations": float(total_stations),
+            "flow_stations": float(args.headline_flow),
+            "regions": float(args.regions),
+            "sim_seconds": float(args.duration),
+            "wall_seconds": wall,
+            "events_executed": events,
+            "events_per_s": events / wall,
+            "pings_received": metrics.get("total/pings_received", 0.0),
+            "flow_served": metrics.get("total/flow_served", 0.0),
+        }
+        print(f"  headline: {events:.0f} events in {wall:.1f}s wall "
+              f"({events / wall:,.0f} events/s)")
+        if metrics.get("total/pings_received", 0) < 1:
+            failures.append("headline run: no cross-region ping completed")
+
+    identical = all(digests[f"procs{procs}"] == digests["procs1"]
+                    for procs in proc_counts)
+    document: Dict[str, object] = {
+        "runs": runs,
+        "digests": {**digests, "identical": identical},
+        "fidelity": {**fid_digests, "identical": fid_identical},
+        "headline": headline,
+        "params": {
+            "seeds": args.seeds, "regions": args.regions,
+            "stations_per_region": args.stations,
+            "flow_stations": args.flow,
+            "duration_seconds": args.duration,
+            "fidelity": args.fidelity,
+        },
+    }
+    out = args.out or bench_json_path("scale")
+    path = write_bench_json(out, document, bench="scale")
+
+    if failures:
+        print("\nscale gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(f"wrote {path}")
+        return 1
+    print(f"\nscale gate passed: {args.seeds} seed(s) invariant across "
+          f"procs {proc_counts}, frame fidelity digest-equal; wrote {path}")
+    return 0
+
+
 SCENARIOS: Dict[str, Callable[[], None]] = {
     "quickstart": _quickstart,
     "gateway": _gateway,
@@ -431,6 +618,8 @@ def main(argv: list) -> int:
         return _chaos(argv[2:])
     if name == "report":
         return _report(argv[2:])
+    if name == "scale":
+        return _scale(argv[2:])
     if name == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[2:])
@@ -441,7 +630,7 @@ def main(argv: list) -> int:
         print(f"unknown scenario {name!r}", file=sys.stderr)
     print(__doc__.strip())
     print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)),
-          "+ sweep, chaos, report, lint")
+          "+ sweep, chaos, report, scale, lint")
     print("richer versions live in examples/*.py")
     return 0 if name in ("list", "-h", "--help") else 2
 

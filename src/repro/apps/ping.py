@@ -17,13 +17,16 @@ from repro.sim.clock import SECOND
 class Pinger:
     """Sends a train of echo requests and records per-reply RTTs."""
 
-    _next_ident = 100
-
     def __init__(self, stack: NetStack) -> None:
         self.stack = stack
         self.sim = stack.sim
-        Pinger._next_ident += 1
-        self.ident = Pinger._next_ident
+        # Idents need only be unique per stack (replies are demuxed by
+        # destination host first, ident second).  A per-stack counter
+        # keeps the wire bytes a pure function of the run: a class
+        # counter leaks interpreter history -- every Pinger ever
+        # created shifts later idents, and an ident byte landing on
+        # FEND/FESC changes KISS escaping and thus serial byte counts.
+        self.ident = 100 + len(stack.icmp_listeners)
         self._sent_at: Dict[int, int] = {}
         self._next_sequence = 0
         self.rtts_us: List[int] = []

@@ -60,15 +60,20 @@ def attach_kiss_radio(
     default_path: AX25Path = AX25Path(),
     tracer: Optional[Tracer] = None,
     ifname: str = "pr0",
+    fidelity: str = "per_char",
 ) -> RadioAttachment:
     """Wire a KISS TNC + packet radio driver onto an existing stack.
 
     This is Figure 1 in code: Radio -- TNC -- RS-232 line -- DZ -- Host.
+
+    ``fidelity`` selects the serial line's delivery granularity
+    (``"per_char"`` or ``"frame"``; see :mod:`repro.serialio.line`).
     """
     callsign = (
         callsign if isinstance(callsign, AX25Address) else AX25Address.parse(callsign)
     )
-    serial = SerialLine(sim, baud=serial_baud, name=f"{stack.hostname}.dz0")
+    serial = SerialLine(sim, baud=serial_baud, name=f"{stack.hostname}.dz0",
+                        fidelity=fidelity)
     tty = Tty(serial.a, name=f"{stack.hostname}.tty0")
     tnc = KissTnc(
         sim,

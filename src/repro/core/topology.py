@@ -56,12 +56,15 @@ def build_figure1_testbed(
     bit_rate: int = 1200,
     serial_baud: int = 9600,
     sim: Optional[Simulator] = None,
+    fidelity: str = "per_char",
 ) -> Figure1Testbed:
     """One radio host and one peer on a shared channel.
 
     ``sim`` lets a caller supply the engine -- the SimSanitizer passes an
     :class:`~repro.sim.sanitizer.OrderShuffleSimulator` here so the same
     seeded build runs under a perturbed equal-time tie-break.
+    ``fidelity`` selects the serial delivery granularity for every host
+    (see :mod:`repro.serialio.line`).
     """
     sim = sim if sim is not None else Simulator()
     streams = RandomStreams(seed=seed)
@@ -71,10 +74,12 @@ def build_figure1_testbed(
     host = make_radio_host(
         sim, channel, "microvax", "N7AKR", "44.24.0.28",
         tracer=tracer, modem=modem, serial_baud=serial_baud,
+        fidelity=fidelity,
     )
     peer = make_radio_host(
         sim, channel, "pc1", "KB7DZ", "44.24.0.5",
         tracer=tracer, modem=modem, serial_baud=serial_baud,
+        fidelity=fidelity,
     )
     return Figure1Testbed(sim, streams, tracer, channel, host, peer)
 
@@ -105,11 +110,12 @@ def build_gateway_testbed(
     tnc_address_filter: bool = False,
     csma: Optional[CsmaParameters] = None,
     sim: Optional[Simulator] = None,
+    fidelity: str = "per_char",
 ) -> GatewayTestbed:
     """Gateway + Ethernet host + isolated radio PC, routes configured.
 
-    ``sim`` lets a caller supply the engine (see
-    :func:`build_figure1_testbed`).
+    ``sim`` lets a caller supply the engine and ``fidelity`` the serial
+    delivery granularity (see :func:`build_figure1_testbed`).
     """
     sim = sim if sim is not None else Simulator()
     streams = RandomStreams(seed=seed)
@@ -124,7 +130,7 @@ def build_gateway_testbed(
         radio_ip=GatewayTestbed.GATEWAY_RADIO_IP,
         mac_index=1, tracer=tracer, modem=modem,
         serial_baud=serial_baud, tnc_address_filter=tnc_address_filter,
-        csma=csma,
+        csma=csma, fidelity=fidelity,
     )
     ether_host = make_ethernet_host(
         sim, lan, "wally", GatewayTestbed.ETHER_HOST_IP, mac_index=2, tracer=tracer
@@ -139,6 +145,7 @@ def build_gateway_testbed(
         sim, channel, "ibmpc", "KB7DZ", GatewayTestbed.PC_IP,
         tracer=tracer, modem=modem, serial_baud=serial_baud,
         tnc_address_filter=tnc_address_filter, csma=csma,
+        fidelity=fidelity,
     )
     pc.stack.routes.set_default(
         pc.interface, GatewayTestbed.GATEWAY_RADIO_IP
@@ -278,6 +285,7 @@ def synthesize_stations(
     callsign_prefix: str = "WL",
     subnet: str = "44.24",
     start_index: int = 0,
+    fidelity: str = "per_char",
 ) -> List[PcHost]:
     """Mass-produce IP-speaking radio stations on an existing channel.
 
@@ -303,6 +311,7 @@ def synthesize_stations(
         host = make_radio_host(
             sim, channel, f"sta{index}", callsign, ip,
             tracer=tracer, modem=modem, serial_baud=serial_baud, csma=csma,
+            fidelity=fidelity,
         )
         if default_gateway is not None:
             host.stack.routes.set_default(host.interface, default_gateway)

@@ -385,6 +385,38 @@ def run_sanitize(
 
 
 # ----------------------------------------------------------------------
+# scale -- multi-fidelity sharded regional runner (PR 6)
+# ----------------------------------------------------------------------
+
+def run_scale(
+    seed: int = 0,
+    regions: int = 2,
+    stations_per_region: int = 2,
+    flow_stations: int = 200,
+    duration_seconds: float = 60.0,
+    fidelity: str = "frame",
+) -> Dict[str, float]:
+    """One sharded regional condition, run inline (procs=1).
+
+    The harness already fans seeds across worker processes, and Python
+    daemonic pool workers cannot fork grandchildren, so this entry
+    always runs the shard loop inline; the ``python -m repro scale``
+    gate is where 1/2/4-process layouts are compared by digest.
+    """
+    # Imported here, not at module top: repro.scale.regions pulls in the
+    # workload generators, and the harness is imported by __main__ early.
+    from repro.scale.regions import ScaleLayout
+    from repro.scale.shard import run_sharded
+
+    layout = ScaleLayout(
+        regions=regions, stations_per_region=stations_per_region,
+        flow_stations=flow_stations, duration_seconds=duration_seconds,
+        fidelity=fidelity, seed=seed,
+    )
+    return run_sharded(layout, procs=1)
+
+
+# ----------------------------------------------------------------------
 # perf -- the simulator as software (wall-clock; not seed-deterministic)
 # ----------------------------------------------------------------------
 
@@ -492,6 +524,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
                         "and live span conservation (dynamic RACE/CONS)",
             fn=run_sanitize,
             grid=({"variant": "e3"}, {"variant": "chaos"}),
+            default_seed_count=3,
+        ),
+        Experiment(
+            name="scale",
+            description="multi-fidelity sharded regional runner: frame "
+                        "foreground + flow background, windowed sync",
+            fn=run_scale,
+            grid=({"regions": 2, "flow_stations": 200},),
             default_seed_count=3,
         ),
         Experiment(

@@ -40,6 +40,10 @@ class Transmission:
     end: int
     #: Receivers at which this transmission has been destroyed by overlap.
     corrupted_at: Set[str] = field(default_factory=set)
+    #: Flow-fidelity occupancy (see :meth:`RadioChannel.occupy`): sensed
+    #: as carrier and able to corrupt overlapping real frames, but never
+    #: delivered to any receiver itself.
+    carrier_only: bool = False
 
 
 class ChannelPort:
@@ -176,11 +180,25 @@ class RadioChannel:
     # transmission lifecycle
     # ------------------------------------------------------------------
 
+    def occupy(self, sender: ChannelPort, airtime: int) -> Transmission:
+        """Key up aggregate background energy (flow fidelity).
+
+        A carrier-only transmission models the combined airtime of many
+        analytically-simulated stations in one event: every hearer
+        senses carrier for ``airtime`` microseconds and any overlapping
+        real frame collides with it at shared receivers, but nothing is
+        ever delivered for it -- the flow model accounts its own frames.
+        """
+        return self.begin_transmission(sender, b"", airtime,
+                                       carrier_only=True)
+
     def begin_transmission(self, sender: ChannelPort, payload: bytes,
-                           airtime: int) -> Transmission:
+                           airtime: int,
+                           carrier_only: bool = False) -> Transmission:
         """Key a transmitter: create the in-flight transmission."""
         now = self.sim.now
-        tx = Transmission(sender=sender, payload=payload, start=now, end=now + airtime)
+        tx = Transmission(sender=sender, payload=payload, start=now,
+                          end=now + airtime, carrier_only=carrier_only)
         # Any already-active transmission audible alongside this one at a
         # common receiver collides with it there.
         for other in self.active:
@@ -249,6 +267,14 @@ class RadioChannel:
     def _complete_transmission(self, tx: Transmission) -> None:
         self.active.remove(tx)
         self._note_busy_maybe_end()
+        if tx.carrier_only:
+            # Aggregate background energy: it occupied the channel and
+            # corrupted what it overlapped, but there is no frame to
+            # deliver -- the flow model accounts its own traffic.
+            if self.tracer is not None:
+                self.tracer.log("radio.done", tx.sender.name,
+                                "flow burst unkeyed")
+            return
         recorder = self.tracer.flight if self.tracer is not None else None
         probe = probe_ax25(tx.payload) if recorder is not None else None
         for port in self.ports.values():

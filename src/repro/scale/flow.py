@@ -1,0 +1,213 @@
+"""Flow-level background stations: the analytic end of the fidelity dial.
+
+A :class:`FlowStationCloud` stands in for a crowd of background
+stations -- the emergency-net surge, the region-wide ragchew population
+-- that a scenario needs for channel load but not for protocol detail.
+Instead of one serial line, TNC, and CSMA state machine per station,
+the cloud keeps an aggregate rate/queue model:
+
+* each **epoch** it draws the crowd's Poisson frame arrivals from a
+  named seeded stream (``flow/<name>``), adds them to a bounded
+  backlog (overflow counts as drops, like any TNC queue), and
+* keys the shared :class:`~repro.radio.channel.RadioChannel` with one
+  **carrier-only burst** covering the served frames' combined airtime
+  (:meth:`RadioChannel.occupy`).  Real stations sense the burst as
+  carrier and any real frame overlapping it collides at shared
+  receivers -- the load is physically present on the channel -- but
+  nothing is ever delivered for it: the cloud accounts its own traffic
+  in a :class:`~repro.metrics.counters.CounterSet`.
+
+The cloud is polite (it defers a burst when it senses carrier at the
+epoch tick) and duty-cycle capped, so a big population degrades the
+channel the way a big population does, not the way a jammer does.
+Everything is deterministic: arrivals come from the seeded stream, the
+first tick is offset by a draw from the same stream (so multiple
+clouds desynchronise reproducibly), and no wall clock is consulted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.metrics.counters import CounterSet
+from repro.radio.channel import RadioChannel
+from repro.radio.modem import ModemProfile
+from repro.sim.clock import SECOND
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+
+#: Default epoch: one aggregate scheduling decision per simulated second.
+DEFAULT_EPOCH = 1 * SECOND
+
+#: Default cap on the fraction of an epoch the cloud may occupy.
+DEFAULT_DUTY_CAP = 0.35
+
+#: Knuth's product method underflows for large means; draws above this
+#: are decomposed into chunks (Poisson sums are Poisson).
+_KNUTH_CHUNK = 30.0
+
+
+class FlowStationCloud:
+    """An aggregate of ``stations`` background stations on one channel.
+
+    ``rate_per_minute`` is the per-station offered frame rate;
+    ``frame_bytes`` sizes the airtime of each modelled frame via the
+    modem profile.  ``duration`` (microseconds) bounds the offered load
+    window like any traffic generator; the backlog keeps draining until
+    it empties or the run ends.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: RadioChannel,
+        streams: RandomStreams,
+        name: str = "BG",
+        stations: int = 100,
+        rate_per_minute: float = 0.5,
+        frame_bytes: int = 96,
+        modem: Optional[ModemProfile] = None,
+        epoch: int = DEFAULT_EPOCH,
+        duty_cap: float = DEFAULT_DUTY_CAP,
+        max_backlog: Optional[int] = None,
+        duration: Optional[int] = None,
+    ) -> None:
+        if stations < 1:
+            raise ValueError("a flow cloud needs at least one station")
+        if rate_per_minute < 0:
+            raise ValueError("rate_per_minute must be non-negative")
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        if not 0.0 < duty_cap <= 1.0:
+            raise ValueError("duty_cap must be in (0, 1]")
+        self.sim = sim
+        self.channel = channel
+        self.name = name
+        self.stations = stations
+        self.epoch = epoch
+        self.duty_cap = duty_cap
+        self.modem = modem if modem is not None else ModemProfile()
+        self.frame_airtime = self.modem.frame_airtime(frame_bytes)
+        #: Mean aggregate arrivals per epoch.
+        self.mean_per_epoch = (
+            stations * (rate_per_minute / 60.0) * (epoch / SECOND))
+        #: Bounded queue, like any TNC's; default holds ~4 epochs of load.
+        self.max_backlog = (
+            max_backlog if max_backlog is not None
+            else max(16, int(self.mean_per_epoch * 4)))
+        self.duration = duration
+        self.rng = streams.stream(f"flow/{name}")
+        self.port = channel.attach(f"FLOW/{name}", self._overheard)
+        self.backlog = 0
+        self.counters = CounterSet((
+            "flow_epochs", "flow_offered", "flow_served", "flow_dropped",
+            "flow_deferred", "flow_airtime_us", "flow_overheard",
+        ))
+        self._deadline: Optional[int] = None
+        self._started = False
+        #: Token bucket of permitted airtime: each epoch deposits
+        #: ``duty_cap * epoch`` microseconds, capped so quiet stretches
+        #: cannot bank an unbounded burst.  The cap is at least one
+        #: frame so low duty ceilings still serve, just rarely.
+        self._credit = 0
+        self._credit_cap = max(self.frame_airtime,
+                               int(4 * duty_cap * epoch))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, at: int = 0) -> None:
+        """Begin offering load ``at`` microseconds from now.  Idempotent.
+
+        The first epoch tick is offset by a draw from the cloud's own
+        stream so that several clouds on one channel (or one per region)
+        do not tick in lockstep.
+        """
+        if self._started:
+            return
+        self._started = True
+        if self.duration is not None:
+            self._deadline = self.sim.now + at + self.duration
+        offset = at + int(self.rng.random() * self.epoch)
+        self.sim.schedule(offset, self._tick, label=f"flow {self.name}")
+
+    def _tick(self) -> None:
+        self.counters.bump("flow_epochs")
+        if self._deadline is None or self.sim.now < self._deadline:
+            arrivals = self._poisson(self.mean_per_epoch)
+            if arrivals:
+                self.counters.bump("flow_offered", arrivals)
+                self.backlog += arrivals
+                if self.backlog > self.max_backlog:
+                    overflow = self.backlog - self.max_backlog
+                    self.counters.bump("flow_dropped", overflow)
+                    self.backlog = self.max_backlog
+        self._serve()
+        # Keep ticking while load is still being offered or drained.
+        if (self._deadline is None or self.sim.now < self._deadline
+                or self.backlog > 0):
+            self.sim.schedule(self.epoch, self._tick,
+                              label=f"flow {self.name}")
+
+    def _serve(self) -> None:
+        self._credit = min(self._credit + int(self.duty_cap * self.epoch),
+                           self._credit_cap)
+        serve = min(self.backlog, self._credit // self.frame_airtime)
+        if serve <= 0:
+            return
+        if self.port.carrier_sensed():
+            # Politeness: someone is on the air at our decision instant;
+            # hold the whole burst for the next epoch.
+            self.counters.bump("flow_deferred", serve)
+            return
+        airtime = serve * self.frame_airtime
+        self.channel.occupy(self.port, airtime)
+        self._credit -= airtime
+        self.backlog -= serve
+        self.counters.bump("flow_served", serve)
+        self.counters.bump("flow_airtime_us", airtime)
+
+    # ------------------------------------------------------------------
+    # the rest of the channel
+    # ------------------------------------------------------------------
+
+    def _overheard(self, payload: bytes) -> None:
+        # The cloud hears real frames like any attached station; it only
+        # counts them (its members have no protocol state to feed).
+        self.counters.bump("flow_overheard")
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+
+    def _poisson(self, mean: float) -> int:
+        """Deterministic Poisson draw from the cloud's stream."""
+        total = 0
+        while mean > _KNUTH_CHUNK:
+            total += self._poisson_knuth(_KNUTH_CHUNK)
+            mean -= _KNUTH_CHUNK
+        return total + self._poisson_knuth(mean)
+
+    def _poisson_knuth(self, mean: float) -> int:
+        if mean <= 0.0:
+            return 0
+        limit = math.exp(-mean)
+        product = self.rng.random()
+        count = 0
+        while product > limit:
+            count += 1
+            product *= self.rng.random()
+        return count
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat name->value summary (merged by the scenario layer)."""
+        out = {str(k): float(v) for k, v in self.counters.snapshot().items()}
+        out["flow_backlog"] = float(self.backlog)
+        out["flow_stations"] = float(self.stations)
+        return out

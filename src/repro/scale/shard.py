@@ -1,0 +1,238 @@
+"""Conservative time-windowed sharded execution.
+
+Each :class:`~repro.scale.regions.Region` is an independent simulator;
+the only coupling between regions is the inter-region gateway link,
+whose one-way latency ``W`` (``ScaleLayout.link_latency``) is the
+**lookahead** of a classic conservative parallel-simulation protocol:
+
+* time advances in windows of width ``W``;
+* a packet handed to the link during window ``k`` (send time in
+  ``(kW, (k+1)W]``) arrives at ``send + W``, which is strictly inside
+  window ``k+1`` or later -- so running every region to the next
+  barrier *before* exchanging messages can never violate causality;
+* at each barrier the runner drains every region's link outbox, sorts
+  the messages by the layout-independent key ``(send_time, src_region,
+  seq)``, and injects each into its destination region's twin
+  interface at ``send + W``.
+
+Because regions are seeded independently of the process layout
+(:func:`~repro.scale.regions.derive_region_seed`) and the message
+exchange is a deterministic function of the drained sets, the merged
+metrics are a pure function of (layout, seed): running with 1, 2 or 4
+worker processes yields byte-identical digests, which the scale gate
+(``python -m repro scale``) asserts.
+
+The multi-process path forks one worker per shard; workers hold their
+regions for the whole run and speak a tiny message protocol over a
+pipe (``("window", barrier, inbound)`` -> outbound list,
+``("finish",)`` -> per-region metrics).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Sequence, Tuple
+
+from repro.scale.regions import (
+    Region,
+    ScaleLayout,
+    build_region,
+    region_metrics,
+)
+from repro.sim.clock import seconds
+
+#: (send_time, seq, next_hop, packet) as drained from a link outbox.
+OutboxEntry = Tuple[int, int, str, bytes]
+
+#: (arrival_time, packet) ready to inject into a destination region.
+InboundEntry = Tuple[int, bytes]
+
+#: Metrics whose sum across regions is meaningless; they stay
+#: per-region and (for RTT) are averaged into the totals instead.
+_NON_SUMMABLE = frozenset({"ping_mean_rtt_s", "channel_utilisation"})
+
+
+def window_count(layout: ScaleLayout) -> int:
+    """Number of barriers needed to cover load plus drain time."""
+    horizon = seconds(layout.duration_seconds + layout.drain_seconds)
+    return max(1, -(-horizon // layout.link_latency))
+
+
+def _route(
+    layout: ScaleLayout,
+    outbound: Sequence[Tuple[int, OutboxEntry]],
+) -> Dict[int, List[InboundEntry]]:
+    """Turn drained (src_region, entry) pairs into per-region inboxes.
+
+    The global sort key (send_time, src_region, seq) depends only on
+    simulation state, never on which worker drained the entry first --
+    this is the line that makes shard counts interchangeable.
+    """
+    table = layout.ip_to_region()
+    keyed = []
+    for src, (send_time, seq, next_hop, packet) in outbound:
+        dest = table.get(next_hop)
+        if dest is None or dest == src:
+            # Unroutable next hops die on the link, like any wire.
+            continue
+        keyed.append((send_time, src, seq, dest, packet))
+    keyed.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+    inbound: Dict[int, List[InboundEntry]] = {}
+    for send_time, _src, _seq, dest, packet in keyed:
+        inbound.setdefault(dest, []).append(
+            (send_time + layout.link_latency, packet))
+    return inbound
+
+
+def _inject(region: Region, entries: Sequence[InboundEntry]) -> None:
+    """Schedule a window's inbound packets; all arrivals are >= now."""
+    for arrival, packet in entries:
+        region.sim.at(arrival, region.link.inject, packet,
+                      label=f"irl0 arrival region{region.index}")
+
+
+def _step_window(
+    region: Region,
+    barrier: int,
+    entries: Sequence[InboundEntry],
+) -> List[Tuple[int, OutboxEntry]]:
+    """Advance one region to ``barrier`` and drain what it sent."""
+    _inject(region, entries)
+    region.sim.run(until=barrier)
+    return [(region.index, entry) for entry in region.link.drain_outbox()]
+
+
+def merge_metrics(
+    layout: ScaleLayout,
+    per_region: Dict[int, Dict[str, float]],
+) -> Dict[str, float]:
+    """Merge per-region metrics into one flat, digestable dict.
+
+    Every region keeps its own namespaced copy (``region0/...``) and
+    summable metrics also appear as ``total/...`` sums; RTT means are
+    averaged over the regions that measured one.
+    """
+    merged: Dict[str, float] = {}
+    totals: Dict[str, float] = {}
+    rtts: List[float] = []
+    for index in sorted(per_region):
+        for key in sorted(per_region[index]):
+            value = float(per_region[index][key])
+            merged[f"region{index}/{key}"] = value
+            if key == "ping_mean_rtt_s":
+                rtts.append(value)
+            if key not in _NON_SUMMABLE:
+                totals[key] = totals.get(key, 0.0) + value
+    for key in sorted(totals):
+        merged[f"total/{key}"] = totals[key]
+    if rtts:
+        merged["total/ping_mean_rtt_s"] = sum(rtts) / len(rtts)
+    merged["total/regions"] = float(layout.regions)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# inline execution (procs=1, also the in-worker step loop)
+# ----------------------------------------------------------------------
+
+
+def _run_inline(layout: ScaleLayout) -> Dict[int, Dict[str, float]]:
+    regions = [build_region(layout, index)
+               for index in range(layout.regions)]
+    inbound: Dict[int, List[InboundEntry]] = {}
+    for window in range(window_count(layout)):
+        barrier = (window + 1) * layout.link_latency
+        outbound: List[Tuple[int, OutboxEntry]] = []
+        for region in regions:
+            outbound.extend(
+                _step_window(region, barrier,
+                             inbound.get(region.index, ())))
+        inbound = _route(layout, outbound)
+    return {region.index: region_metrics(region) for region in regions}
+
+
+# ----------------------------------------------------------------------
+# multi-process execution
+# ----------------------------------------------------------------------
+
+
+def _worker_main(layout: ScaleLayout, owned: Tuple[int, ...], conn) -> None:
+    """One shard worker: builds its regions, then follows barriers."""
+    regions = {index: build_region(layout, index) for index in owned}
+    while True:
+        message = conn.recv()
+        if message[0] == "window":
+            _, barrier, inbound = message
+            outbound: List[Tuple[int, OutboxEntry]] = []
+            for index in owned:
+                outbound.extend(
+                    _step_window(regions[index], barrier,
+                                 inbound.get(index, ())))
+            conn.send(outbound)
+        elif message[0] == "finish":
+            conn.send({index: region_metrics(regions[index])
+                       for index in owned})
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise ValueError(f"unknown shard message {message[0]!r}")
+
+
+def _run_processes(layout: ScaleLayout,
+                   procs: int) -> Dict[int, Dict[str, float]]:
+    workers = min(procs, layout.regions)
+    ownership = [
+        tuple(index for index in range(layout.regions)
+              if index % workers == worker)
+        for worker in range(workers)
+    ]
+    links = []
+    for owned in ownership:
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_worker_main, args=(layout, owned, child_conn),
+            name=f"shard-{owned[0]}")
+        process.start()
+        child_conn.close()
+        links.append((owned, parent_conn, process))
+    try:
+        inbound: Dict[int, List[InboundEntry]] = {}
+        for window in range(window_count(layout)):
+            barrier = (window + 1) * layout.link_latency
+            for owned, conn, _process in links:
+                conn.send(("window", barrier,
+                           {index: inbound[index] for index in owned
+                            if index in inbound}))
+            outbound: List[Tuple[int, OutboxEntry]] = []
+            for _owned, conn, _process in links:
+                outbound.extend(conn.recv())
+            inbound = _route(layout, outbound)
+        per_region: Dict[int, Dict[str, float]] = {}
+        for _owned, conn, _process in links:
+            conn.send(("finish",))
+            per_region.update(conn.recv())
+    finally:
+        for _owned, conn, process in links:
+            conn.close()
+            process.join(timeout=60)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join()
+    return per_region
+
+
+def run_sharded(layout: ScaleLayout, procs: int = 1) -> Dict[str, float]:
+    """Run a partitioned layout and return merged metrics.
+
+    ``procs`` caps the worker-process count (clamped to the region
+    count); ``procs=1`` runs every region inline in this process.  The
+    merged result is identical for every ``procs`` value -- that is the
+    contract the scale gate digests.
+    """
+    if procs < 1:
+        raise ValueError("procs must be at least 1")
+    if procs == 1 or layout.regions == 1:
+        per_region = _run_inline(layout)
+    else:
+        per_region = _run_processes(layout, procs)
+    return merge_metrics(layout, per_region)

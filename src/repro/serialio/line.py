@@ -7,6 +7,18 @@ instant arrives spread out in time exactly as a UART would deliver it
 -- this is what makes the driver's per-character interrupt handling a
 meaningful thing to model, and what makes the serial line a real
 bottleneck in experiment E3.
+
+The line also supports the scale subsystem's **frame fidelity**
+(``fidelity="frame"``): a write is delivered as one burst event at the
+time its *last* byte would have landed, instead of one event per byte.
+Because every KISS record ends with its trailing FEND, frames complete
+at exactly the per-character completion times, so end-of-run metrics
+are byte-identical to the slow path -- the fidelity gate in
+``tests/test_scale_fidelity.py`` holds this equality.  The burst path
+automatically downshifts to per-character delivery whenever a receive
+fault filter is installed on the destination endpoint (serial noise /
+drop windows from :mod:`repro.faults`), so fault semantics are
+unchanged.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ class SerialEndpoint:
         self.name = name
         self.peer: Optional["SerialEndpoint"] = None
         self._receive_handler: Optional[Callable[[int], None]] = None
+        self._receive_burst_handler: Optional[Callable[[bytes], None]] = None
         # Time at which the transmitter in this direction becomes free.
         self._tx_free_at = 0
         self.bytes_sent = 0
@@ -48,18 +61,39 @@ class SerialEndpoint:
         """Install the per-byte receive interrupt handler."""
         self._receive_handler = handler
 
+    def on_receive_burst(self, handler: Callable[[bytes], None]) -> None:
+        """Install a whole-burst receive handler (frame fidelity only).
+
+        When the line runs at ``fidelity="frame"`` and no receive fault
+        is active, a write's bytes arrive together in one event at the
+        per-character completion time; this handler gets the whole
+        buffer.  Endpoints without a burst handler fall back to their
+        per-byte handler, called once per byte at that same instant.
+        """
+        self._receive_burst_handler = handler
+
     def write(self, data: bytes) -> int:
         """Queue ``data`` for transmission; returns completion time.
 
         Bytes are delivered to the peer one at a time as they finish
-        serialising.  Returns the absolute time the last byte lands.
+        serialising (or, at frame fidelity on a fault-free line, all at
+        once when the last byte would have landed).  Returns the
+        absolute time the last byte lands.
         """
         sim = self.line.sim
         start = max(sim.now, self._tx_free_at)
-        for index, byte in enumerate(data):
-            arrival = start + (index + 1) * self.line.byte_time
-            sim.at(arrival, self._deliver, byte, label=f"serial {self.name}")
-        self._tx_free_at = start + len(data) * self.line.byte_time
+        completion = start + len(data) * self.line.byte_time
+        if self.line.fidelity == "frame" and (
+                self.peer is None or self.peer.rx_fault is None):
+            if data:
+                sim.at(completion, self._deliver_burst, bytes(data),
+                       label=f"serial {self.name}")
+        else:
+            for index, byte in enumerate(data):
+                arrival = start + (index + 1) * self.line.byte_time
+                sim.at(arrival, self._deliver, byte,
+                       label=f"serial {self.name}")
+        self._tx_free_at = completion
         self.bytes_sent += len(data)
         if self.on_backlog_sample is not None:
             self.on_backlog_sample(self.tx_backlog_bytes)
@@ -91,6 +125,29 @@ class SerialEndpoint:
         if self.peer._receive_handler is not None:
             self.peer._receive_handler(byte)
 
+    def _deliver_burst(self, data: bytes) -> None:
+        """Frame-fidelity delivery: the whole write lands in one event.
+
+        If a receive fault was installed after this burst was scheduled
+        (a fault window opened mid-flight) the burst downshifts to the
+        per-byte path so the fault filter sees every byte -- the bytes
+        all land at the completion instant, which is the conservative
+        end of their per-character arrival spread.
+        """
+        peer = self.peer
+        assert peer is not None
+        if peer.rx_fault is not None:
+            for byte in data:
+                self._deliver(byte)
+            return
+        peer.bytes_received += len(data)
+        if peer._receive_burst_handler is not None:
+            peer._receive_burst_handler(data)
+        elif peer._receive_handler is not None:
+            handler = peer._receive_handler
+            for byte in data:
+                handler(byte)
+
 
 class SerialLine:
     """Full-duplex serial line joining two endpoints.
@@ -100,13 +157,19 @@ class SerialLine:
     """
 
     def __init__(self, sim: Simulator, baud: int = 9600, bits_per_char: int = 10,
-                 name: str = "serial") -> None:
+                 name: str = "serial", fidelity: str = "per_char") -> None:
         if baud <= 0:
             raise ValueError("baud must be positive")
+        if fidelity not in ("per_char", "frame"):
+            raise ValueError(f"unknown serial fidelity {fidelity!r}")
         self.sim = sim
         self.baud = baud
         self.bits_per_char = bits_per_char
         self.name = name
+        #: Delivery granularity: ``"per_char"`` (one event per byte, the
+        #: byte-faithful default) or ``"frame"`` (one event per write at
+        #: the same completion time; see the module docstring).
+        self.fidelity = fidelity
         #: Microseconds to serialise one character.
         self.byte_time = max(1, round(bits_per_char * SECOND / baud))
         self.a = SerialEndpoint(self, f"{name}.a")

@@ -71,16 +71,29 @@ class Tty:
         self.name = name
         self.input_queue = TtyInputQueue()
         self._interrupt_handler: Optional[Callable[[int], None]] = None
+        self._burst_handler: Optional[Callable[[bytes], None]] = None
         self.rx_interrupts = 0
         endpoint.on_receive(self._rx_interrupt)
+        endpoint.on_receive_burst(self._rx_burst)
 
     def hook_interrupt(self, handler: Callable[[int], None]) -> None:
         """Install a per-character receive handler (line discipline)."""
         self._interrupt_handler = handler
 
+    def hook_burst(self, handler: Callable[[bytes], None]) -> None:
+        """Install a whole-burst receive handler (frame fidelity).
+
+        Only ever called when the underlying serial line delivers burst
+        events (``fidelity="frame"``); a line discipline that installs
+        one must keep its per-character hook for the per-char and
+        fault-downshift paths.
+        """
+        self._burst_handler = handler
+
     def unhook_interrupt(self) -> None:
         """Remove the line discipline; bytes go to the input queue again."""
         self._interrupt_handler = None
+        self._burst_handler = None
 
     def write(self, data: bytes) -> int:
         """Transmit bytes out the serial line; returns completion time."""
@@ -102,3 +115,14 @@ class Tty:
             self._interrupt_handler(byte)
         else:
             self.input_queue.put(byte)
+
+    def _rx_burst(self, data: bytes) -> None:
+        self.rx_interrupts += len(data)
+        if self._burst_handler is not None:
+            self._burst_handler(data)
+        elif self._interrupt_handler is not None:
+            handler = self._interrupt_handler
+            for byte in data:
+                handler(byte)
+        else:
+            self.input_queue.put_bytes(data)

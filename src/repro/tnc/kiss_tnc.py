@@ -76,6 +76,7 @@ class KissTnc:
         )
         self._deframer = KissDeframer(on_frame=self._record_from_host)
         serial.on_receive(self._byte_from_host)
+        serial.on_receive_burst(self._burst_from_host)
 
         # counters
         self.frames_to_air = 0
@@ -115,6 +116,12 @@ class KissTnc:
         if self._rebooting:
             return  # firmware is restarting; the UART is dead to the host
         self._deframer.push_byte(byte)
+
+    def _burst_from_host(self, data: bytes) -> None:
+        """Frame-fidelity receive: a whole host write in one event."""
+        if self._rebooting:
+            return
+        self._deframer.push(data)
 
     def _record_from_host(self, type_byte: int, payload: bytes) -> None:
         command, _port = commands.split_type_byte(type_byte)

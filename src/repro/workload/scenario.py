@@ -37,6 +37,8 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.obs.spans import FlightRecorder
 from repro.radio.modem import ModemProfile
 from repro.radio.station import RadioStation
+from repro.scale.fidelity import validate_line_fidelity
+from repro.scale.flow import FlowStationCloud
 from repro.sim.clock import seconds
 from repro.sim.sanitizer import OrderShuffleSimulator, SimSanitizer
 from repro.workload.arrivals import make_arrivals
@@ -112,6 +114,20 @@ class Scenario:
     #: hash instead of FIFO.  Order-independent models produce identical
     #: metrics (minus event-queue bookkeeping) for every salt.
     order_salt: Optional[int] = None
+    #: Serial delivery granularity for every host: ``"per_char"`` (the
+    #: byte-faithful default) or ``"frame"`` (one event per KISS record;
+    #: digest-equal on fault-free lines -- see :mod:`repro.scale`).
+    fidelity: str = "per_char"
+    #: Flow-level background stations: an analytic
+    #: :class:`~repro.scale.flow.FlowStationCloud` sharing the channel,
+    #: offering ``flow_rate_per_minute`` frames per station per minute.
+    flow_stations: int = 0
+    flow_rate_per_minute: float = 0.5
+    #: Partition the world into this many regions and run it through the
+    #: sharded runner (:mod:`repro.scale.shard`).  ``regions > 1`` is
+    #: handled by :func:`run_scenario` (ping-only mixes) and is not
+    #: buildable as a single in-process testbed.
+    regions: int = 1
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -122,6 +138,11 @@ class Scenario:
             raise ValueError("a scenario needs a non-empty mix")
         if self.duration_seconds <= 0:
             raise ValueError("duration must be positive")
+        if self.flow_stations < 0:
+            raise ValueError("flow_stations must be non-negative")
+        if self.regions < 1:
+            raise ValueError("regions must be at least 1")
+        validate_line_fidelity(self.fidelity)
 
     def with_seed(self, seed: int) -> "Scenario":
         """The same scenario in a different seeded universe."""
@@ -165,6 +186,7 @@ class ScenarioRun:
     watchdog: Optional[object] = None  # TncWatchdog when enabled
     recorder: Optional[object] = None  # FlightRecorder when observe=True
     sanitizer: Optional[SimSanitizer] = None  # when sanitize=True
+    flow_cloud: Optional[FlowStationCloud] = None  # when flow_stations>0
 
     @property
     def sim(self):
@@ -175,6 +197,8 @@ class ScenarioRun:
         """Run for the scenario's duration and return the metrics."""
         for generator in self.generators:
             generator.start()
+        if self.flow_cloud is not None:
+            self.flow_cloud.start()
         self.sim.run(until=self.sim.now
                      + seconds(self.scenario.duration_seconds))
         return self.results()
@@ -197,6 +221,8 @@ class ScenarioRun:
         if self.discard is not None:
             out["tcp_sink_connections"] = float(self.discard.connections)
             out["tcp_sink_bytes"] = float(self.discard.bytes)
+        if self.flow_cloud is not None:
+            out.update(self.flow_cloud.metrics())
         channel = self.testbed.channel
         out["channel_transmissions"] = float(channel.total_transmissions)
         out["channel_collisions"] = float(channel.total_collisions)
@@ -257,6 +283,10 @@ class ScenarioRun:
 
 def build_scenario(scenario: Scenario) -> ScenarioRun:
     """Materialise a :class:`Scenario` into a live simulation."""
+    if scenario.regions > 1:
+        raise ValueError(
+            "regional scenarios are not buildable in-process; "
+            "run_scenario() hands them to repro.scale.shard.run_sharded")
     modem = ModemProfile(bit_rate=scenario.bit_rate)
     engine = (OrderShuffleSimulator(scenario.order_salt)
               if scenario.order_salt is not None else None)
@@ -266,6 +296,7 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
             serial_baud=scenario.serial_baud,
             tnc_address_filter=scenario.tnc_address_filter,
             sim=engine,
+            fidelity=scenario.fidelity,
         )
         target_stack = testbed.ether_host
         target_ip = testbed.ETHER_HOST_IP
@@ -275,6 +306,7 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
             seed=scenario.seed, bit_rate=scenario.bit_rate,
             serial_baud=scenario.serial_baud,
             sim=engine,
+            fidelity=scenario.fidelity,
         )
         target_stack = testbed.peer.stack
         target_ip = "44.24.0.5"
@@ -291,7 +323,15 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
         sim, testbed.channel, len(ip_kinds), tracer=testbed.tracer,
         modem=modem, serial_baud=scenario.serial_baud,
         default_gateway=default_gateway,
+        fidelity=scenario.fidelity,
     )
+    if scenario.flow_stations > 0:
+        run.flow_cloud = FlowStationCloud(
+            sim, testbed.channel, streams,
+            stations=scenario.flow_stations,
+            rate_per_minute=scenario.flow_rate_per_minute,
+            modem=modem, duration=seconds(scenario.duration_seconds),
+        )
     if any(m.kind == "udp" for m in allocation):
         run.udp_sink = UdpSink(target_stack)
     if any(m.kind == "tcp" for m in allocation):
@@ -392,5 +432,16 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
 
 
 def run_scenario(scenario: Scenario) -> Dict[str, float]:
-    """Build and run a scenario; the one-call entry point."""
+    """Build and run a scenario; the one-call entry point.
+
+    ``regions > 1`` scenarios are handed to the sharded regional runner
+    (one simulator per region, conservative windowed sync); everything
+    else builds the usual single-simulator testbed.
+    """
+    if scenario.regions > 1:
+        # Imported lazily: repro.scale.regions depends on the workload
+        # generators, so a module-level import would be circular.
+        from repro.scale.regions import layout_from_scenario
+        from repro.scale.shard import run_sharded
+        return run_sharded(layout_from_scenario(scenario))
     return build_scenario(scenario).run()

@@ -1,0 +1,173 @@
+"""Sharded regional execution (repro.scale.regions + .shard).
+
+The contract under test: a :class:`ScaleLayout` run is a pure function
+of (layout, seed) no matter how many worker processes execute it --
+procs=1 (inline), 2 and 4 must produce byte-identical merged metric
+digests, including when a fault plan partitions a gateway, and the
+traffic must genuinely cross regions (pings answered by the *next*
+region's gateway over the windowed link).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.harness.results import metrics_digest
+from repro.scale.regions import (
+    RegionGatewayLink,
+    ScaleLayout,
+    build_region,
+    derive_region_seed,
+    layout_from_scenario,
+    region_metrics,
+)
+from repro.scale.shard import merge_metrics, run_sharded, window_count
+from repro.sim.clock import SECOND
+from repro.sim.engine import Simulator
+from repro.workload.scenario import GeneratorMix, Scenario
+
+#: Small but real: cross-region pings plus flow background in each
+#: region, short enough for CI, long enough for several sync windows.
+LAYOUT = ScaleLayout(regions=2, stations_per_region=2, flow_stations=40,
+                     duration_seconds=40.0, drain_seconds=20.0, seed=13)
+
+
+def test_region_seeds_are_layout_independent():
+    assert derive_region_seed(13, 0) != derive_region_seed(13, 1)
+    assert derive_region_seed(13, 1) == derive_region_seed(13, 1)
+    assert derive_region_seed(14, 1) != derive_region_seed(13, 1)
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        ScaleLayout(regions=0)
+    with pytest.raises(ValueError):
+        ScaleLayout(stations_per_region=0)
+    with pytest.raises(ValueError):
+        ScaleLayout(fidelity="flow")  # not a line fidelity
+    with pytest.raises(ValueError):
+        ScaleLayout(link_latency=0)
+
+
+def test_layout_addressing_is_disjoint():
+    layout = ScaleLayout(regions=3, stations_per_region=4)
+    table = layout.ip_to_region()
+    # gateway + link + stations per region, no collisions across regions
+    assert len(table) == 3 * (1 + 1 + 4)
+    assert table[layout.gateway_ip(2)] == 2
+    assert sum(layout.flow_share(r) for r in range(3)) == 0
+
+
+def test_flow_share_splits_remainder():
+    layout = ScaleLayout(regions=3, stations_per_region=1, flow_stations=10)
+    shares = [layout.flow_share(r) for r in range(3)]
+    assert sum(shares) == 10
+    assert shares == [4, 3, 3]
+
+
+def test_window_count_covers_horizon():
+    layout = ScaleLayout(duration_seconds=10.0, drain_seconds=5.0)
+    assert window_count(layout) * layout.link_latency >= 15 * SECOND
+
+
+def test_gateway_link_stamps_and_drains():
+    sim = Simulator()
+    link = RegionGatewayLink(sim, region=0)
+    assert link.if_output(b"abc", "44.25.0.28")
+    assert link.if_output(b"def", "44.25.0.28")
+    first = link.drain_outbox()
+    assert [(entry[1], entry[2], entry[3]) for entry in first] == [
+        (1, "44.25.0.28", b"abc"), (2, "44.25.0.28", b"def")]
+    assert link.drain_outbox() == []
+    received = []
+    link.input_handler = lambda packet, _iface, proto: received.append(
+        (proto, packet))
+    link.inject(b"xyz")
+    assert received == [("ip", b"xyz")]
+
+
+def test_build_region_is_process_layout_independent():
+    """Two builds of the same region are byte-identical after running."""
+    def run_once():
+        region = build_region(LAYOUT, 0)
+        region.sim.run(until=30 * SECOND)
+        return region_metrics(region)
+
+    assert run_once() == run_once()
+
+
+def test_cross_region_pings_complete():
+    merged = run_sharded(LAYOUT, procs=1)
+    assert merged["total/pings_sent"] > 0
+    assert merged["total/pings_received"] > 0
+    assert merged["total/link_packets_out"] > 0
+    assert merged["total/link_packets_in"] > 0
+    assert merged["total/gateway_ip_forwarded"] > 0
+    # Both regions carried background flow load.
+    assert merged["region0/flow_served"] > 0
+    assert merged["region1/flow_served"] > 0
+
+
+@pytest.mark.parametrize("procs", [2, 4])
+def test_shard_count_invariance(procs):
+    """procs=1 vs N: byte-identical merged digests (the tentpole gate)."""
+    inline = run_sharded(LAYOUT, procs=1)
+    sharded = run_sharded(LAYOUT, procs=procs)
+    assert metrics_digest(sharded) == metrics_digest(inline)
+
+
+def test_shard_invariance_with_partition_fault():
+    """The gate also holds with a partitioned gateway in region 0."""
+    plan = FaultPlan((
+        FaultSpec(kind="partition", target="GW0", peer="WL0",
+                  at=5 * SECOND, duration=15 * SECOND),
+        FaultSpec(kind="serial_noise", target="gateway",
+                  at=8 * SECOND, duration=10 * SECOND, probability=0.05),
+    ))
+    layout = ScaleLayout(regions=2, stations_per_region=2, flow_stations=20,
+                         duration_seconds=40.0, drain_seconds=20.0,
+                         seed=17, fault_plan=plan)
+    runs = {procs: run_sharded(layout, procs=procs) for procs in (1, 2, 4)}
+    assert runs[1]["region0/faults_injected"] == 2
+    assert metrics_digest(runs[2]) == metrics_digest(runs[1])
+    assert metrics_digest(runs[4]) == metrics_digest(runs[1])
+
+
+def test_uneven_region_to_worker_assignment():
+    """3 regions on 2 workers: ownership is uneven but digests hold."""
+    layout = ScaleLayout(regions=3, stations_per_region=1, flow_stations=9,
+                         duration_seconds=30.0, drain_seconds=20.0, seed=23)
+    assert metrics_digest(run_sharded(layout, procs=2)) == \
+        metrics_digest(run_sharded(layout, procs=1))
+
+
+def test_merge_metrics_namespaces_and_totals():
+    merged = merge_metrics(
+        ScaleLayout(regions=2),
+        {0: {"pings_sent": 2.0, "ping_mean_rtt_s": 4.0},
+         1: {"pings_sent": 3.0, "ping_mean_rtt_s": 6.0}})
+    assert merged["region0/pings_sent"] == 2.0
+    assert merged["total/pings_sent"] == 5.0
+    assert merged["total/ping_mean_rtt_s"] == 5.0  # averaged, not summed
+    assert "total/regions" in merged
+
+
+def test_layout_from_scenario_round_trip():
+    scenario = Scenario(name="reg", stations=6, duration_seconds=30.0,
+                        seed=9, regions=3, fidelity="frame",
+                        flow_stations=12,
+                        mix=(GeneratorMix("ping", rate_per_minute=2),))
+    layout = layout_from_scenario(scenario)
+    assert layout.regions == 3
+    assert layout.stations_per_region == 2
+    assert layout.fidelity == "frame"
+    assert layout.flow_stations == 12
+    assert layout.ping_rate_per_minute == 2
+
+
+def test_layout_from_scenario_rejects_non_ping_mixes():
+    scenario = Scenario(name="bad", stations=4, regions=2,
+                        mix=(GeneratorMix("udp"),))
+    with pytest.raises(ValueError, match="ping-only"):
+        layout_from_scenario(scenario)
