@@ -70,7 +70,9 @@ def test_deep_lint_under_budget(benchmark):
     report = benchmark(run)
     assert report.new_findings == []
     assert set(report.deep_timings) >= {"project-index", "detflow",
-                                        "races", "conservation", "fsm"}
+                                        "races", "conservation", "fsm",
+                                        "units", "shard-isolation",
+                                        "fidelity-parity"}
 
     stats = getattr(benchmark, "stats", None)
     if stats is not None:

@@ -39,6 +39,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    parser.add_argument("--explain", default=None, metavar="RULE",
+                        help="print one rule's rationale, a live example "
+                             "finding with its provenance chain, and the "
+                             "sanctioned fix, then exit")
     parser.add_argument("--deep", action="store_true",
                         help="also run the whole-program passes "
                              "(call graph + dataflow: DETFLOW, RACE001, "
@@ -66,6 +70,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_rules:
         print(list_rules())
+        return 0
+
+    if args.explain is not None:
+        from repro.analysis.explain import explain_rule
+        text = explain_rule(args.explain)
+        if text is None:
+            print(f"unknown rule {args.explain!r}; see --list-rules",
+                  file=sys.stderr)
+            return 2
+        print(text)
         return 0
 
     paths = args.paths or ["src"]
@@ -106,6 +120,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 _ORDERING_RULES = ("DETFLOW001", "DETFLOW002", "RACE001")
 #: Deep rules whose dynamic counterpart is live span conservation.
 _CONSERVATION_RULES = ("CONS001",)
+#: Shard-isolation rules; dynamic twin: 1-proc vs 2-proc digest equality.
+_ISOLATION_RULES = ("SHARD001", "SHARD002")
+#: Units/fidelity rules; dynamic twin: per_char vs frame digest equality.
+_FIDELITY_RULES = ("UNIT001", "UNIT002", "FID001")
 
 
 def _run_bench(report, seeds: int, stations: int, duration: float) -> int:
@@ -151,6 +169,18 @@ def _run_bench(report, seeds: int, stations: int, duration: float) -> int:
                 "sanitizer_checks", "sanitizer_stale_spans",
                 "obs_born_total")},
         })
+    static_isolation = sum(1 for f in report.new_findings
+                           if f.rule in _ISOLATION_RULES)
+    static_fidelity = sum(1 for f in report.new_findings
+                          if f.rule in _FIDELITY_RULES)
+    isolation_failures, fidelity_failures, shard_metrics = _shard_bench()
+    runs.append({
+        "params": {"case": "shard_digests", "regions": 2,
+                   "stations_per_region": 1, "duration_seconds": 10.0},
+        "seed": 0,
+        "metrics": shard_metrics,
+    })
+
     agreement = {
         "ordering": {
             "static_findings": static_ordering,
@@ -163,6 +193,16 @@ def _run_bench(report, seeds: int, stations: int, duration: float) -> int:
             "agree": (static_conservation == 0)
                      == (dynamic_conservation_failures == 0),
         },
+        "isolation": {
+            "static_findings": static_isolation,
+            "dynamic_failures": isolation_failures,
+            "agree": (static_isolation == 0) == (isolation_failures == 0),
+        },
+        "fidelity": {
+            "static_findings": static_fidelity,
+            "dynamic_failures": fidelity_failures,
+            "agree": (static_fidelity == 0) == (fidelity_failures == 0),
+        },
     }
     path = write_bench_json(
         bench_json_path("lint"),
@@ -174,7 +214,48 @@ def _run_bench(report, seeds: int, stations: int, duration: float) -> int:
          "agreement": agreement},
     )
     ok = all(row["agree"] for row in agreement.values())
-    print(f"wrote {path}: ordering agree="
-          f"{agreement['ordering']['agree']} conservation agree="
-          f"{agreement['conservation']['agree']}")
+    print(f"wrote {path}: " + " ".join(
+        f"{name} agree={row['agree']}"
+        for name, row in sorted(agreement.items())))
     return 0 if ok else 1
+
+
+def _shard_bench():
+    """Dynamic twins for the isolation and fidelity rows.
+
+    A deliberately tiny layout (2 regions x 1 station, 10 simulated
+    seconds, no flow cloud) keeps the --bench smoke under a second:
+    isolation compares 1-proc vs 2-proc digests of the same layout,
+    fidelity compares per_char vs frame digests through
+    :func:`repro.scale.fidelity.fidelity_comparable`.
+    """
+    import time as _time
+    from dataclasses import replace
+
+    from repro.harness.results import metrics_digest
+    from repro.scale.fidelity import fidelity_comparable
+    from repro.scale.regions import ScaleLayout
+    from repro.scale.shard import run_sharded
+
+    layout = ScaleLayout(regions=2, stations_per_region=1,
+                         flow_stations=0, duration_seconds=10.0,
+                         fidelity="per_char", seed=0)
+    started = _time.perf_counter()
+    single = run_sharded(layout, procs=1)
+    forked = run_sharded(layout, procs=2)
+    isolation_failures = int(metrics_digest(single)
+                             != metrics_digest(forked))
+    frame = run_sharded(replace(layout, fidelity="frame"), procs=1)
+    fidelity_failures = int(
+        metrics_digest(fidelity_comparable(single))
+        != metrics_digest(fidelity_comparable(frame)))
+    wall = _time.perf_counter() - started
+    metrics = {
+        "shard_digest_equal": float(1 - isolation_failures),
+        "fidelity_digest_equal": float(1 - fidelity_failures),
+        "events_saved_by_frame": float(
+            single.get("total/events_executed", 0.0)
+            - frame.get("total/events_executed", 0.0)),
+        "shard_bench_wall_seconds": round(wall, 3),
+    }
+    return isolation_failures, fidelity_failures, metrics

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 #: Severity levels, most severe first (used for report ordering).
 SEVERITIES = ("error", "warning")
@@ -27,11 +27,20 @@ class Finding:
     rule: str       #: rule id, e.g. ``DET001``
     severity: str   #: ``error`` or ``warning``
     message: str    #: human-readable explanation with the fix hint
+    #: Evidence chain for abstract-interpretation findings: the seed,
+    #: the propagation steps, and the sink, innermost first.  Excluded
+    #: from the fingerprint so provenance wording can improve without
+    #: invalidating baselines or suppressions.
+    provenance: Tuple[str, ...] = ()
 
     def render(self) -> str:
         """One classic compiler-style diagnostic line."""
-        return (f"{self.file}:{self.line}:{self.col + 1}: "
+        line = (f"{self.file}:{self.line}:{self.col + 1}: "
                 f"{self.rule} [{self.severity}] {self.message}")
+        if self.provenance:
+            chain = " -> ".join(self.provenance)
+            line += f"\n    provenance: {chain}"
+        return line
 
     def fingerprint(self) -> str:
         """Line-insensitive identity used by the baseline file."""
@@ -42,7 +51,7 @@ class Finding:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready shape (includes the fingerprint for baselines)."""
-        return {
+        doc: Dict[str, object] = {
             "file": self.file,
             "line": self.line,
             "col": self.col,
@@ -51,10 +60,14 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint(),
         }
+        if self.provenance:
+            doc["provenance"] = list(self.provenance)
+        return doc
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Finding":
         """Inverse of :meth:`to_dict` (the fingerprint is recomputed)."""
+        provenance = data.get("provenance", ())
         return cls(
             file=str(data["file"]),
             line=int(data["line"]),       # type: ignore[arg-type]
@@ -62,6 +75,7 @@ class Finding:
             rule=str(data["rule"]),
             severity=str(data["severity"]),
             message=str(data["message"]),
+            provenance=tuple(str(step) for step in provenance),  # type: ignore[union-attr]
         )
 
     def sort_key(self) -> tuple:

@@ -14,8 +14,11 @@ from repro.analysis.passes.simsafety import SimSafetyPass
 # and run only under ``--deep``.
 from repro.analysis.passes.conservation import ConservationPass
 from repro.analysis.passes.detflow import DetFlowPass
+from repro.analysis.passes.fidelity import FidelityParityPass
 from repro.analysis.passes.fsm import FsmPass
 from repro.analysis.passes.races import EventRacePass
+from repro.analysis.passes.shard import ShardIsolationPass
+from repro.analysis.passes.units import UnitsPass
 
 __all__ = [
     "DeterminismPass",
@@ -26,5 +29,8 @@ __all__ = [
     "ConservationPass",
     "DetFlowPass",
     "EventRacePass",
+    "FidelityParityPass",
     "FsmPass",
+    "ShardIsolationPass",
+    "UnitsPass",
 ]

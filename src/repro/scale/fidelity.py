@@ -45,9 +45,14 @@ FIDELITY_NEUTRAL_METRICS = frozenset({
 
 
 def fidelity_comparable(metrics: Dict[str, float]) -> Dict[str, float]:
-    """The subset of a metrics dict that must survive a fidelity switch."""
+    """The subset of a metrics dict that must survive a fidelity switch.
+
+    Sharded runs prefix per-region metrics (``region0/events_executed``,
+    ``total/events_executed``); the neutral set applies to the last path
+    segment so the same gate works on flat and sharded metric dicts.
+    """
     return {key: value for key, value in sorted(metrics.items())
-            if key not in FIDELITY_NEUTRAL_METRICS}
+            if key.rsplit("/", 1)[-1] not in FIDELITY_NEUTRAL_METRICS}
 
 
 def validate_line_fidelity(fidelity: str) -> str:

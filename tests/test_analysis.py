@@ -731,8 +731,23 @@ def test_projectinfo_symbol_tables(tmp_path):
 def test_repo_src_deep_lints_clean():
     report = LintEngine(deep=True).lint_paths([SRC_ROOT])
     deep_rules = {"DETFLOW001", "DETFLOW002", "RACE001", "CONS001",
-                  "FSM001"}
+                  "FSM001", "UNIT001", "UNIT002", "SHARD001", "SHARD002",
+                  "FID001"}
     offenders = [f for f in report.new_findings if f.rule in deep_rules]
     assert offenders == [], [f.render() for f in offenders]
     assert set(report.deep_timings) >= {"project-index", "detflow",
-                                        "races", "conservation", "fsm"}
+                                        "races", "conservation", "fsm",
+                                        "units", "shard-isolation",
+                                        "fidelity-parity"}
+
+
+def test_repo_baseline_is_empty_by_policy():
+    """Every true positive gets fixed in-code, never grandfathered.
+
+    The CI lint job asserts the same thing from the shell; this twin
+    keeps the policy visible to anyone running only pytest.
+    """
+    document = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert document["findings"] == [], (
+        "lint-baseline.json must stay empty: fix findings in code "
+        "instead of baselining them")
