@@ -8,6 +8,7 @@ directory, so an installed copy of the library can demonstrate itself:
     python -m repro observatory    # axdump + netstat on a live gateway
     python -m repro sweep ...      # parallel seeded experiment sweeps
     python -m repro chaos ...      # fault-injection soak + digest gate
+    python -m repro tournament ... # recovery-policy tournament gate
     python -m repro report ...     # packet flight recorder report / gate
     python -m repro scale ...      # multi-fidelity sharding digest gate
     python -m repro lint ...       # reprolint static-analysis gate
@@ -19,6 +20,16 @@ mean +/- 95% CI per grid point, and writes a machine-readable
 ``BENCH_<name>.json``:
 
     python -m repro sweep --bench e3 --seeds 8 --procs 4
+
+``tournament`` is the recovery-policy gate: every (rto x cc x
+link-timer) policy combination runs against the hostile-link fault
+plans at 1200 and 9600 bps, on 1 and N worker processes; the gate
+requires zero crashes, span conservation, byte-identical digests
+across layouts, and the §4.1 headline (AdaptiveRto+Reno strictly
+beats FixedRto+NoCongestion on goodput under the storm plan),
+writing per-cell Student-t CIs to ``BENCH_tournament.json``:
+
+    python -m repro tournament --seeds 3
 
 ``report`` is the observability front door: it runs an instrumented
 gateway scenario and prints the flight recorder's report (top talkers,
@@ -281,6 +292,187 @@ def _chaos(argv: List[str]) -> int:
         return 1
     print(f"\nchaos gate passed: {len(digests_1)} run(s), digests "
           f"identical across layouts; wrote {path}")
+    return 0
+
+
+def _tournament(argv: List[str]) -> int:
+    """``python -m repro tournament``: the recovery-policy tournament gate.
+
+    Sweeps every (rto x cc x link-timer) policy combination across the
+    hostile-link fault plans and both link speeds, twice -- once inline,
+    once across worker processes -- and requires (1) zero crashed runs,
+    (2) byte-identical per-cell metric digests across the two layouts,
+    (3) span conservation in every run, and (4) the §4.1 headline:
+    AdaptiveRto+Reno strictly beats FixedRto+NoCongestion on mean
+    goodput under the storm plan at 1200 bps.  Writes
+    ``BENCH_tournament.json`` with goodput/latency/retransmit
+    Student-t CIs per cell.
+    """
+    import json
+
+    from repro.faults.plan import TOURNAMENT_PLANS
+    from repro.harness import (
+        SweepSpec,
+        bench_json_path,
+        run_sweep,
+        sweep_digests,
+        write_bench_json,
+    )
+    from repro.harness.results import sweep_to_dict
+    from repro.harness.runner import seeds_from_count
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tournament",
+        description="Recovery-policy tournament: (rto x cc x link-timer) "
+                    "across hostile-link fault plans and link speeds, "
+                    "digest-compared across process layouts.",
+    )
+    parser.add_argument("--seeds", type=int, default=3, metavar="N",
+                        help="number of seeds per cell (default: 3)")
+    parser.add_argument("--seed-base", type=int, default=1,
+                        help="first seed value (default: 1)")
+    parser.add_argument("--plans", default=",".join(TOURNAMENT_PLANS),
+                        help="comma-separated fault plans "
+                             f"(default: {','.join(TOURNAMENT_PLANS)})")
+    parser.add_argument("--speeds", default="1200,9600",
+                        help="comma-separated link bit rates "
+                             "(default: 1200,9600)")
+    parser.add_argument("--duration", type=float, default=180.0,
+                        help="scenario seconds per run (default: 180)")
+    parser.add_argument("--procs", type=int, default=2,
+                        help="worker processes for the parallel layout "
+                             "(default: 2)")
+    parser.add_argument("--out", default=None,
+                        help="results path (default: "
+                             "./BENCH_tournament.json)")
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    plans = tuple(p.strip() for p in args.plans.split(",") if p.strip())
+    unknown = [p for p in plans if p not in TOURNAMENT_PLANS]
+    if not plans or unknown:
+        print(f"unknown plan(s) {unknown}; known: "
+              f"{', '.join(TOURNAMENT_PLANS)}", file=sys.stderr)
+        return 2
+    speeds = tuple(int(s) for s in args.speeds.split(",") if s.strip())
+
+    def cell(rto: str, cc: str, link_timer: str, plan: str,
+             bit_rate: int) -> Dict[str, object]:
+        return {"rto": rto, "cc": cc, "link_timer": link_timer,
+                "plan": plan, "bit_rate": bit_rate,
+                "duration_seconds": args.duration}
+
+    grid = tuple(
+        cell(rto, cc, link_timer, plan, bit_rate)
+        for plan in plans
+        for bit_rate in speeds
+        for rto in ("fixed", "adaptive")
+        for cc in ("none", "reno", "paced")
+        for link_timer in ("fixed", "adaptive")
+    )
+    seeds = seeds_from_count(args.seeds, base=args.seed_base)
+    total = len(grid) * args.seeds
+    failures: List[str] = []
+    results = {}
+    for procs in (1, args.procs):
+        print(f"tournament: {len(grid)} cells x {args.seeds} seed(s) "
+              f"= {total} runs, procs={procs}")
+        spec = SweepSpec(bench="tournament", seeds=seeds, grid=grid,
+                         procs=procs)
+        try:
+            results[procs] = run_sweep(spec)
+        except Exception as exc:  # a crashed cell fails the whole gate
+            print(f"\ntournament gate FAILED: run crashed under "
+                  f"procs={procs}: {exc!r}")
+            return 1
+
+    result = results[1]
+    print(f"\ntournament: goodput/latency/retransmits, mean ± 95% CI "
+          f"over {args.seeds} seed(s)")
+    for key, params in result.grid_points():
+        aggs = result.aggregates[key]
+        goodput = aggs["goodput_bytes_per_s"]
+        latency = aggs.get("tcp_transfer_mean_latency_s")
+        rexmit = aggs["tcp_retransmissions"]
+        print(f"  {params['plan']:9s} {params['bit_rate']:>4d}bps "
+              f"rto={params['rto']:8s} cc={params['cc']:5s} "
+              f"t1={params['link_timer']:8s} "
+              f"goodput={goodput.render():22s} "
+              f"rexmit={rexmit.render():18s} "
+              f"latency={latency.render() if latency else '-'}")
+
+    digests_1 = sweep_digests(results[1])
+    digests_2 = sweep_digests(results[args.procs])
+    for key, digest in sorted(digests_1.items()):
+        if digests_2.get(key) != digest:
+            failures.append(
+                f"digest mismatch at {key}: procs=1 {digest[:12]} "
+                f"!= procs={args.procs} "
+                f"{(digests_2.get(key) or 'missing')[:12]}")
+    for record in result.records:
+        if record.metrics.get("obs_conservation_ok", 0) < 1:
+            failures.append(f"seed={record.seed} {record.params}: "
+                            f"span conservation violated")
+
+    # The §4.1 headline: on the storm plan at 1200 bps, adaptive RTO
+    # with Reno must strictly beat the fixed-RTO uncongested baseline.
+    headline = {}
+    if "storm" in plans and 1200 in speeds:
+        champion_key = json.dumps(
+            cell("adaptive", "reno", "fixed", "storm", 1200),
+            sort_keys=True, default=str)
+        baseline_key = json.dumps(
+            cell("fixed", "none", "fixed", "storm", 1200),
+            sort_keys=True, default=str)
+        champion = result.aggregates[champion_key]["goodput_bytes_per_s"]
+        baseline = result.aggregates[baseline_key]["goodput_bytes_per_s"]
+        headline = {
+            "adaptive_reno_goodput": champion.as_dict(),
+            "fixed_none_goodput": baseline.as_dict(),
+            "adaptive_beats_fixed": champion.mean > baseline.mean,
+        }
+        print(f"\n  §4.1 headline (storm @ 1200 bps): "
+              f"AdaptiveRto+Reno {champion.render()} vs "
+              f"FixedRto+NoCongestion {baseline.render()} B/s")
+        if champion.mean <= baseline.mean:
+            failures.append(
+                f"§4.1 headline violated: AdaptiveRto+Reno goodput "
+                f"{champion.mean:.1f} B/s does not beat "
+                f"FixedRto+NoCongestion {baseline.mean:.1f} B/s "
+                f"under the storm plan")
+
+    document = sweep_to_dict(results[args.procs])
+    # 360 runs x ~180 metrics (mostly obs histogram buckets) makes a
+    # multi-megabyte artifact; keep the recovery-relevant slice.  The
+    # digests below still cover the full metric set of every run.
+    keep_prefixes = ("goodput_", "tcp_", "lapb_", "fault",
+                     "obs_conservation_", "channel_")
+    keep_exact = {"obs_born_total", "obs_delivered", "obs_dropped",
+                  "obs_drop_link_giveup"}
+    for section in ("runs", "aggregates"):
+        for entry in document[section]:
+            entry["metrics"] = {
+                name: value for name, value in entry["metrics"].items()
+                if name in keep_exact or name.startswith(keep_prefixes)}
+    document["digests"] = {
+        "procs1": digests_1,
+        f"procs{args.procs}": digests_2,
+        "identical": digests_1 == digests_2,
+    }
+    document["headline"] = headline
+    out = args.out or bench_json_path("tournament")
+    path = write_bench_json(out, document, bench="tournament")
+
+    if failures:
+        print("\ntournament gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(f"wrote {path}")
+        return 1
+    print(f"\ntournament gate passed: {len(grid)} cell(s) x "
+          f"{args.seeds} seed(s), zero crashes, spans conserved, "
+          f"digests identical across layouts; wrote {path}")
     return 0
 
 
@@ -616,6 +808,8 @@ def main(argv: list) -> int:
         return _sweep(argv[2:])
     if name == "chaos":
         return _chaos(argv[2:])
+    if name == "tournament":
+        return _tournament(argv[2:])
     if name == "report":
         return _report(argv[2:])
     if name == "scale":
@@ -630,7 +824,7 @@ def main(argv: list) -> int:
         print(f"unknown scenario {name!r}", file=sys.stderr)
     print(__doc__.strip())
     print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)),
-          "+ sweep, chaos, report, scale, lint")
+          "+ sweep, chaos, tournament, report, scale, lint")
     print("richer versions live in examples/*.py")
     return 0 if name in ("list", "-h", "--help") else 2
 

@@ -49,6 +49,7 @@ TARGET_SUFFIXES = (
     "core/driver.py",
     "inet/netstack.py",
     "tnc/kiss_tnc.py",
+    "ax25/lapb.py",
 )
 
 #: Recorder terminals whose last literal argument is a reason word.

@@ -48,6 +48,7 @@ DIMENSIONS: Tuple[str, ...] = (
     "bytes",         # byte counts (buffers, MTUs, payload sizes)
     "bits",          # bit counts (serial framing, modem arithmetic)
     "baud",          # bits per second (line and modem rates)
+    "byte_rate",     # bytes per second (pacing and delivery rates)
     "count",         # dimensionless counts (frames, stations, events)
 )
 
@@ -127,6 +128,11 @@ _MUL_TABLE: Dict[FrozenSet[str], str] = {
     frozenset({"count", "sim_seconds"}): "sim_seconds",
     frozenset({"count", "bytes"}): "bytes",
     frozenset({"count", "bits"}): "bits",
+    frozenset({"count", "byte_rate"}): "byte_rate",
+    # rate * time is a byte count (per the clock module's convention
+    # that byte-rate arithmetic carries the US_PER_SECOND prefactor).
+    frozenset({"byte_rate", "sim_us"}): "bytes",
+    frozenset({"byte_rate", "sim_seconds"}): "bytes",
 }
 
 
@@ -156,8 +162,11 @@ _DIV_TABLE: Dict[Tuple[str, str], str] = {
     ("sim_seconds", "count"): "sim_seconds",
     ("bytes", "count"): "bytes",
     ("bits", "count"): "bits",
-    ("bytes", "sim_us"): UNKNOWN,    # bytes/us: a rate we don't model
+    ("bytes", "sim_us"): UNKNOWN,    # bytes/us: go through bytes_per_second
     ("baud", "bits"): UNKNOWN,       # chars/second: likewise
+    ("byte_rate", "count"): "byte_rate",
+    ("bytes", "byte_rate"): "sim_seconds",   # transfer time (pure dimension)
+    ("bytes", "sim_seconds"): "byte_rate",
 }
 
 
@@ -185,6 +194,9 @@ CALL_SEEDS: Dict[str, str] = {
     # The sanctioned converters in repro.sim.clock.
     "repro.sim.clock.seconds": "sim_us",
     "repro.sim.clock.us_to_seconds": "sim_seconds",
+    # Byte-rate converters (pacing gates, delivery-rate estimation).
+    "repro.sim.clock.byte_airtime": "sim_us",
+    "repro.sim.clock.bytes_per_second": "byte_rate",
     # Host clocks: wall seconds, never simulated time.
     "time.time": "wall_seconds",
     "time.monotonic": "wall_seconds",
@@ -219,6 +231,16 @@ EXACT_NAME_SEEDS: Dict[str, str] = {
     "bit_rate": "baud",         # ModemProfile's on-air rate
     "bits_per_char": "bits",    # 8N1 framing arithmetic
     "mtu": "bytes",
+    # Recovery-policy conventions (RtoPolicy / CongestionPolicy /
+    # LinkTimerPolicy): smoothed-RTT state is integer microseconds,
+    # pacing state is bytes per second.
+    "srtt": "sim_us",
+    "rttvar": "sim_us",
+    "rto": "sim_us",
+    "min_rtt": "sim_us",
+    "pacing_rate": "byte_rate",
+    "initial_rate": "byte_rate",
+    "min_rate": "byte_rate",
 }
 
 #: Name-suffix conventions, checked after the exact table.
@@ -250,7 +272,7 @@ SCHEDULER_SINKS: FrozenSet[str] = frozenset({"schedule", "at", "call_at"})
 #: wall-clock value here is the ms-vs-s bug by construction; byte/bit
 #: magnitudes are category errors.
 SCHEDULER_FORBIDDEN: FrozenSet[str] = frozenset(
-    {"sim_seconds", "wall_seconds", "bytes", "bits", "baud"})
+    {"sim_seconds", "wall_seconds", "bytes", "bits", "baud", "byte_rate"})
 
 #: ``Rate.tick(now)`` wants the integer sim clock.
 TICK_FORBIDDEN: FrozenSet[str] = frozenset({"sim_seconds", "wall_seconds"})
@@ -329,7 +351,9 @@ def live_seed_check() -> Dict[str, str]:
         elif dim != "sim_us":
             failures[qualname] = f"clock constant seeded as {dim}"
     for qualname in ("repro.sim.clock.seconds",
-                     "repro.sim.clock.us_to_seconds"):
+                     "repro.sim.clock.us_to_seconds",
+                     "repro.sim.clock.byte_airtime",
+                     "repro.sim.clock.bytes_per_second"):
         attr = qualname.rsplit(".", 1)[-1]
         if not callable(getattr(clock, attr, None)):
             failures[qualname] = f"{attr} missing from repro.sim.clock"
@@ -350,6 +374,36 @@ def live_seed_check() -> Dict[str, str]:
         failures["Rate.tick"] = f"signature drifted: {tick_params}"
     if not callable(getattr(Histogram, "record", None)):
         failures["Histogram.record"] = "record method missing"
+
+    # Recovery-policy signatures: the srtt/rttvar/pacing_rate seeds
+    # must match live attributes of the real policy objects, and the
+    # policy hooks must exist with the names the checker's conventions
+    # assume.
+    from repro.ax25.lapb import AdaptiveLinkTimer
+    from repro.inet.tcp import AdaptiveRto, CongestionPolicy, PacedRate
+
+    rto_state = AdaptiveRto()
+    for attr in ("srtt", "rttvar"):
+        if not hasattr(rto_state, attr):
+            failures[f"AdaptiveRto.{attr}"] = "attribute missing"
+        elif unit_for_name(attr) != "sim_us":
+            failures[f"AdaptiveRto.{attr}"] = "name no longer seeds sim_us"
+    paced = PacedRate()
+    for attr, dim in (("pacing_rate", "byte_rate"), ("min_rate", "byte_rate"),
+                      ("min_rtt", "sim_us")):
+        if not hasattr(paced, attr):
+            failures[f"PacedRate.{attr}"] = "attribute missing"
+        elif unit_for_name(attr) != dim:
+            failures[f"PacedRate.{attr}"] = f"name no longer seeds {dim}"
+    for method in ("window", "on_ack", "on_timeout", "send_delay", "on_send"):
+        if not callable(getattr(CongestionPolicy, method, None)):
+            failures[f"CongestionPolicy.{method}"] = "hook missing"
+    link_timer = AdaptiveLinkTimer()
+    for attr in ("srtt", "rttvar"):
+        if not hasattr(link_timer, attr):
+            failures[f"AdaptiveLinkTimer.{attr}"] = "attribute missing"
+        elif unit_for_name(attr) != "sim_us":
+            failures[f"AdaptiveLinkTimer.{attr}"] = "name no longer seeds sim_us"
 
     # ScaleLayout's lookahead field (imported lazily: scale pulls in the
     # whole workload stack).

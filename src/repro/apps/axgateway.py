@@ -21,10 +21,10 @@ gateway's own IP stack.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.ax25.frames import AX25Frame
-from repro.ax25.lapb import LapbConnection, LapbEndpoint
+from repro.ax25.lapb import LapbConnection, LapbEndpoint, LinkTimerPolicy
 from repro.core.driver import PacketRadioInterface
 from repro.inet.ip import IPError, IPv4Address
 from repro.inet.netstack import NetStack
@@ -145,7 +145,8 @@ class Ax25ApplicationGateway:
     """The §2.4 user program bridging AX.25 users to IP services."""
 
     def __init__(self, stack: NetStack, driver: PacketRadioInterface,
-                 mail_relay: Optional[str] = None) -> None:
+                 mail_relay: Optional[str] = None,
+                 timer_policy: Optional[Callable[[], LinkTimerPolicy]] = None) -> None:
         self.stack = stack
         self.driver = driver
         self.mail_relay = mail_relay
@@ -153,6 +154,8 @@ class Ax25ApplicationGateway:
             stack.sim, driver.callsign,
             send_frame=driver.send_ax25_frame,
             t1=5 * SECOND,
+            timer_policy=timer_policy,
+            tracer=stack.tracer,
         )
         self.endpoint.on_connect = self._connected
         self.endpoint.on_data = self._data

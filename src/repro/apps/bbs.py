@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.ax25.address import AX25Address, AX25Path
 from repro.ax25.frames import AX25Frame, FrameError
-from repro.ax25.lapb import LapbConnection, LapbEndpoint
+from repro.ax25.lapb import LapbConnection, LapbEndpoint, LinkTimerPolicy
 from repro.radio.channel import RadioChannel
 from repro.radio.csma import CsmaParameters
 from repro.radio.modem import ModemProfile
@@ -149,6 +149,7 @@ class BulletinBoard:
         modem: Optional[ModemProfile] = None,
         csma: Optional[CsmaParameters] = None,
         tracer: Optional[Tracer] = None,
+        timer_policy: Optional[Callable[[], LinkTimerPolicy]] = None,
     ) -> None:
         self.sim = sim
         self.callsign = (
@@ -163,6 +164,8 @@ class BulletinBoard:
             sim, self.callsign,
             send_frame=lambda frame: self.station.send_frame(frame.encode()),
             t1=5 * SECOND,
+            timer_policy=timer_policy,
+            tracer=tracer,
         )
         self.endpoint.on_connect = self._connected
         self.endpoint.on_data = self._data

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
 
 from repro.ax25.address import AX25Address, AX25Path
 from repro.ax25.defs import (
@@ -32,8 +33,115 @@ from repro.ax25.defs import (
     FrameType,
 )
 from repro.ax25.frames import AX25Frame
-from repro.sim.clock import SECOND
+from repro.sim.clock import MS, SECOND
 from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import Tracer
+
+
+# ----------------------------------------------------------------------
+# T1 timer policies
+# ----------------------------------------------------------------------
+
+class LinkTimerPolicy:
+    """Strategy interface for the T1 retransmission timer.
+
+    Mirrors :class:`repro.inet.tcp.RtoPolicy` one layer down: the
+    connection feeds I-frame round-trip samples (never from
+    retransmitted frames -- Karn's rule) and asks for the delay to arm,
+    already scaled by the retry count's exponential backoff.
+    """
+
+    def current(self, retry_count: int) -> int:
+        """The T1 delay to arm now, in microseconds."""
+        raise NotImplementedError
+
+    def sample(self, rtt: int) -> None:
+        """Feed one I-frame round-trip measurement."""
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return type(self).__name__
+
+
+class FixedLinkTimer(LinkTimerPolicy):
+    """The classic TNC behaviour: a configured T1, doubling per retry.
+
+    This is exactly what the firmware of a ROM TNC does -- FRACK is a
+    knob the operator sets once, regardless of whether the path is one
+    hop of clear 9600 baud or three digipeats of contested 1200.
+    """
+
+    MAX_SHIFT = 4
+
+    def __init__(self, t1: int = 5 * SECOND) -> None:
+        self.t1 = t1
+
+    def current(self, retry_count: int) -> int:
+        """The timeout value to arm now, in microseconds."""
+        return self.t1 * (1 << min(retry_count, self.MAX_SHIFT))
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"FixedLinkTimer({self.t1 / SECOND:.2f}s)"
+
+
+class AdaptiveLinkTimer(LinkTimerPolicy):
+    """Jacobson-smoothed T1 from measured I-frame round trips.
+
+    srtt/rttvar integer estimation exactly as the TCP layer does it,
+    T1 = srtt + 4*rttvar clamped to [min_t1, max_t1], with capped
+    exponential backoff on retries.  The *connection* enforces Karn's
+    rule by never feeding samples for retransmitted frames.
+    """
+
+    MAX_SHIFT = 4
+
+    def __init__(self, initial_t1: int = 5 * SECOND,
+                 min_t1: int = 500 * MS,
+                 max_t1: int = 60 * SECOND) -> None:
+        self.initial_t1 = initial_t1
+        self.min_t1 = min_t1
+        self.max_t1 = max_t1
+        self.srtt: Optional[int] = None
+        self.rttvar = 0
+        self.samples = 0
+
+    def current(self, retry_count: int) -> int:
+        """The timeout value to arm now, in microseconds."""
+        if self.srtt is None:
+            base = self.initial_t1
+        else:
+            base = self.srtt + 4 * self.rttvar
+        base = max(self.min_t1, min(base, self.max_t1))
+        return min(base << min(retry_count, self.MAX_SHIFT), self.max_t1)
+
+    def sample(self, rtt: int) -> None:
+        """Feed one I-frame round-trip measurement."""
+        self.samples += 1
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt // 2
+        else:
+            delta = rtt - self.srtt
+            self.srtt += delta // 8
+            self.rttvar += (abs(delta) - self.rttvar) // 4
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        srtt = "?" if self.srtt is None else f"{self.srtt / SECOND:.2f}s"
+        return f"AdaptiveLinkTimer(srtt={srtt})"
+
+
+@dataclass
+class _UnackedI:
+    """One I frame in flight: sequence, payload, Karn bookkeeping."""
+
+    ns: int
+    info: bytes
+    sent_at: int
+    retransmitted: bool = False
 
 
 class LapbState(enum.Enum):
@@ -60,6 +168,7 @@ class LapbConnection:
         window: int,
         t1: int,
         retries: int,
+        timer_policy: Optional[LinkTimerPolicy] = None,
     ) -> None:
         self.endpoint = endpoint
         self.remote = remote
@@ -67,6 +176,7 @@ class LapbConnection:
         self.window = window
         self.t1 = t1
         self.retries = retries
+        self.timer_policy = timer_policy or FixedLinkTimer(t1)
 
         self.state = LapbState.DISCONNECTED
         self.vs = 0                      # next send sequence number V(S)
@@ -75,10 +185,11 @@ class LapbConnection:
         self.peer_busy = False           # remote sent RNR
         self.retry_count = 0
         self.send_queue: Deque[bytes] = deque()      # not yet transmitted
-        self.unacked: Deque[Tuple[int, bytes]] = deque()  # (ns, info) in flight
+        self.unacked: Deque[_UnackedI] = deque()     # I frames in flight
         self._t1_event: Optional[Event] = None
         self._rej_outstanding = False
         self.local_busy = False
+        self.giveup_drops = 0            # I frames abandoned at N2 give-up
 
         # statistics for tests and benches
         self.stats = {
@@ -89,6 +200,8 @@ class LapbConnection:
             "rej_received": 0,
             "frmr_sent": 0,
             "bytes_delivered": 0,
+            "rtt_samples": 0,
+            "i_abandoned": 0,
         }
 
     # ------------------------------------------------------------------
@@ -194,7 +307,8 @@ class LapbConnection:
                 info=info,
                 path=self.path,
             )
-            self.unacked.append((self.vs, info))
+            self.unacked.append(_UnackedI(
+                ns=self.vs, info=info, sent_at=self.endpoint.sim.now))
             self.vs = (self.vs + 1) % SEQUENCE_MODULO
             self.stats["i_sent"] += 1
             self.endpoint.transmit(frame)
@@ -202,20 +316,44 @@ class LapbConnection:
             self._start_t1()
 
     def _retransmit_window(self) -> None:
-        """Go-back-N: resend every unacknowledged I frame in order."""
-        for ns, info in self.unacked:
+        """Go-back-N: resend every unacknowledged I frame in order.
+
+        Each resent frame is marked so its eventual acknowledgement
+        yields no RTT sample (Karn's rule: the round trip is ambiguous).
+        """
+        for entry in self.unacked:
             frame = AX25Frame.i_frame(
                 destination=self.remote,
                 source=self.endpoint.address,
-                ns=ns,
+                ns=entry.ns,
                 nr=self.vr,
-                info=info,
+                info=entry.info,
                 path=self.path,
             )
+            entry.retransmitted = True
             self.stats["i_rexmit"] += 1
+            self._observe_recovery(retransmits=1)
             self.endpoint.transmit(frame)
         if self.unacked:
             self._start_t1()
+
+    def _observe_recovery(self, retransmits: int = 0) -> None:
+        """Sample T1 into the flight recorder's recovery instruments.
+
+        Mirrors the TCP layer's gauges one layer down: the ``lapb_t1_us``
+        gauge tracks the armed timeout as the policy adapts, and the
+        windowed rate counts go-back-N retransmissions per 10 seconds.
+        """
+        tracer = self.endpoint.tracer
+        recorder = tracer.flight if tracer is not None else None
+        if recorder is None:
+            return
+        recorder.instruments.gauge("lapb_t1_us").sample(
+            self.timer_policy.current(self.retry_count))
+        if retransmits:
+            recorder.instruments.rate(
+                "lapb_rexmit_per_10s", 10 * SECOND).tick(
+                    self.endpoint.sim.now, retransmits)
 
     # ------------------------------------------------------------------
     # T1 timer
@@ -223,8 +361,7 @@ class LapbConnection:
 
     def _start_t1(self) -> None:
         self._stop_t1()
-        backoff = min(self.retry_count, 4)
-        delay = self.t1 * (1 << backoff)
+        delay = self.timer_policy.current(self.retry_count)
         self._t1_event = self.endpoint.sim.schedule(
             delay, self._t1_expired, label=f"lapb-t1 {self.endpoint.address}->{self.remote}"
         )
@@ -393,12 +530,18 @@ class LapbConnection:
             self._send_u(FrameType.FRMR, poll_final=False, command=False)
             return
         while self.unacked:
-            ns = self.unacked[0][0]
+            entry = self.unacked[0]
             # ns is acknowledged if it lies in [va, nr) modulo 8.
-            if _seq_in_range(ns, self.va, nr):
+            if _seq_in_range(entry.ns, self.va, nr):
                 self.unacked.popleft()
-                self.va = (ns + 1) % SEQUENCE_MODULO
+                self.va = (entry.ns + 1) % SEQUENCE_MODULO
                 self.retry_count = 0
+                if not entry.retransmitted:
+                    # Karn's rule: only unambiguous round trips train T1.
+                    self.timer_policy.sample(
+                        self.endpoint.sim.now - entry.sent_at)
+                    self.stats["rtt_samples"] += 1
+                    self._observe_recovery()
             else:
                 break
         if not self.unacked:
@@ -417,9 +560,37 @@ class LapbConnection:
         self.state = LapbState.DISCONNECTED
         self._stop_t1()
         self.send_queue.clear()
-        self.unacked.clear()
+        if self.unacked:
+            self._abandon_unacked(reason or "disconnect")
         if notify and previous is not LapbState.DISCONNECTED:
             self.endpoint.notify_disconnect(self, reason)
+
+    def _abandon_unacked(self, why: str) -> None:
+        """Account for every I frame the link gives up on.
+
+        N2 give-up (and any other disconnect with frames in flight) used
+        to clear ``unacked`` silently; these frames died without a
+        counter bump or a span terminal, so the flight recorder's
+        conservation census could not see them.  Each abandoned frame
+        now bumps the drop counter and emits a paired observation --
+        a trace record always, plus a span terminal when the payload is
+        an IP datagram the recorder is following.
+        """
+        tracer = self.endpoint.tracer
+        source = str(self.endpoint.address)
+        for entry in self.unacked:
+            self.giveup_drops += 1
+            self.stats["i_abandoned"] += 1
+            if tracer is not None:
+                tracer.log(
+                    "lapb.giveup", source,
+                    f"abandoning I frame ns={entry.ns} to {self.remote}",
+                    reason=why, bytes=len(entry.info),
+                )
+                if tracer.flight is not None:
+                    tracer.flight.drop(entry.info, "lapb.giveup", source,
+                                       "link_giveup")
+        self.unacked.clear()
 
 
 def _seq_in_range(ns: int, va: int, nr: int) -> bool:
@@ -453,6 +624,8 @@ class LapbEndpoint:
         retries: int = DEFAULT_RETRIES,
         paclen: int = DEFAULT_PACLEN,
         accept_connections: bool = True,
+        timer_policy: Optional[Callable[[], LinkTimerPolicy]] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.sim = sim
         self.address = address
@@ -462,6 +635,10 @@ class LapbEndpoint:
         self.retries = retries
         self.paclen = paclen
         self.accept_connections = accept_connections
+        #: per-connection T1 policy factory; None = FixedLinkTimer(t1)
+        self.timer_policy = timer_policy
+        #: optional shared tracer; gives N2 give-up a span terminal
+        self.tracer = tracer
         self.connections: Dict[str, LapbConnection] = {}
 
         self.on_connect: Optional[Callable[[LapbConnection, bool], None]] = None
@@ -479,7 +656,10 @@ class LapbEndpoint:
         conn = self.connections.get(key)
         if conn is None:
             conn = LapbConnection(
-                self, remote, path, window=self.window, t1=self.t1, retries=self.retries
+                self, remote, path, window=self.window, t1=self.t1,
+                retries=self.retries,
+                timer_policy=(self.timer_policy()
+                              if self.timer_policy is not None else None),
             )
             self.connections[key] = conn
         return conn

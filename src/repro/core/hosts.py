@@ -12,9 +12,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.ax25.address import AX25Address, AX25Path
+from repro.ax25.lapb import LinkTimerPolicy
 from repro.core.access_control import AccessControlTable
 from repro.core.driver import PacketRadioInterface
 from repro.ethernet.deqna import Deqna
@@ -213,13 +214,15 @@ class TerminalStation:
         callsign: "AX25Address | str",
         serial_baud: int = 1200,
         tracer: Optional[Tracer] = None,
+        timer_policy: Optional[Callable[[], LinkTimerPolicy]] = None,
     ) -> None:
         self.sim = sim
         self.serial = SerialLine(sim, baud=serial_baud, name=f"term-{callsign}")
         self.screen = bytearray()
         self.serial.a.on_receive(self.screen.append)
         self.tnc = RomTnc(
-            sim, channel, self.serial.b, callsign, tracer=tracer, echo=False
+            sim, channel, self.serial.b, callsign, tracer=tracer, echo=False,
+            timer_policy=timer_policy,
         )
 
     def type_line(self, text: str) -> None:

@@ -15,12 +15,21 @@ harness (``python -m repro chaos``) asserts by digest comparison.
 """
 
 from repro.faults.inject import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, chaos_plan
+from repro.faults.plan import (
+    FAULT_KINDS,
+    TOURNAMENT_PLANS,
+    FaultPlan,
+    FaultSpec,
+    chaos_plan,
+    tournament_plan,
+)
 
 __all__ = [
     "FAULT_KINDS",
+    "TOURNAMENT_PLANS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "chaos_plan",
+    "tournament_plan",
 ]

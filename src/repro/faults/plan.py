@@ -111,6 +111,71 @@ class FaultPlan:
         return max((spec.end for spec in self.specs), default=0)
 
 
+#: The fault-plan axis of the policy tournament, mildest to harshest.
+TOURNAMENT_PLANS = ("storm", "noise", "fade", "partition", "wedge")
+
+
+def tournament_plan(
+    name: str,
+    duration_seconds: int,
+    gateway: str = "gateway",
+    gateway_port: str = "NT7GW",
+    stations: Sequence[str] = ("WL0", "WL1"),
+) -> FaultPlan:
+    """One named hostile-link condition for the policy tournament.
+
+    Each plan opens a window of trouble in the middle of the run and
+    clears by ~75% so the tail measures recovery, not just survival:
+
+    * ``storm`` -- the §4.1 condition: the hub's receiver fades hard,
+      so every sender's data frames die on arrival and timeout-driven
+      retransmissions pile onto the shared channel.
+    * ``noise`` -- the host<-TNC serial line corrupts, then drops bytes.
+    * ``fade`` -- the stations' receivers fade (ACK loss, asymmetric).
+    * ``partition`` -- a station and the hub stop hearing each other
+      entirely: link-layer give-up and post-blackout recovery.
+    * ``wedge`` -- the hub TNC spews garbage and spontaneously reboots,
+      twice.
+
+    ``gateway`` names the hub's serial/TNC attachment, ``gateway_port``
+    its radio port on the channel; ``stations`` are the victim radio
+    ports for fades and partitions.
+    """
+    total = duration_seconds * SECOND
+    if name == "storm":
+        specs = [
+            FaultSpec("channel_fade", at=total // 5, target=gateway_port,
+                      duration=total // 2, probability=0.45),
+        ]
+    elif name == "noise":
+        specs = [
+            FaultSpec("serial_noise", at=total * 3 // 20, target=gateway,
+                      duration=3 * total // 10, probability=0.04),
+            FaultSpec("serial_drop", at=total * 11 // 20, target=gateway,
+                      duration=total // 5, probability=0.02),
+        ]
+    elif name == "fade":
+        specs = [
+            FaultSpec("channel_fade", at=total // 4, target=station,
+                      duration=2 * total // 5, probability=0.35)
+            for station in stations
+        ]
+    elif name == "partition":
+        specs = [
+            FaultSpec("partition", at=2 * total // 5, target=stations[0],
+                      peer=gateway_port, duration=total // 4),
+        ]
+    elif name == "wedge":
+        specs = [
+            FaultSpec("tnc_garbage", at=total // 5, target=gateway, count=256),
+            FaultSpec("tnc_reboot", at=7 * total // 20, target=gateway),
+            FaultSpec("tnc_reboot", at=13 * total // 20, target=gateway),
+        ]
+    else:
+        raise ValueError(f"unknown tournament plan {name!r}")
+    return FaultPlan.of(specs, name=f"tournament-{name}")
+
+
 def chaos_plan(
     duration_seconds: int,
     gateway: str = "gateway",

@@ -30,7 +30,7 @@ from repro.sim.clock import MS, SECOND
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
 from repro.sim.sanitizer import ordering_comparable
-from repro.faults import chaos_plan
+from repro.faults import chaos_plan, tournament_plan
 from repro.workload.arrivals import BurstArrivals, PoissonArrivals
 from repro.workload.generators import UiChatterGenerator
 from repro.workload.scenario import (
@@ -417,6 +417,73 @@ def run_scale(
 
 
 # ----------------------------------------------------------------------
+# tournament -- recovery policies under hostile links (the §4.1 grid)
+# ----------------------------------------------------------------------
+
+#: Tournament workload: TCP transfers through the gateway (the §4.1
+#: traffic) plus one terminal user on the BBS so the LAPB timer axis is
+#: exercised on the same hostile channel.  Sized for 1200 bps: two
+#: senders offering one 4-segment transfer a minute keeps the load just
+#: under channel capacity (so goodput measures recovery, not queuing)
+#: while multi-segment flights give the congestion policies something
+#: to decide.
+TOURNAMENT_MIX: Tuple[GeneratorMix, ...] = (
+    GeneratorMix("tcp", fraction=2, rate_per_minute=1, payload_bytes=2048),
+    GeneratorMix("bbs", fraction=1, rate_per_minute=3),
+)
+
+
+def run_tournament(
+    seed: int = 0,
+    rto: str = "adaptive",
+    cc: str = "reno",
+    link_timer: str = "fixed",
+    plan: str = "storm",
+    bit_rate: int = 1200,
+    stations: int = 3,
+    duration_seconds: float = 180.0,
+) -> Dict[str, float]:
+    """One tournament cell: a policy triple under one hostile-link plan.
+
+    The gateway testbed runs TCP transfers (stations -> Ethernet discard
+    sink) and a BBS terminal session while the named
+    :func:`repro.faults.tournament_plan` batters the links; every TCP
+    endpoint runs the (``rto``, ``cc``) policies and every LAPB link the
+    ``link_timer`` policy.  The flight recorder is attached, so the cell
+    reports span conservation alongside the headline goodput /
+    transfer-latency / retransmit observables.
+    """
+    scenario = Scenario(
+        name=f"tournament-{plan}", topology="gateway", stations=stations,
+        duration_seconds=duration_seconds, mix=TOURNAMENT_MIX, seed=seed,
+        bit_rate=bit_rate, tcp_rto=rto, tcp_cc=cc, lapb_timer=link_timer,
+        observe=True,
+        fault_plan=tournament_plan(plan, int(duration_seconds)),
+    )
+    run = build_scenario(scenario)
+    metrics = run.run()
+    metrics["goodput_bytes_per_s"] = (
+        metrics.get("tcp_sink_bytes", 0.0) / duration_seconds)
+    # Link-layer recovery health, summed over every LAPB connection the
+    # scenario ran (the BBS's side and each terminal TNC's side).
+    endpoints = []
+    if run.bbs is not None:
+        endpoints.append(run.bbs.endpoint)
+    endpoints.extend(station.tnc.endpoint for station in run.extra_stations
+                     if hasattr(station, "tnc"))
+    for stat in ("i_sent", "i_rexmit", "rtt_samples", "i_abandoned"):
+        metrics[f"lapb_{stat}"] = float(sum(
+            conn.stats[stat]
+            for endpoint in endpoints
+            for conn in endpoint.connections.values()))
+    recorder = run.recorder
+    assert recorder is not None
+    conserved = recorder.conservation_ok() and recorder.born_total > 0
+    metrics["obs_conservation_ok"] = 1.0 if conserved else 0.0
+    return metrics
+
+
+# ----------------------------------------------------------------------
 # perf -- the simulator as software (wall-clock; not seed-deterministic)
 # ----------------------------------------------------------------------
 
@@ -532,6 +599,24 @@ EXPERIMENTS: Dict[str, Experiment] = {
                         "foreground + flow background, windowed sync",
             fn=run_scale,
             grid=({"regions": 2, "flow_stations": 200},),
+            default_seed_count=3,
+        ),
+        Experiment(
+            name="tournament",
+            description="recovery-policy tournament: (rto x cc x "
+                        "link-timer) under hostile-link fault plans "
+                        "(§4.1 headline cells)",
+            fn=run_tournament,
+            # The registry default is the headline slice -- the §4.1
+            # storm at 1200 bps across the policy corners; the
+            # ``python -m repro tournament`` gate sweeps the full
+            # (policy x plan x speed) cross product.
+            grid=(
+                {"rto": "fixed", "cc": "none", "plan": "storm"},
+                {"rto": "adaptive", "cc": "none", "plan": "storm"},
+                {"rto": "adaptive", "cc": "reno", "plan": "storm"},
+                {"rto": "adaptive", "cc": "paced", "plan": "storm"},
+            ),
             default_seed_count=3,
         ),
         Experiment(

@@ -12,7 +12,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.inet.ip import IPv4Address
 from repro.inet.netstack import NetStack
-from repro.inet.tcp import RtoPolicy, TcpConnection, TcpListener
+from repro.inet.tcp import CongestionPolicy, RtoPolicy, TcpConnection, TcpListener
 from repro.inet.udp import UdpDatagram
 
 
@@ -67,9 +67,11 @@ class TcpSocket:
 
     @classmethod
     def connect(cls, stack: NetStack, remote: "IPv4Address | str", port: int,
-                rto_policy: Optional[RtoPolicy] = None) -> "TcpSocket":
+                rto_policy: Optional[RtoPolicy] = None,
+                cc_policy: Optional[CongestionPolicy] = None) -> "TcpSocket":
         """Initiate a connection."""
-        return cls(stack.tcp.connect(remote, port, rto_policy=rto_policy))
+        return cls(stack.tcp.connect(remote, port, rto_policy=rto_policy,
+                                     cc_policy=cc_policy))
 
     # -- I/O -------------------------------------------------------------
 
@@ -134,12 +136,14 @@ class TcpServerSocket:
 
     def __init__(self, stack: NetStack, port: int,
                  on_accept: Callable[[TcpSocket], None],
-                 rto_policy: Optional[RtoPolicy] = None) -> None:
+                 rto_policy: Optional[RtoPolicy] = None,
+                 cc_policy: Optional[Callable[[], CongestionPolicy]] = None) -> None:
         self.stack = stack
         self.port = port
         self._on_accept = on_accept
         self.listener: TcpListener = stack.tcp.listen(
-            port, rto_policy=rto_policy, on_accept=self._accept
+            port, rto_policy=rto_policy, on_accept=self._accept,
+            cc_policy=cc_policy,
         )
         self.sockets: List[TcpSocket] = []
 

@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.inet.checksum import internet_checksum, pseudo_header
 from repro.inet.ip import IPv4Address
-from repro.sim.clock import MS, SECOND
+from repro.sim.clock import MS, SECOND, byte_airtime, bytes_per_second
 from repro.sim.engine import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -241,6 +241,294 @@ class AdaptiveRto(RtoPolicy):
 
 
 # ----------------------------------------------------------------------
+# congestion-control policies
+# ----------------------------------------------------------------------
+
+#: Effectively-unbounded congestion window for :class:`NoCongestion`.
+UNBOUNDED_WINDOW = 1 << 30
+
+
+class CongestionPolicy:
+    """Strategy interface for congestion window and pacing decisions.
+
+    The connection keeps the mechanics (tracking ``_unacked``, arming
+    the RTO, go-back-one retransmission); the policy owns the *amount*
+    allowed in flight and *when* the next segment may be released.  All
+    arithmetic is integer microseconds / bytes so runs stay
+    deterministic and pass the units checker.
+    """
+
+    #: congestion window in bytes; exposed as ``TcpConnection.cwnd``.
+    cwnd: int = UNBOUNDED_WINDOW
+    #: slow-start threshold in bytes; ``TcpConnection.ssthresh``.
+    ssthresh: int = UNBOUNDED_WINDOW
+
+    def window(self) -> int:
+        """Bytes the policy currently allows in flight."""
+        return self.cwnd
+
+    def on_ack(self, acked_bytes: int, mss: int, now: int) -> None:
+        """New data was cumulatively acknowledged."""
+
+    def on_dup_ack(self, mss: int) -> bool:
+        """A duplicate ACK arrived; return True to fast-retransmit now."""
+        return False
+
+    def on_timeout(self, flight_bytes: int, mss: int) -> None:
+        """The retransmission timer fired."""
+
+    def on_quench(self, mss: int) -> None:
+        """An ICMP source quench arrived."""
+
+    def send_delay(self, now: int, size_bytes: int) -> int:
+        """Microseconds to wait before releasing the next segment (0 = now)."""
+        return 0
+
+    def on_send(self, now: int, size_bytes: int) -> None:
+        """A segment of ``size_bytes`` was released to the network."""
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return type(self).__name__
+
+
+class NoCongestion(CongestionPolicy):
+    """No congestion control at all: the §4.1 storm baseline.
+
+    The window is bounded only by the peer's advertised window, timeouts
+    provoke no back-off of the send rate, and duplicate ACKs are
+    ignored.  Against a 1200 bps radio path this floods the gateway
+    queue exactly the way the paper describes.
+    """
+
+    def __init__(self) -> None:
+        self.cwnd = UNBOUNDED_WINDOW
+        self.ssthresh = UNBOUNDED_WINDOW
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return "NoCongestion"
+
+
+class Reno(CongestionPolicy):
+    """4.3BSD-Tahoe/Reno congestion control.
+
+    Slow start, congestion avoidance, 3-dup-ACK fast retransmit with
+    fast recovery (window inflation while duplicates arrive, deflation
+    to ssthresh on the recovering ACK), and ssthresh halving on loss.
+    """
+
+    DUP_ACK_THRESHOLD = 3
+
+    def __init__(self, mss: int = DEFAULT_MSS,
+                 initial_ssthresh: int = 65535) -> None:
+        self.cwnd = mss
+        self.ssthresh = initial_ssthresh
+        self.dup_acks = 0
+        self.in_recovery = False
+
+    def on_ack(self, acked_bytes: int, mss: int, now: int) -> None:
+        """Grow the window: slow start below ssthresh, else linearly."""
+        self.dup_acks = 0
+        if self.in_recovery:
+            # New data acked: fast recovery ends, deflate the window.
+            self.in_recovery = False
+            self.cwnd = self.ssthresh
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += mss
+        else:
+            self.cwnd += max(1, mss * mss // self.cwnd)
+
+    def on_dup_ack(self, mss: int) -> bool:
+        """Count duplicates; trigger fast retransmit on the third."""
+        if self.in_recovery:
+            # Window inflation: each further dup ACK means one more
+            # segment left the network.
+            self.cwnd += mss
+            return False
+        self.dup_acks += 1
+        if self.dup_acks == self.DUP_ACK_THRESHOLD:
+            self.ssthresh = max(2 * mss, self.cwnd // 2)
+            self.cwnd = self.ssthresh + self.DUP_ACK_THRESHOLD * mss
+            self.in_recovery = True
+            return True
+        return False
+
+    def on_timeout(self, flight_bytes: int, mss: int) -> None:
+        """Multiplicative decrease and restart slow start."""
+        self.ssthresh = max(2 * mss, flight_bytes // 2)
+        self.cwnd = mss
+        self.dup_acks = 0
+        self.in_recovery = False
+
+    def on_quench(self, mss: int) -> None:
+        """4.3BSD's source-quench reaction: shrink to one segment."""
+        self.cwnd = mss
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"Reno(cwnd={self.cwnd}, ssthresh={self.ssthresh})"
+
+
+class PacedRate(CongestionPolicy):
+    """Delivery-rate-paced sending (a BBR-style model).
+
+    Estimates the path's delivery rate from cumulative-ACK arrivals
+    (bytes acked / elapsed microseconds), then paces segment release so
+    the send rate tracks ``pacing_gain/8`` times the estimate and caps
+    the window at twice the estimated bandwidth-delay product.  Timeouts
+    halve the rate estimate instead of collapsing the window, which is
+    what keeps a paced sender from storming a 1200 bps radio hop.
+    """
+
+    def __init__(self, mss: int = DEFAULT_MSS,
+                 initial_rate: int = 8192,
+                 min_rate: int = 64,
+                 pacing_gain: int = 10) -> None:
+        #: current pacing rate estimate, bytes per second
+        self.pacing_rate = initial_rate
+        self.min_rate = min_rate
+        #: numerator over 8: 10/8 = probe slightly above the estimate
+        self.pacing_gain = pacing_gain
+        self.min_rtt: Optional[int] = None
+        self.cwnd = 4 * mss
+        self.ssthresh = UNBOUNDED_WINDOW
+        self._next_send_at = 0
+        self._epoch_start: Optional[int] = None
+        self._epoch_delivered = 0
+
+    def on_rtt_sample(self, rtt: int) -> None:
+        """Track the minimum observed round-trip time."""
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+
+    def on_ack(self, acked_bytes: int, mss: int, now: int) -> None:
+        """Fold one delivery observation into the rate estimate."""
+        if self._epoch_start is None:
+            self._epoch_start = now
+            self._epoch_delivered = 0
+            return
+        self._epoch_delivered += acked_bytes
+        elapsed = now - self._epoch_start
+        if elapsed <= 0:
+            return
+        measured = bytes_per_second(self._epoch_delivered, elapsed)
+        if measured >= self.pacing_rate:
+            self.pacing_rate = measured
+        else:
+            # Smooth downwards so one delayed ACK does not stall pacing.
+            self.pacing_rate += (measured - self.pacing_rate) // 4
+        self.pacing_rate = max(self.min_rate, self.pacing_rate)
+        if elapsed >= (self.min_rtt or 0):
+            self._epoch_start = now
+            self._epoch_delivered = 0
+        # Window: twice the estimated bandwidth-delay product.
+        if self.min_rtt is not None:
+            bdp = self.pacing_rate * self.min_rtt // SECOND
+            self.cwnd = max(4 * mss, 2 * bdp)
+
+    def on_timeout(self, flight_bytes: int, mss: int) -> None:
+        """Halve the rate estimate; keep a floor of four segments."""
+        self.pacing_rate = max(self.min_rate, self.pacing_rate // 2)
+        self.cwnd = max(4 * mss, self.cwnd // 2)
+        self._epoch_start = None
+        self._epoch_delivered = 0
+
+    def on_quench(self, mss: int) -> None:
+        """Source quench: halve the rate estimate."""
+        self.pacing_rate = max(self.min_rate, self.pacing_rate // 2)
+
+    def send_delay(self, now: int, size_bytes: int) -> int:
+        """Microseconds until the pacing gate opens."""
+        if now >= self._next_send_at:
+            return 0
+        return self._next_send_at - now
+
+    def on_send(self, now: int, size_bytes: int) -> None:
+        """Advance the pacing gate by the segment's serialisation time."""
+        paced = max(self.min_rate, self.pacing_rate * self.pacing_gain // 8)
+        self._next_send_at = max(now, self._next_send_at) \
+            + byte_airtime(size_bytes, paced)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"PacedRate({self.pacing_rate} B/s)"
+
+
+class StepController:
+    """Interface for step-based (learned or scripted) congestion control.
+
+    :class:`ControllerLoop` calls :meth:`observe` on a fixed sim-time
+    cadence with a counter snapshot; the controller returns an action
+    dict -- any of ``{"cwnd": bytes, "pacing_rate": bytes_per_second}``
+    (or ``None`` / ``{}`` for no change) -- which the loop applies to
+    the connection's policy.  This is the plug point for RL controllers
+    without importing an RL dependency.
+    """
+
+    def observe(self, counters: Dict[str, int]) -> Optional[Dict[str, int]]:
+        """Map one counter snapshot to an action dict."""
+        raise NotImplementedError
+
+
+class ControllerLoop:
+    """Drives a :class:`StepController` against one connection.
+
+    Scheduled on a fixed cadence of simulated time; each step snapshots
+    the connection's counters (stats, flight, rto, cwnd, pacing) and
+    applies the controller's action to the congestion policy.  The loop
+    stops itself once the connection closes.
+    """
+
+    def __init__(self, conn: "TcpConnection", controller: StepController,
+                 interval: int = 200 * MS) -> None:
+        if interval <= 0:
+            raise ValueError("controller interval must be positive")
+        self.conn = conn
+        self.controller = controller
+        self.interval = interval
+        self.steps = 0
+        self._event: Optional[Event] = conn.sim.schedule(
+            interval, self._step, label=f"tcp-controller {conn.local_port}")
+
+    def cancel(self) -> None:
+        """Stop stepping."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot the connection state a controller may observe."""
+        conn = self.conn
+        snapshot = dict(conn.stats)
+        snapshot["bytes_in_flight"] = conn.bytes_in_flight
+        snapshot["bytes_unsent"] = conn.bytes_unsent
+        snapshot["rto_us"] = conn.rto_policy.current()
+        snapshot["cwnd_bytes"] = conn.cc_policy.window()
+        snapshot["pacing_rate"] = getattr(conn.cc_policy, "pacing_rate", 0)
+        return snapshot
+
+    def _step(self) -> None:
+        self._event = None
+        conn = self.conn
+        if conn.state is TcpState.CLOSED:
+            return
+        self.steps += 1
+        action = self.controller.observe(self.counters())
+        if action:
+            policy = conn.cc_policy
+            if "cwnd" in action:
+                policy.cwnd = max(1, int(action["cwnd"]))
+            if "pacing_rate" in action and hasattr(policy, "pacing_rate"):
+                policy.pacing_rate = max(1, int(action["pacing_rate"]))
+            conn._push()
+        self._event = conn.sim.schedule(
+            self.interval, self._step,
+            label=f"tcp-controller {conn.local_port}")
+
+
+# ----------------------------------------------------------------------
 # connection
 # ----------------------------------------------------------------------
 
@@ -292,6 +580,7 @@ class TcpConnection:
         remote_port: Optional[int],
         rto_policy: Optional[RtoPolicy] = None,
         mss: int = DEFAULT_MSS,
+        cc_policy: Optional[CongestionPolicy] = None,
     ) -> None:
         self.protocol = protocol
         self.sim = protocol.sim
@@ -299,6 +588,7 @@ class TcpConnection:
         self.remote_ip = remote_ip
         self.remote_port = remote_port
         self.rto_policy = rto_policy or AdaptiveRto()
+        self.cc_policy = cc_policy or Reno(mss)
         self.mss = mss
         self.peer_mss: Optional[int] = None
 
@@ -319,14 +609,12 @@ class TcpConnection:
         self._rto_event: Optional[Event] = None
         self._time_wait_event: Optional[Event] = None
         self._persist_event: Optional[Event] = None
+        self._pacing_event: Optional[Event] = None
         self._persist_shift = 0
         self.max_retries = 12
         self._retry_count = 0
         self._close_notified = False
-
-        # congestion control
-        self.cwnd = mss
-        self.ssthresh = 65535
+        self._dup_ack_count = 0
 
         # application callbacks
         self.on_connect: Optional[Callable[[], None]] = None
@@ -345,7 +633,20 @@ class TcpConnection:
             "rtt_samples": 0,
             "window_probes": 0,
             "quench_received": 0,
+            "dup_acks_received": 0,
+            "fast_retransmits": 0,
+            "pacing_deferrals": 0,
         }
+
+    @property
+    def cwnd(self) -> int:
+        """Congestion window in bytes (owned by the policy)."""
+        return self.cc_policy.cwnd
+
+    @property
+    def ssthresh(self) -> int:
+        """Slow-start threshold in bytes (owned by the policy)."""
+        return self.cc_policy.ssthresh
 
     # ------------------------------------------------------------------
     # application API
@@ -438,11 +739,15 @@ class TcpConnection:
         if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
             return
         mss = self._effective_mss()
-        window = min(self.snd_wnd, self.cwnd)
+        window = min(self.snd_wnd, self.cc_policy.window())
         while self._send_buffer and self.bytes_in_flight < window:
             room = window - self.bytes_in_flight
             size = min(mss, room, len(self._send_buffer))
             if size <= 0:
+                break
+            delay = self.cc_policy.send_delay(self.sim.now, size)
+            if delay > 0:
+                self._arm_pacing(delay)
                 break
             chunk = bytes(self._send_buffer[:size])
             del self._send_buffer[:size]
@@ -452,6 +757,7 @@ class TcpConnection:
                 flags, self.rcv_wnd, chunk,
             )
             self._transmit(segment, track=True, occupies=len(chunk))
+            self.cc_policy.on_send(self.sim.now, len(chunk))
             self.stats["bytes_sent"] += len(chunk)
         if self.snd_wnd == 0 and self._send_buffer and not self._unacked:
             self._maybe_arm_persist()
@@ -482,6 +788,28 @@ class TcpConnection:
         self.protocol.output(self, segment)
 
     # ------------------------------------------------------------------
+    # pacing (segment-release gate, driven by the congestion policy)
+    # ------------------------------------------------------------------
+
+    def _arm_pacing(self, delay: int) -> None:
+        if self._pacing_event is not None:
+            return
+        self.stats["pacing_deferrals"] += 1
+        self._pacing_event = self.sim.schedule(
+            delay, self._pacing_fired,
+            label=f"tcp-pacing {self.local_port}",
+        )
+
+    def _cancel_pacing(self) -> None:
+        if self._pacing_event is not None:
+            self._pacing_event.cancel()
+            self._pacing_event = None
+
+    def _pacing_fired(self) -> None:
+        self._pacing_event = None
+        self._push()
+
+    # ------------------------------------------------------------------
     # retransmission
     # ------------------------------------------------------------------
 
@@ -510,16 +838,43 @@ class TcpConnection:
             return
         self.stats["timeouts"] += 1
         self.rto_policy.backoff()
-        # Congestion response: multiplicative decrease, restart slow start.
+        # Congestion response is the policy's call (Reno: multiplicative
+        # decrease + slow-start restart; NoCongestion: nothing).
         flight = max(self.bytes_in_flight, self._effective_mss())
-        self.ssthresh = max(2 * self._effective_mss(), flight // 2)
-        self.cwnd = self._effective_mss()
+        self.cc_policy.on_timeout(flight, self._effective_mss())
+        self._dup_ack_count = 0
         # Go-back-one: retransmit the earliest unacknowledged segment.
+        self._retransmit_oldest()
+        self._arm_rto(force=True)
+
+    def _observe_recovery(self, retransmit: bool = False) -> None:
+        """Sample recovery state into the flight recorder's instruments.
+
+        Gauges follow the retransmission timer and congestion window as
+        they evolve; the rate counts retransmissions per 10-second
+        window so a storm is visible as a spike, not just a total.
+        """
+        tracer = self.protocol.stack.tracer
+        recorder = tracer.flight if tracer is not None else None
+        if recorder is None:
+            return
+        recorder.instruments.gauge("tcp_rto_us").sample(
+            self.rto_policy.current())
+        recorder.instruments.gauge("tcp_cwnd_bytes").sample(
+            self.cc_policy.window())
+        if retransmit:
+            recorder.instruments.rate(
+                "tcp_rexmit_per_10s", 10 * SECOND).tick(self.sim.now)
+
+    def _retransmit_oldest(self) -> None:
+        """Resend the earliest unacknowledged segment (marking it so
+        Karn's rule withholds its RTT sample)."""
         oldest = self._unacked[0]
         oldest.retransmitted = True
         oldest.sent_at = self.sim.now
         self.stats["retransmissions"] += 1
         self.stats["bytes_retransmitted"] += len(oldest.payload)
+        self._observe_recovery(retransmit=True)
         segment = TcpSegment(
             self.local_port, self.remote_port, oldest.seq, self.rcv_nxt,
             oldest.flags, self.rcv_wnd, oldest.payload,
@@ -527,7 +882,6 @@ class TcpConnection:
         )
         self.stats["segments_sent"] += 1
         self.protocol.output(self, segment)
-        self._arm_rto(force=True)
 
     # ------------------------------------------------------------------
     # persist timer (zero-window probing)
@@ -691,6 +1045,7 @@ class TcpConnection:
     def _process_ack(self, segment: TcpSegment) -> None:
         ack = segment.ack
         if _seq_lt(self.snd_una, ack) and _seq_le(ack, self.snd_nxt):
+            self._dup_ack_count = 0
             self._ack_unacked(ack)
             self.snd_wnd = segment.window
             if segment.window > 0:
@@ -708,10 +1063,29 @@ class TcpConnection:
                 return
             self._push()
         else:
+            if (ack == self.snd_una and self._unacked
+                    and not segment.payload
+                    and not segment.flags & (FLAG_SYN | FLAG_FIN)
+                    and segment.window == self.snd_wnd):
+                # RFC-style duplicate ACK: same ack, no data, no window
+                # change, while data is outstanding.
+                self._dup_ack_count += 1
+                self.stats["dup_acks_received"] += 1
+                if self.cc_policy.on_dup_ack(self._effective_mss()):
+                    self._fast_retransmit()
             self.snd_wnd = segment.window
             if segment.window > 0:
                 self._cancel_persist()
             self._push()
+
+    def _fast_retransmit(self) -> None:
+        """3-dup-ACK loss inference: resend the oldest segment without
+        waiting for (or backing off) the retransmission timer."""
+        if not self._unacked:
+            return
+        self.stats["fast_retransmits"] += 1
+        self._retransmit_oldest()
+        self._arm_rto(force=True)
 
     def _ack_unacked(self, ack: int) -> None:
         """Release acknowledged segments; sample RTT per Karn's rule."""
@@ -725,24 +1099,25 @@ class TcpConnection:
                 self._unacked.pop(0)
                 new_data_acked = True
                 if not entry.retransmitted:
-                    self.rto_policy.sample(self.sim.now - entry.sent_at)
+                    rtt = self.sim.now - entry.sent_at
+                    self.rto_policy.sample(rtt)
+                    if isinstance(self.cc_policy, PacedRate):
+                        self.cc_policy.on_rtt_sample(rtt)
                     self.stats["rtt_samples"] += 1
                     sampled = True
             else:
                 break
         if new_data_acked:
+            acked_bytes = (ack - self.snd_una) & 0xFFFFFFFF
             self.snd_una = ack
             self._retry_count = 0
             if sampled:
                 # Karn's rule, second half: keep the backed-off RTO until
                 # an un-retransmitted segment yields a fresh sample.
                 self.rto_policy.acked()
-            # congestion window growth
-            mss = self._effective_mss()
-            if self.cwnd < self.ssthresh:
-                self.cwnd += mss
-            else:
-                self.cwnd += max(1, mss * mss // self.cwnd)
+            self.cc_policy.on_ack(acked_bytes, self._effective_mss(),
+                                  self.sim.now)
+            self._observe_recovery()
             self._cancel_rto()
             if self._unacked:
                 self._arm_rto()
@@ -831,10 +1206,10 @@ class TcpConnection:
         self.protocol.output_raw(rst, source)
 
     def source_quench(self) -> None:
-        """4.3BSD's reaction to ICMP source quench: shrink cwnd to one
-        segment so the send rate backs off."""
+        """4.3BSD's reaction to ICMP source quench: let the congestion
+        policy back the send rate off."""
         self.stats["quench_received"] += 1
-        self.cwnd = self._effective_mss()
+        self.cc_policy.on_quench(self._effective_mss())
 
     # ------------------------------------------------------------------
     # teardown
@@ -854,6 +1229,7 @@ class TcpConnection:
         self.state = TcpState.CLOSED
         self._cancel_rto()
         self._cancel_persist()
+        self._cancel_pacing()
         if self._time_wait_event is not None:
             self._time_wait_event.cancel()
             self._time_wait_event = None
@@ -890,6 +1266,7 @@ class TcpProtocol:
         self._listeners: Dict[int, TcpConnection] = {}
         self._ephemeral = 1024
         self.default_rto_factory: Callable[[], RtoPolicy] = AdaptiveRto
+        self.default_cc_factory: Callable[[], CongestionPolicy] = Reno
         self.segments_demuxed = 0
         self.segments_refused = 0
 
@@ -908,15 +1285,17 @@ class TcpProtocol:
     # ------------------------------------------------------------------
 
     def listen(self, port: int, rto_policy: Optional[RtoPolicy] = None,
-               on_accept: Optional[Callable[[TcpConnection], None]] = None) -> "TcpListener":
+               on_accept: Optional[Callable[[TcpConnection], None]] = None,
+               cc_policy: Optional[Callable[[], CongestionPolicy]] = None) -> "TcpListener":
         """Open a passive socket; each SYN spawns a fresh connection."""
-        listener = TcpListener(self, port, rto_policy, on_accept)
+        listener = TcpListener(self, port, rto_policy, on_accept, cc_policy)
         self._listeners[port] = listener.template
         return listener
 
     def connect(self, remote_ip: "IPv4Address | str", remote_port: int,
                 local_port: Optional[int] = None,
-                rto_policy: Optional[RtoPolicy] = None) -> TcpConnection:
+                rto_policy: Optional[RtoPolicy] = None,
+                cc_policy: Optional[CongestionPolicy] = None) -> TcpConnection:
         """Initiate a connection."""
         remote_ip = IPv4Address.coerce(remote_ip)
         if local_port is None:
@@ -924,6 +1303,7 @@ class TcpProtocol:
         conn = TcpConnection(
             self, local_port, remote_ip, remote_port,
             rto_policy=rto_policy or self.default_rto_factory(),
+            cc_policy=cc_policy or self.default_cc_factory(),
         )
         self.register_connection(conn)
         conn.open_active()
@@ -1009,12 +1389,19 @@ class TcpListener:
 
     def __init__(self, protocol: TcpProtocol, port: int,
                  rto_policy: Optional[RtoPolicy],
-                 on_accept: Optional[Callable[[TcpConnection], None]]) -> None:
+                 on_accept: Optional[Callable[[TcpConnection], None]],
+                 cc_policy: Optional[Callable[[], CongestionPolicy]] = None) -> None:
         self.protocol = protocol
         self.port = port
+        # Resolve the protocol defaults lazily so listeners opened before
+        # a scenario swaps default_*_factory still honour the swap.
         self.rto_policy_factory = (
             (lambda: rto_policy) if rto_policy is not None
-            else protocol.default_rto_factory
+            else (lambda: protocol.default_rto_factory())
+        )
+        self.cc_policy_factory = (
+            cc_policy if cc_policy is not None
+            else (lambda: protocol.default_cc_factory())
         )
         self.on_accept = on_accept
         self.accepted: List[TcpConnection] = []
@@ -1029,6 +1416,7 @@ class TcpListener:
         conn = TcpConnection(
             self.protocol, self.port, None, None,
             rto_policy=self.rto_policy_factory(),
+            cc_policy=self.cc_policy_factory(),
         )
         conn.state = TcpState.LISTEN
         self.accepted.append(conn)

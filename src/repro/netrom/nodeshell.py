@@ -234,6 +234,7 @@ class NodeShell:
             node.sim, node.callsign,
             send_frame=lambda frame: station.send_frame(frame.encode()),
             t1=5 * SECOND,
+            tracer=node.tracer,
         )
         self.endpoint.on_connect = self._lapb_connect
         self.endpoint.on_data = self._lapb_data

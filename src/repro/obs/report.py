@@ -95,6 +95,29 @@ def render_report(recorder: FlightRecorder, title: str = "observability report",
         lines.append(recovery.render())
         lines.append("")
 
+    lines.append("recovery state (timers, windows, retransmission rate)")
+    recovery_rows: List[str] = []
+    for name, time_valued in (("tcp_rto_us", True),
+                              ("tcp_cwnd_bytes", False),
+                              ("lapb_t1_us", True)):
+        gauge = recorder.instruments.gauge(name)
+        if not gauge.samples:
+            continue
+        fmt = _fmt_us if time_valued else str
+        recovery_rows.append(
+            f"  {name:<20} n={gauge.samples:<6} "
+            f"min={fmt(gauge.min or 0):<8} "
+            f"max={fmt(gauge.max or 0):<8} last={fmt(gauge.last)}")
+    for name in ("tcp_rexmit_per_10s", "lapb_rexmit_per_10s"):
+        rate = recorder.instruments.rate(name, 10_000_000)
+        if not rate.total:
+            continue
+        recovery_rows.append(
+            f"  {name:<20} total={rate.total:<6} "
+            f"peak/window={rate.max_per_window()}")
+    lines.extend(recovery_rows if recovery_rows else ["  (no samples)"])
+    lines.append("")
+
     lines.append(f"events recorded: {metrics['events_recorded']} "
                  f"(truncated {metrics['events_truncated']}, "
                  f"evicted spans {metrics['spans_evicted']})")

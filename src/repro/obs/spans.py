@@ -64,6 +64,7 @@ REASONS = (
     "if_output_failed",
     "iface_down",
     "ipintrq_full",
+    "link_giveup",
     "no_route",
     "serial_backlog",
     "tnc_wedged",
@@ -201,6 +202,15 @@ class FlightRecorder:
         self.instruments.gauge("ipintrq_depth")
         self.instruments.gauge("gateway_serial_backlog")
         self.instruments.rate("born_per_10s", 10 * SECOND)
+        # Recovery-state instruments, fed by the TCP and LAPB layers:
+        # gauges track each connection's timer/window as they evolve,
+        # the rates count retransmissions in 10-second windows so a
+        # storm shows up as a per-window spike, not just a total.
+        self.instruments.gauge("tcp_rto_us")
+        self.instruments.gauge("tcp_cwnd_bytes")
+        self.instruments.rate("tcp_rexmit_per_10s", 10 * SECOND)
+        self.instruments.gauge("lapb_t1_us")
+        self.instruments.rate("lapb_rexmit_per_10s", 10 * SECOND)
 
         self._next_pkt_id = 1
         self._spans: "OrderedDict[int, PacketSpan]" = OrderedDict()

@@ -39,6 +39,32 @@ def us_to_seconds(ticks: int) -> float:
     return ticks / SECOND
 
 
+def byte_airtime(size_bytes: int, rate: int) -> int:
+    """Integer microseconds to move ``size_bytes`` at ``rate`` bytes/sec.
+
+    The sanctioned bytes-over-byte-rate conversion (pacing gates,
+    serialisation delays).  Integer arithmetic throughout; a zero or
+    negative rate is clamped to one byte per second rather than raising,
+    since callers feed smoothed estimates that may transiently collapse.
+
+    >>> byte_airtime(150, 150)
+    1000000
+    """
+    return size_bytes * SECOND // max(1, rate)
+
+
+def bytes_per_second(size_bytes: int, elapsed: int) -> int:
+    """Integer delivery rate in bytes/second over ``elapsed`` microseconds.
+
+    The sanctioned inverse of :func:`byte_airtime`: turns a byte count
+    observed across an integer-microsecond interval into a byte rate.
+
+    >>> bytes_per_second(150, 1_000_000)
+    150
+    """
+    return size_bytes * SECOND // max(1, elapsed)
+
+
 def format_time(ticks: int) -> str:
     """Render a clock value for log/trace output.
 

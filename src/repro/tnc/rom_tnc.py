@@ -19,12 +19,12 @@ Ctrl-C (0x03) returns from converse to command mode, as on a real TNC-2.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.ax25.address import AX25Address, AX25Path, AddressError, parse_path
 from repro.ax25.defs import PID_NO_L3
 from repro.ax25.frames import AX25Frame, FrameError
-from repro.ax25.lapb import LapbConnection, LapbEndpoint
+from repro.ax25.lapb import LapbConnection, LapbEndpoint, LinkTimerPolicy
 from repro.radio.channel import RadioChannel
 from repro.radio.csma import CsmaParameters
 from repro.radio.modem import ModemProfile
@@ -51,6 +51,7 @@ class RomTnc:
         csma: Optional[CsmaParameters] = None,
         tracer: Optional[Tracer] = None,
         echo: bool = True,
+        timer_policy: Optional[Callable[[], LinkTimerPolicy]] = None,
     ) -> None:
         self.sim = sim
         self.serial = serial
@@ -72,6 +73,8 @@ class RomTnc:
             self.callsign,
             send_frame=lambda frame: self.station.send_frame(frame.encode()),
             t1=5 * SECOND,
+            timer_policy=timer_policy,
+            tracer=tracer,
         )
         self.endpoint.on_connect = self._link_connected
         self.endpoint.on_data = self._link_data

@@ -74,7 +74,10 @@ def _describe_connection(conn: TcpConnection) -> str:
     remote = f"{conn.remote_ip}:{conn.remote_port}" if conn.remote_ip else "*"
     return (f"tcp  {conn.local_port:<6} {remote:<21} {conn.state.value:<12} "
             f"snd={conn.stats['bytes_sent']} rcv={conn.stats['bytes_received']} "
-            f"rexmit={conn.stats['retransmissions']}")
+            f"rexmit={conn.stats['retransmissions']} "
+            f"fast={conn.stats['fast_retransmits']} "
+            f"rto={conn.rto_policy.current() // 1000}ms "
+            f"cwnd={conn.cc_policy.window()}")
 
 
 def format_netstat(stack: NetStack) -> str:

@@ -235,6 +235,11 @@ class TcpTransferGenerator(TrafficGenerator):
 
     kind = "tcp"
 
+    #: Per-connection recovery stats harvested into generator counters
+    #: when each transfer's socket closes (tournament observables).
+    HARVEST_STATS = ("retransmissions", "fast_retransmits",
+                     "dup_acks_received", "timeouts", "pacing_deferrals")
+
     def __init__(
         self,
         sim: Simulator,
@@ -254,6 +259,7 @@ class TcpTransferGenerator(TrafficGenerator):
         self.transfer_bytes = transfer_bytes
         self.max_in_flight = max_in_flight
         self._open: List[TcpSocket] = []
+        self._latency_total_us = 0
 
     def fire(self) -> None:
         if len(self._open) >= self.max_in_flight:
@@ -264,6 +270,7 @@ class TcpTransferGenerator(TrafficGenerator):
         socket = TcpSocket.connect(self.stack, self.destination, self.port)
         self._open.append(socket)
         self.counters.bump("transfers_started")
+        started = self.sim.now
 
         def on_connect() -> None:
             socket.send(bytes(self.transfer_bytes))
@@ -273,13 +280,33 @@ class TcpTransferGenerator(TrafficGenerator):
         def on_close(reason: str) -> None:
             if socket in self._open:
                 self._open.remove(socket)
+            for stat in self.HARVEST_STATS:
+                self.counters.bump(f"tcp_{stat}",
+                                   socket.connection.stats.get(stat, 0))
             if reason == "closed":
                 self.counters.bump("transfers_completed")
+                self._latency_total_us += self.sim.now - started
             else:
                 self.counters.bump("transfers_failed")
 
         socket.on_connect = on_connect
         socket.on_close = on_close
+
+    def metrics(self) -> Dict[str, float]:
+        out = super().metrics()
+        # Transfers still in flight at the end of the run hold recovery
+        # state their close callback never harvested; fold it in so the
+        # totals cover everything this generator offered.
+        for socket in self._open:
+            for stat in self.HARVEST_STATS:
+                key = f"tcp_{stat}"
+                out[key] = (out.get(key, 0.0)
+                            + float(socket.connection.stats.get(stat, 0)))
+        completed = self.counters.snapshot().get("transfers_completed", 0)
+        if completed:
+            out["tcp_transfer_mean_latency_s"] = (
+                self._latency_total_us / completed / float(seconds(1)))
+        return out
 
 
 class BbsTerminalGenerator(TrafficGenerator):

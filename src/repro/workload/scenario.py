@@ -27,6 +27,7 @@ from repro.apps.bbs import BulletinBoard
 from repro.ax25.address import AX25Address
 from repro.ax25.defs import PID_NO_L3
 from repro.ax25.frames import AX25Frame
+from repro.ax25.lapb import AdaptiveLinkTimer, FixedLinkTimer
 from repro.core.hosts import TerminalStation
 from repro.core.topology import (
     build_figure1_testbed,
@@ -34,6 +35,7 @@ from repro.core.topology import (
     synthesize_stations,
 )
 from repro.faults import FaultInjector, FaultPlan
+from repro.inet.tcp import AdaptiveRto, FixedRto, NoCongestion, PacedRate, Reno
 from repro.obs.spans import FlightRecorder
 from repro.radio.modem import ModemProfile
 from repro.radio.station import RadioStation
@@ -58,6 +60,14 @@ TOPOLOGIES = ("gateway", "figure1")
 
 #: Generator kinds accepted in a :class:`GeneratorMix`.
 GENERATOR_KINDS = ("ping", "udp", "tcp", "chatter", "bbs")
+
+#: Recovery-policy names accepted by :class:`Scenario` (the tournament
+#: axes).  Each maps to a zero-argument factory; the factories are
+#: installed as the per-stack defaults so every connection a scenario
+#: opens -- including server-side spawns -- runs the named policy.
+TCP_RTO_POLICIES = {"fixed": FixedRto, "adaptive": AdaptiveRto}
+TCP_CC_POLICIES = {"none": NoCongestion, "reno": Reno, "paced": PacedRate}
+LAPB_TIMER_POLICIES = {"fixed": FixedLinkTimer, "adaptive": AdaptiveLinkTimer}
 
 
 @dataclass(frozen=True)
@@ -128,10 +138,23 @@ class Scenario:
     #: handled by :func:`run_scenario` (ping-only mixes) and is not
     #: buildable as a single in-process testbed.
     regions: int = 1
+    #: Recovery policies (the tournament axes): RTO estimation and
+    #: congestion control for every TCP endpoint in the scenario, and
+    #: the T1 timer policy for every LAPB link (BBS + terminal TNCs).
+    #: Defaults match the pre-tournament behaviour of the testbeds.
+    tcp_rto: str = "adaptive"
+    tcp_cc: str = "reno"
+    lapb_timer: str = "fixed"
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
             raise ValueError(f"unknown topology {self.topology!r}")
+        if self.tcp_rto not in TCP_RTO_POLICIES:
+            raise ValueError(f"unknown tcp_rto policy {self.tcp_rto!r}")
+        if self.tcp_cc not in TCP_CC_POLICIES:
+            raise ValueError(f"unknown tcp_cc policy {self.tcp_cc!r}")
+        if self.lapb_timer not in LAPB_TIMER_POLICIES:
+            raise ValueError(f"unknown lapb_timer policy {self.lapb_timer!r}")
         if self.stations < 1:
             raise ValueError("a scenario needs at least one station")
         if not self.mix:
@@ -207,14 +230,20 @@ class ScenarioRun:
         """Aggregate generator, sink and channel metrics, flat."""
         out: Dict[str, float] = {}
         rtts: List[float] = []
+        latencies: List[float] = []
         for generator in self.generators:
             for key, value in generator.metrics().items():
                 if key == "ping_mean_rtt_s":
                     rtts.append(value)  # means do not sum
+                elif key == "tcp_transfer_mean_latency_s":
+                    latencies.append(value)
                 else:
                     out[key] = out.get(key, 0.0) + value
         if rtts:
             out["ping_mean_rtt_s"] = sum(rtts) / len(rtts)
+        if latencies:
+            out["tcp_transfer_mean_latency_s"] = (
+                sum(latencies) / len(latencies))
         if self.udp_sink is not None:
             out["udp_sink_datagrams"] = float(self.udp_sink.datagrams)
             out["udp_sink_bytes"] = float(self.udp_sink.bytes)
@@ -325,6 +354,20 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
         default_gateway=default_gateway,
         fidelity=scenario.fidelity,
     )
+    # Install the scenario's recovery policies as the per-stack defaults
+    # before any generator opens a connection.  Listeners resolve their
+    # factories lazily, so server-side spawns pick these up too.
+    rto_factory = TCP_RTO_POLICIES[scenario.tcp_rto]
+    cc_factory = TCP_CC_POLICIES[scenario.tcp_cc]
+    lapb_timer_factory = LAPB_TIMER_POLICIES[scenario.lapb_timer]
+    gateway_host = getattr(testbed, "gateway", None)
+    if gateway_host is not None:
+        stacks = [gateway_host.stack, testbed.ether_host, testbed.pc.stack]
+    else:
+        stacks = [testbed.host.stack, testbed.peer.stack]
+    for stack in stacks + [host.stack for host in hosts]:
+        stack.tcp.default_rto_factory = rto_factory
+        stack.tcp.default_cc_factory = cc_factory
     if scenario.flow_stations > 0:
         run.flow_cloud = FlowStationCloud(
             sim, testbed.channel, streams,
@@ -338,7 +381,8 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
         run.discard = DiscardServer(target_stack)
     if any(m.kind == "bbs" for m in allocation):
         run.bbs = BulletinBoard(sim, testbed.channel, "W0RLI",
-                                tracer=testbed.tracer)
+                                tracer=testbed.tracer,
+                                timer_policy=lapb_timer_factory)
 
     duration = seconds(scenario.duration_seconds)
     host_iter = iter(hosts)
@@ -391,7 +435,8 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
             run.extra_stations.append(station)
         else:  # bbs
             terminal = TerminalStation(sim, testbed.channel, f"KT{index}",
-                                       tracer=testbed.tracer)
+                                       tracer=testbed.tracer,
+                                       timer_policy=lapb_timer_factory)
             generator = BbsTerminalGenerator(
                 sim, terminal, "W0RLI", arrivals,
                 rng=streams.stream(f"workload/bbs-think/{index}"),
@@ -403,7 +448,6 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
     # -- chaos wiring ---------------------------------------------------
     # "gateway" always names the hub host (the MicroVAX in either
     # topology); synthesized stations are addressed by callsign.
-    gateway_host = getattr(testbed, "gateway", None)
     primary = gateway_host.radio if gateway_host is not None else testbed.host.radio
     if scenario.observe or scenario.sanitize:
         recorder = FlightRecorder(testbed.tracer)

@@ -13,7 +13,12 @@ import pytest
 
 from repro.ax25.address import AX25Address
 from repro.ax25.frames import AX25Frame, FrameType
-from repro.ax25.lapb import LapbEndpoint, LapbState
+from repro.ax25.lapb import (
+    AdaptiveLinkTimer,
+    FixedLinkTimer,
+    LapbEndpoint,
+    LapbState,
+)
 from repro.sim.clock import MS, SECOND
 from repro.sim.engine import Simulator
 
@@ -278,3 +283,109 @@ def test_valid_nr_window_edges_do_not_frmr(sim, link):
     sim.run_until_idle()
     assert conn.stats["frmr_sent"] == 0
     assert conn.va == conn.vs == 2
+
+
+# ----------------------------------------------------------------------
+# T1 timer policies (adaptive link backoff)
+# ----------------------------------------------------------------------
+
+def test_fixed_link_timer_never_learns():
+    policy = FixedLinkTimer(t1=3 * SECOND)
+    policy.sample(20 * SECOND)
+    assert policy.current(0) == 3 * SECOND
+    # exponential backoff, capped at MAX_SHIFT doublings
+    assert policy.current(1) == 6 * SECOND
+    assert policy.current(10) == 3 * SECOND * (1 << FixedLinkTimer.MAX_SHIFT)
+
+
+def test_adaptive_link_timer_converges_to_measured_rtt():
+    policy = AdaptiveLinkTimer(initial_t1=5 * SECOND, min_t1=500 * MS)
+    assert policy.current(0) == 5 * SECOND
+    for _ in range(20):
+        policy.sample(2 * SECOND)
+    # srtt -> 2s, rttvar decays: T1 well below the ROM default
+    assert policy.srtt == pytest.approx(2 * SECOND, rel=0.15)
+    assert policy.current(0) < 5 * SECOND
+
+
+def test_adaptive_link_timer_backoff_capped():
+    policy = AdaptiveLinkTimer(initial_t1=2 * SECOND, max_t1=30 * SECOND)
+    for _ in range(10):
+        policy.sample(1 * SECOND)
+    base = policy.current(0)
+    grown = [policy.current(retry) for retry in range(8)]
+    # monotone non-decreasing, shift saturates, never exceeds max_t1
+    assert grown == sorted(grown)
+    assert grown[-1] == grown[AdaptiveLinkTimer.MAX_SHIFT]
+    assert grown[-1] <= 30 * SECOND
+    assert grown[0] == base
+
+
+def test_adaptive_t1_trains_on_live_link(sim):
+    link = LinkHarness(sim, delay=400 * MS)
+    link.a.timer_policy = AdaptiveLinkTimer
+    conn = link.a.connect(link.b_addr)
+    sim.run_until_idle()
+    for index in range(6):
+        conn.send(b"frame %d" % index)
+        sim.run_until_idle()
+    policy = conn.timer_policy
+    assert isinstance(policy, AdaptiveLinkTimer)
+    assert conn.stats["rtt_samples"] >= 6
+    # the measured path RTT is ~0.8s; T1 must have adapted below the
+    # 5-second ROM default while staying above the actual round trip
+    assert 800 * MS <= policy.current(0) < 5 * SECOND
+
+
+def test_karn_exclusion_no_t1_sample_from_retransmitted_frame(sim, link):
+    link.a.timer_policy = AdaptiveLinkTimer
+    conn = link.a.connect(link.b_addr)
+    sim.run_until_idle()
+    state = {"dropped": False}
+
+    def drop_first_i(frame):
+        if frame.frame_type is FrameType.I and not state["dropped"]:
+            state["dropped"] = True
+            return True
+        return False
+
+    link.loss_predicate = drop_first_i
+    conn.send(b"ambiguous")
+    sim.run_until_idle()
+    # Delivered via T1 retransmission: the round trip is ambiguous, so
+    # the adaptive policy must not have trained on it.
+    assert link.b_received == [b"ambiguous"]
+    assert conn.stats["i_rexmit"] >= 1
+    assert conn.stats["rtt_samples"] == 0
+    assert conn.timer_policy.srtt is None
+
+
+def test_n2_giveup_accounts_every_abandoned_frame(sim, tracer):
+    link = LinkHarness(sim, retries=3)
+    link.a.tracer = tracer
+    conn = link.a.connect(link.b_addr)
+    sim.run_until_idle()
+    link.loss_predicate = lambda frame: True   # link goes dark
+    conn.send(b"doomed-1")
+    conn.send(b"doomed-2")
+    sim.run_until_idle()
+    assert conn.state is LapbState.DISCONNECTED
+    assert conn.stats["i_abandoned"] == 2
+    assert conn.giveup_drops == 2
+    giveups = tracer.select(category="lapb.giveup")
+    assert len(giveups) == 2
+    assert all(record.detail["reason"] == "retry limit" for record in giveups)
+
+
+def test_clean_disconnect_abandons_nothing(sim, tracer):
+    link = LinkHarness(sim)
+    link.a.tracer = tracer
+    conn = link.a.connect(link.b_addr)
+    sim.run_until_idle()
+    conn.send(b"delivered")
+    sim.run_until_idle()
+    conn.disconnect()
+    sim.run_until_idle()
+    assert conn.state is LapbState.DISCONNECTED
+    assert conn.stats["i_abandoned"] == 0
+    assert tracer.select(category="lapb.giveup") == []

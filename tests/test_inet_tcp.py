@@ -359,6 +359,43 @@ def test_karn_rule_no_rtt_sample_from_retransmission(sim, net):
     assert client.connection.stats["retransmissions"] == 1
 
 
+def test_karn_clamp_holds_backoff_until_fresh_sample(sim, net):
+    """Karn's rule, second half: the backed-off RTO must survive the ACK
+    of a *retransmitted* segment (its round trip is ambiguous) and clear
+    only once an un-retransmitted segment is acknowledged."""
+    def on_accept(conn):
+        TcpSocket(conn)
+    net.b.tcp.listen(7, on_accept=on_accept)
+    policy = AdaptiveRto(initial_rto=500 * MS)
+    client = TcpSocket.connect(net.a, B_IP, 7, rto_policy=policy)
+    sim.run(until=1 * SECOND)
+    assert policy.shift == 0
+
+    dropped = []
+    def drop_twice(packet):
+        if len(packet) > 44 and len(dropped) < 2:
+            dropped.append(packet)
+            return True
+        return False
+
+    net.a_if.drop_predicate = drop_twice
+    client.send(b"ambiguous round trip")
+    # Run until the retransmitted copy has been delivered and acked.
+    sim.run(until=10 * SECOND)
+    assert client.connection.stats["timeouts"] >= 2
+    assert client.connection.snd_una == client.connection.snd_nxt
+    # The retransmission's ACK carried no sample, so the clamp holds.
+    assert policy.shift >= 2
+    backed_off = policy.current()
+
+    # A fresh segment acked without retransmission clears the backoff.
+    net.a_if.drop_predicate = None
+    client.send(b"fresh sample")
+    sim.run(until=20 * SECOND)
+    assert policy.shift == 0
+    assert policy.current() < backed_off
+
+
 def test_retry_limit_aborts_connection(sim, net):
     net.a_if.drop_predicate = lambda packet: True   # black hole
     closed = []
