@@ -208,57 +208,29 @@ def test_perf_full_gateway_session(benchmark):
 
 
 def test_perf_obs_overhead(benchmark):
-    """Flight-recorder cost: the disabled path must stay within 5%.
+    """Flight-recorder cost: ring mode must stay under the 10% budget.
 
-    Every layer's observability hook is ``tracer.flight`` + a None test,
-    so a session with no recorder attached (the default) must cost the
-    same as it did before the recorder existed.  Measures the §2.3 ping
-    session A/B -- recorder absent vs attached -- and records both
-    overhead columns in BENCH_perf.json.
+    Measured with interleaved paired rounds (disabled / enabled-ring /
+    enabled-objects / disabled, each round's overhead taken against its
+    own bracketing disabled baseline) rather than batch A/B timing --
+    the session is short enough that CPU frequency and cache drift
+    between batches used to dominate, reporting nonsense like negative
+    overhead.  See ``repro.obs.overhead``.  The object-recorder column
+    (``ring=False``, the pre-ring encoding) is the "before" to the ring
+    path's "after"; the disabled-vs-disabled column is the noise floor
+    the other two should be read against.  All columns land in
+    BENCH_perf.json.
     """
-    import math
-    import time
+    from repro.obs.overhead import measure
 
-    from repro.apps.ping import Pinger
-    from repro.core.topology import build_gateway_testbed
-    from repro.obs.spans import FlightRecorder
-
-    def session(observe: bool) -> None:
-        tb = build_gateway_testbed(seed=1)
-        if observe:
-            FlightRecorder(tb.tracer)
-        pinger = Pinger(tb.pc.stack)
-        pinger.send("128.95.1.2", count=2, interval=30 * SECOND)
-        tb.sim.run(until=200 * SECOND)
-        assert pinger.received == 2
-
-    def timed(observe: bool, rounds: int = 5) -> float:
-        best = math.inf
-        for _ in range(rounds):
-            start = time.perf_counter()
-            session(observe)
-            best = min(best, time.perf_counter() - start)
-        return best
-
-    benchmark(session, False)  # the benchmarked arm is the disabled path
-    stats = getattr(benchmark, "stats", None)
-    disabled = float(stats.stats.min) if stats is not None else timed(False)
-    enabled = timed(True)
-
-    enabled_overhead_pct = 100.0 * (enabled - disabled) / disabled
-    metrics = {
-        "session_disabled_s": disabled,
-        "session_enabled_s": enabled,
-        "obs_enabled_overhead_pct": enabled_overhead_pct,
-    }
-    reference = _PERF_RESULTS.get(
-        "full_gateway_session", {}).get("mean_seconds_per_round", float("nan"))
-    if math.isfinite(reference):
-        disabled_overhead_pct = 100.0 * (disabled - reference) / reference
-        metrics["obs_disabled_overhead_pct"] = disabled_overhead_pct
-        # The reference session above also ran without a recorder, so
-        # any gap beyond noise means the disabled path grew real work.
-        assert disabled_overhead_pct <= 5.0, (
-            f"observability hooks slowed the disabled path by "
-            f"{disabled_overhead_pct:.1f}% (> 5% budget)")
-    _PERF_RESULTS["obs_overhead"] = metrics
+    metrics = benchmark.pedantic(
+        measure, kwargs={"rounds": 7}, rounds=1, iterations=1)
+    noise = abs(metrics["obs_disabled_overhead_pct"])
+    # Gate on the median round: a single preempted round would drag the
+    # mean over budget without the recorder having gotten any slower.
+    ring = metrics["obs_enabled_overhead_median_pct"]
+    assert ring < 10.0, (
+        f"ring-mode recorder overhead {ring:.1f}% (median round) "
+        f"exceeds the 10% budget (noise floor {noise:.1f}%, objects "
+        f"mode {metrics['obs_enabled_overhead_objects_median_pct']:.1f}%)")
+    _PERF_RESULTS["obs_overhead"] = dict(metrics)

@@ -34,12 +34,15 @@ writing per-cell Student-t CIs to ``BENCH_tournament.json``:
 ``report`` is the observability front door: it runs an instrumented
 gateway scenario and prints the flight recorder's report (top talkers,
 drop reasons, latency histograms, per-hop percentiles), optionally
-capturing the radio channel to a Wireshark-readable pcap.  With
-``--bench`` it becomes the observability gate: the ``obs`` experiment
-over N seeds on 1 and 2 worker processes, requiring span conservation
-in every run and byte-identical digests across layouts:
+capturing the radio channel to a Wireshark-readable pcap, the sampled
+time-series (``--timeline``) and a sim-time profile in folded-stacks
+format (``--flame``).  With ``--bench`` it becomes the observability
+gate: the ``obs`` experiment over N seeds on 1 and 2 worker processes
+requiring span conservation and byte-identical digests across layouts,
+a sharded 2-region trace gate across 1/2/4 processes, and the paired
+obs-overhead measurement:
 
-    python -m repro report --pcap capture.pcap
+    python -m repro report --pcap capture.pcap --timeline --flame
     python -m repro report --bench --seeds 3
 
 ``scale`` is the multi-fidelity sharding gate: every seed's regional
@@ -481,14 +484,24 @@ def _report(argv: List[str]) -> int:
 
     Without ``--bench``: run one instrumented gateway scenario and print
     the human-readable observability report; ``--pcap PATH`` also taps
-    the radio channel into a Wireshark-compatible capture.
+    the radio channel into a Wireshark-compatible capture,
+    ``--timeline`` appends the sampled time-series, and ``--flame``
+    attaches the sim-time profiler and appends folded-stacks text.
+    A run that cannot back a trustworthy report (observability disabled
+    via ``--no-observe``, or a wrapped span ring) exits 2 with a
+    one-line error instead of a traceback or a partial answer.
 
-    With ``--bench``: the observability gate.  Runs the ``obs``
+    With ``--bench``: the observability gate.  (1) The ``obs``
     experiment (plain + chaos variants) over N seeds twice -- once
-    inline, once across worker processes -- and requires (1) span
-    conservation (``obs_conservation_ok``) with at least one packet
-    born in every run, and (2) byte-identical per-seed metric digests
-    across the two layouts.  Writes ``BENCH_obs.json``.
+    inline, once across worker processes -- requiring span conservation
+    (``obs_conservation_ok``) with at least one packet born in every
+    run and byte-identical per-seed metric digests across the two
+    layouts.  (2) The sharded-trace gate: a 2-region observed chaos
+    layout per seed, run with 1, 2 and 4 worker processes, requiring
+    byte-identical merged digests and cross-shard span conservation
+    (``total/obs_sharded_conservation_ok``).  (3) The paired-round
+    obs-overhead measurement (recorded, not gated here -- the perf
+    bench asserts the budget).  Writes ``BENCH_obs.json``.
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro report",
@@ -511,6 +524,16 @@ def _report(argv: List[str]) -> int:
     parser.add_argument("--pcap", default=None, metavar="PATH",
                         help="also write a channel capture (libpcap, "
                              "LINKTYPE_AX25_KISS) to PATH")
+    parser.add_argument("--timeline", action="store_true",
+                        help="append the sampled time-series (per-"
+                             "interval born/delivered/dropped/shed)")
+    parser.add_argument("--flame", action="store_true",
+                        help="attach the sim-time profiler and append "
+                             "folded-stacks text (layer;component;site)")
+    parser.add_argument("--no-observe", action="store_true",
+                        help="run without the flight recorder (the "
+                             "report then fails with a clear error; "
+                             "useful with --flame)")
     parser.add_argument("--seeds", type=int, default=3, metavar="N",
                         help="gate mode: number of seeds (default: 3)")
     parser.add_argument("--seed-base", type=int, default=1,
@@ -523,14 +546,14 @@ def _report(argv: List[str]) -> int:
     if not args.bench:
         from repro.harness.experiments import OBS_MIX
         from repro.obs.pcap import PcapWriter
-        from repro.obs.report import render_report
+        from repro.obs.report import ReportError, render_report, require_reportable
         from repro.tools.axdump import ChannelMonitor
         from repro.workload.scenario import Scenario, build_scenario
 
         scenario = Scenario(
             name=f"report-{args.variant}", topology="gateway",
             stations=args.stations, duration_seconds=args.duration,
-            mix=OBS_MIX, seed=args.seed, observe=True,
+            mix=OBS_MIX, seed=args.seed, observe=not args.no_observe,
         )
         if args.variant == "chaos":
             from dataclasses import replace
@@ -541,15 +564,32 @@ def _report(argv: List[str]) -> int:
             scenario = replace(scenario, fault_plan=plan, watchdog=True,
                                shed_threshold_bytes=2048)
         run = build_scenario(scenario)
+        profiler = None
+        if args.flame:
+            from repro.obs.profile import SimProfiler
+            profiler = SimProfiler()
+            run.sim.profiler = profiler
         pcap = PcapWriter() if args.pcap else None
         if pcap is not None:
             ChannelMonitor(run.testbed.channel, pcap=pcap)
         run.run()
-        assert run.recorder is not None
+        if profiler is not None:
+            print("sim-time profile (folded stacks: layer;component;site)")
+            print(profiler.render_flame())
+            print()
+        try:
+            recorder = require_reportable(run.recorder)
+        except ReportError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
         print(render_report(
-            run.recorder,
+            recorder,
             title=f"observability report: {scenario.name} "
                   f"seed={args.seed}"))
+        if args.timeline and run.timeseries is not None:
+            print()
+            print("timeline (per-interval deltas)")
+            print(run.timeseries.render())
         if pcap is not None:
             size = pcap.save(args.pcap)
             print(f"\nwrote {pcap.frames} frame(s) / {size} bytes to "
@@ -597,12 +637,94 @@ def _report(argv: List[str]) -> int:
         if metrics.get("obs_born_total", 0) < 1:
             failures.append(f"{where}: no packets born (dead scenario)")
 
+    # Sharded-trace gate: a two-region observed chaos layout per seed,
+    # run with 1/2/4 worker processes.  Cross-shard span conservation
+    # (born = delivered + dropped + shed + in-flight over the *merged*
+    # run, with handoffs balancing adoptions) must hold and the merged
+    # digests must be byte-identical across process counts.
+    from dataclasses import replace as dc_replace
+
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.harness import metrics_digest
+    from repro.scale.regions import ScaleLayout
+    from repro.scale.shard import run_sharded
+    from repro.sim.clock import SECOND
+
+    shard_template = ScaleLayout(
+        regions=2, stations_per_region=2, duration_seconds=40.0,
+        drain_seconds=20.0, observe=True,
+        fault_plan=FaultPlan((
+            FaultSpec(kind="partition", target="GW0", peer="WL0",
+                      at=5 * SECOND, duration=15 * SECOND),
+            FaultSpec(kind="serial_noise", target="gateway",
+                      at=8 * SECOND, duration=10 * SECOND,
+                      probability=0.05),
+        )))
+    shard_procs = (1, 2, 4)
+    shard_digests: Dict[str, Dict[str, str]] = {
+        f"procs{procs}": {} for procs in shard_procs}
+    shard_runs: Dict[str, Dict[str, float]] = {}
+    print(f"sharded-trace gate: {args.seeds} seed(s) x 2 regions, "
+          f"procs={shard_procs}")
+    for seed in seeds:
+        layout = dc_replace(shard_template, seed=seed)
+        per_procs = {}
+        for procs in shard_procs:
+            metrics = run_sharded(layout, procs=procs)
+            digest = metrics_digest(metrics)
+            per_procs[procs] = digest
+            shard_digests[f"procs{procs}"][f"seed={seed}"] = digest
+            if procs != 1:
+                continue
+            shard_runs[f"seed={seed}"] = {
+                key: value for key, value in sorted(metrics.items())
+                if key.startswith("total/obs_")}
+            born = metrics.get("total/obs_born_total", 0)
+            print(f"  seed={seed} born={born:.0f} "
+                  f"handed-off={metrics.get('total/obs_handed_off', 0):.0f} "
+                  f"adopted={metrics.get('total/obs_adopted', 0):.0f} "
+                  f"digest={digest[:12]}")
+            if metrics.get("total/obs_sharded_conservation_ok", 0) < 1:
+                failures.append(f"shard seed={seed}: cross-shard span "
+                                f"conservation violated")
+            if born < 1:
+                failures.append(f"shard seed={seed}: no packets born")
+        if len(set(per_procs.values())) != 1:
+            failures.append(
+                f"shard seed={seed}: merged digests differ across "
+                "process counts "
+                + " ".join(f"procs={p}:{d[:12]}"
+                           for p, d in sorted(per_procs.items())))
+
+    # Paired-round overhead columns (recorded for trend tracking; the
+    # perf microbench asserts the <10% budget with more rounds).
+    from repro.obs.overhead import measure as measure_overhead
+
+    overhead = measure_overhead(rounds=5)
+    print("obs overhead (paired rounds, vs bracketing disabled runs): "
+          f"ring {overhead['obs_enabled_overhead_median_pct']:+.1f}% "
+          f"(mean {overhead['obs_enabled_overhead_pct']:+.1f}"
+          f"±{overhead['obs_enabled_overhead_ci95_pct']:.1f}) "
+          f"objects {overhead['obs_enabled_overhead_objects_median_pct']:+.1f}% "
+          f"noise {overhead['obs_disabled_overhead_pct']:+.1f}%"
+          f"±{overhead['obs_disabled_overhead_ci95_pct']:.1f}")
+
     document = sweep_to_dict(results[2])
     document["digests"] = {
         "procs1": digests_1,
         "procs2": digests_2,
         "identical": digests_1 == digests_2,
     }
+    document["sharded"] = {
+        "runs": shard_runs,
+        "digests": {
+            **shard_digests,
+            "identical": all(
+                shard_digests[f"procs{procs}"] == shard_digests["procs1"]
+                for procs in shard_procs),
+        },
+    }
+    document["overhead"] = overhead
     out = args.out or bench_json_path("obs")
     path = write_bench_json(out, document, bench="obs")
 
@@ -613,6 +735,7 @@ def _report(argv: List[str]) -> int:
         print(f"wrote {path}")
         return 1
     print(f"\nobs gate passed: {len(digests_1)} run(s) conserve spans, "
+          f"{len(shard_runs)} sharded run(s) conserve across regions, "
           f"digests identical across layouts; wrote {path}")
     return 0
 

@@ -10,12 +10,24 @@ and the render/report helpers (human output assembled *after* the run).
   CLI front doors (``__main__``), the operator-facing ``tools``
   modules, and the analysis framework itself legitimately print and
   are allowlisted in the engine.
+* **OBS002 unknown-drop-reason** — a recorder terminal (``drop`` /
+  ``drop_key`` / ``shed_packet`` / ``lost_key``) in the sharding layer
+  (``repro/scale``) or the observability layer itself (``repro/obs``)
+  whose reason is not a literal from the live
+  :data:`repro.obs.spans.REASONS` vocabulary.  These layers aggregate
+  and re-emit other layers' terminals across region boundaries, where
+  an invented reason word would silently split the drop-reason
+  histograms the merged view reconciles; the only non-literal allowed
+  is forwarding a parameter named ``reason``.  (The ``--deep``
+  CONS001 pass proves the same obligation repo-wide; OBS002 keeps the
+  fast default lint covering the two layers where the merge invariant
+  makes it load-bearing.)
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.analysis.findings import Finding
 from repro.analysis.registry import (
@@ -24,6 +36,7 @@ from repro.analysis.registry import (
     Rule,
     register_pass,
 )
+from repro.obs.spans import REASONS
 
 RULE_PRINT = Rule(
     id="OBS001", name="print-in-sim", severity="error",
@@ -31,18 +44,35 @@ RULE_PRINT = Rule(
             "an obs instrument so output is deterministic and filterable",
 )
 
+RULE_REASON = Rule(
+    id="OBS002", name="unknown-drop-reason", severity="error",
+    summary="drop/shed reason in repro/scale or repro/obs must be a "
+            "literal from the live repro.obs.spans.REASONS vocabulary "
+            "(or forward a parameter named 'reason')",
+)
+
+#: Recorder terminals whose trailing argument is a reason word.
+_TERMINAL_METHODS = frozenset({"drop", "drop_key", "shed_packet",
+                               "lost_key"})
+
+#: Path fragments that put a module in OBS002's scope.
+_REASON_SCOPES = ("repro/scale/", "repro/obs/")
+
 
 @register_pass
 class ObservabilityPass(LintPass):
     """Flags stdout writes that bypass the tracer/recorder."""
 
     name = "observability"
-    rules = (RULE_PRINT,)
+    rules = (RULE_PRINT, RULE_REASON)
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        in_reason_scope = any(
+            scope in module.path.as_posix() for scope in _REASON_SCOPES)
         for node in ast.walk(module.tree):
-            if (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Name)
+            if not isinstance(node, ast.Call):
+                continue
+            if (isinstance(node.func, ast.Name)
                     and node.func.id == "print"):
                 yield self.finding(
                     module, node, RULE_PRINT,
@@ -50,3 +80,35 @@ class ObservabilityPass(LintPass):
                     "events or an obs instrument for metrics; render "
                     "human-readable text after the run",
                 )
+            elif in_reason_scope:
+                yield from self._check_reason(module, node)
+
+    def _check_reason(self, module: ModuleInfo,
+                      node: ast.Call) -> Iterator[Finding]:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TERMINAL_METHODS):
+            return
+        reason: Optional[ast.expr] = node.args[-1] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "reason":
+                reason = keyword.value
+        if reason is None:
+            return
+        if isinstance(reason, ast.Constant) and isinstance(reason.value, str):
+            if reason.value not in REASONS:
+                yield self.finding(
+                    module, node, RULE_REASON,
+                    f"reason {reason.value!r} passed to "
+                    f".{node.func.attr}() is not in the live obs "
+                    f"vocabulary (repro.obs.spans.REASONS); a word the "
+                    f"merge view has never heard of splits the "
+                    f"drop-reason histograms — reuse or extend REASONS",
+                )
+        elif not (isinstance(reason, ast.Name) and reason.id == "reason"):
+            yield self.finding(
+                module, node, RULE_REASON,
+                f"computed reason passed to .{node.func.attr}(): in "
+                f"repro/scale and repro/obs the reason must be a REASONS "
+                f"literal or a forwarded parameter named 'reason', so "
+                f"the vocabulary stays statically checkable",
+            )

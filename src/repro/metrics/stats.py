@@ -45,7 +45,12 @@ def percentile(sorted_values: Sequence[float], fraction: float) -> float:
     if low == high:
         return float(sorted_values[low])
     weight = position - low
-    return float(sorted_values[low]) * (1 - weight) + float(sorted_values[high]) * weight
+    lower = float(sorted_values[low])
+    upper = float(sorted_values[high])
+    # lerp as lower + (upper - lower) * weight, not the two-product
+    # form: a*(1-w) + b*w underflows to 0.0 when a == b is denormal,
+    # returning a value outside [lower, upper].
+    return lower + (upper - lower) * weight
 
 
 def summarize(values: Sequence[float]) -> Summary:

@@ -9,10 +9,40 @@ text is as deterministic as the metrics digest.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.obs.instruments import Histogram
 from repro.obs.spans import HOP_PAIRS, FlightRecorder
+
+
+class ReportError(RuntimeError):
+    """A report was requested from a run that cannot provide one.
+
+    Raised instead of letting an attribute error or a half-empty report
+    surface: the CLI turns this into a one-line message and a non-zero
+    exit, never a traceback.
+    """
+
+
+def require_reportable(recorder: Optional[FlightRecorder]) -> FlightRecorder:
+    """Validate that a run's recorder can back a full report.
+
+    Rejects runs with observability disabled (no recorder) and runs
+    whose span ring wrapped (timelines would silently miss the oldest
+    events -- rerun with a larger ``ring_slots`` instead of trusting a
+    partial answer).
+    """
+    if recorder is None:
+        raise ReportError(
+            "observability is disabled for this run; "
+            "re-run with observe enabled (drop --no-observe)")
+    recorder.finalize()
+    if recorder.events_overwritten:
+        raise ReportError(
+            f"span ring truncated: {recorder.events_overwritten} event(s) "
+            "overwritten before materialisation; re-run with a larger "
+            "ring (FlightRecorder ring_slots) for a trustworthy report")
+    return recorder
 
 
 def _fmt_us(value: int) -> str:

@@ -29,6 +29,8 @@ from repro.core.hosts import PcHost, make_radio_host
 from repro.core.topology import synthesize_stations
 from repro.faults import FaultInjector, FaultPlan
 from repro.netif.ifnet import InterfaceFlags, NetworkInterface
+from repro.obs.pcap import PcapWriter
+from repro.obs.spans import FlightRecorder, SpanContext
 from repro.radio.channel import RadioChannel
 from repro.radio.modem import ModemProfile
 from repro.scale.fidelity import validate_line_fidelity
@@ -36,6 +38,8 @@ from repro.scale.flow import FlowStationCloud
 from repro.sim.clock import MS, seconds
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
+from repro.sim.trace import Tracer
+from repro.tools.axdump import ChannelMonitor
 from repro.workload.arrivals import make_arrivals
 from repro.workload.generators import PingGenerator
 
@@ -82,6 +86,13 @@ class ScaleLayout:
     #: Applied to region 0 only (the shard protocol keeps the other
     #: regions' RNG streams untouched either way).
     fault_plan: Optional[FaultPlan] = None
+    #: Attach a per-region FlightRecorder (trace ids salted by region,
+    #: spans handed off across the inter-region link).  Part of the
+    #: layout on purpose: observing is a property of the *world*, so
+    #: every worker count builds the identical instrumented world.
+    observe: bool = False
+    #: Attach a per-region ChannelMonitor writing a pcap capture.
+    capture: bool = False
 
     def __post_init__(self) -> None:
         if not 1 <= self.regions <= 200:
@@ -139,6 +150,17 @@ def derive_region_seed(seed: int, region: int) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+#: Region index occupies the bits above this shift in a trace id, so
+#: pkt_ids are globally unique across shards (region 0 allocates the
+#: same ids a single-simulator run would).
+TRACE_REGION_SHIFT = 40
+
+
+def region_trace_base(region: int) -> int:
+    """The trace-id salt of one region's FlightRecorder."""
+    return region << TRACE_REGION_SHIFT
+
+
 class RegionGatewayLink(NetworkInterface):
     """The inter-region point-to-point link, shard-runner flavoured.
 
@@ -149,16 +171,25 @@ class RegionGatewayLink(NetworkInterface):
     region's twin interface -- that latency *is* the conservative
     lookahead, which is why a window never needs to see a message from
     its own window.
+
+    When the region is observed (``layout.observe``), each departing
+    packet's span is handed off: the local :class:`FlightRecorder`
+    closes it in the ``handed_off`` state and the compact span context
+    rides the outbox entry; :meth:`inject` re-binds it in the
+    destination region, so the merged trace reads straight across the
+    shard boundary.
     """
 
     def __init__(self, sim: Simulator, region: int, name: str = "irl0",
-                 mtu: int = 1500) -> None:
+                 mtu: int = 1500,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         super().__init__(
             sim, name, mtu,
             flags=(InterfaceFlags.UP | InterfaceFlags.POINTOPOINT
                    | InterfaceFlags.NOARP),
         )
         self.region = region
+        self.recorder = recorder
         self._outbox: List[tuple] = []
         self._seq = 0
 
@@ -167,17 +198,24 @@ class RegionGatewayLink(NetworkInterface):
             self.oerrors += 1
             return False
         self._seq += 1
+        context: Optional[SpanContext] = None
+        if self.recorder is not None:
+            context = self.recorder.handoff(packet, "gateway.tx", self.name)
         self._outbox.append(
-            (self.sim.now, self._seq, str(next_hop), bytes(packet)))
+            (self.sim.now, self._seq, str(next_hop), bytes(packet), context))
         self.count_output(packet)
         return True
 
-    def inject(self, packet: bytes) -> None:
+    def inject(self, packet: bytes,
+               context: Optional[SpanContext] = None) -> None:
         """Deliver one packet arriving from another region."""
+        if context is not None and self.recorder is not None:
+            self.recorder.adopt(context, "gateway.rx", self.name)
         self.deliver_input(bytes(packet), "ip")
 
     def drain_outbox(self) -> List[tuple]:
-        """Take every parked (send_time, seq, next_hop, packet) entry."""
+        """Take every parked (send_time, seq, next_hop, packet, context)
+        entries."""
         outbox = self._outbox
         self._outbox = []
         return outbox
@@ -199,6 +237,9 @@ class Region:
     flow: Optional[FlowStationCloud] = None
     injector: Optional[FaultInjector] = None
     extra_routes: int = field(default=0)
+    tracer: Optional[Tracer] = None
+    recorder: Optional[FlightRecorder] = None
+    monitor: Optional[ChannelMonitor] = None
 
 
 def build_region(layout: ScaleLayout, index: int) -> Region:
@@ -213,16 +254,27 @@ def build_region(layout: ScaleLayout, index: int) -> Region:
         raise ValueError(f"region {index} outside layout of {layout.regions}")
     sim = Simulator()
     streams = RandomStreams(seed=derive_region_seed(layout.seed, index))
-    channel = RadioChannel(sim, streams, name=f"region{index}-145.01")
+    tracer: Optional[Tracer] = None
+    recorder: Optional[FlightRecorder] = None
+    if layout.observe:
+        tracer = Tracer(sim)
+        recorder = FlightRecorder(tracer,
+                                  trace_base=region_trace_base(index))
+    channel = RadioChannel(sim, streams, tracer=tracer,
+                           name=f"region{index}-145.01")
+    monitor: Optional[ChannelMonitor] = None
+    if layout.capture:
+        monitor = ChannelMonitor(channel, name=f"MON{index}",
+                                 pcap=PcapWriter())
     modem = ModemProfile(bit_rate=layout.bit_rate)
 
     gateway = make_radio_host(
         sim, channel, f"rgw{index}", f"GW{index}", layout.gateway_ip(index),
-        modem=modem, serial_baud=layout.serial_baud,
+        tracer=tracer, modem=modem, serial_baud=layout.serial_baud,
         fidelity=layout.fidelity,
     )
     gateway.stack.ip_forwarding = True
-    link = RegionGatewayLink(sim, index)
+    link = RegionGatewayLink(sim, index, recorder=recorder)
     gateway.stack.attach_interface(link, layout.link_ip(index),
                                    network_route=False)
     # §4.2 in code: net 44 is directly attached here, so every remote
@@ -239,7 +291,7 @@ def build_region(layout: ScaleLayout, index: int) -> Region:
 
     stations = synthesize_stations(
         sim, channel, layout.stations_per_region,
-        modem=modem, serial_baud=layout.serial_baud,
+        tracer=tracer, modem=modem, serial_baud=layout.serial_baud,
         default_gateway=layout.gateway_ip(index),
         subnet=f"44.{REGION_SUBNET_BASE + index}",
         fidelity=layout.fidelity,
@@ -303,7 +355,8 @@ def build_region(layout: ScaleLayout, index: int) -> Region:
         index=index, layout=layout, sim=sim, streams=streams,
         channel=channel, gateway=gateway, link=link, stations=stations,
         generators=generators, flow=flow, injector=injector,
-        extra_routes=extra_routes,
+        extra_routes=extra_routes, tracer=tracer, recorder=recorder,
+        monitor=monitor,
     )
 
 
@@ -333,8 +386,29 @@ def region_metrics(region: Region) -> Dict[str, float]:
         out["faults_injected"] = float(region.injector.faults_injected)
         out["faults_cleared"] = float(region.injector.faults_cleared)
         out["channel_frames_faded"] = float(channel.frames_faded)
+    if region.recorder is not None:
+        for key, value in region.recorder.finalize_metrics().items():
+            out[f"obs_{key}"] = float(value)
+    if region.monitor is not None:
+        out["monitor_frames_heard"] = float(region.monitor.frames_heard)
     out["events_executed"] = float(region.sim.events_executed)
     return out
+
+
+def region_dump(region: Region) -> Dict[str, object]:
+    """One region's full picklable end-of-run dump.
+
+    ``metrics`` is always present; ``spans`` (the recorder's compact
+    span export, for cross-region trace merging) and ``pcap`` (the
+    monitor's capture bytes) appear when the layout enabled them.
+    Metrics come first so the recorder is finalized before export.
+    """
+    dump: Dict[str, object] = {"metrics": region_metrics(region)}
+    if region.recorder is not None:
+        dump["spans"] = region.recorder.export_spans()
+    if region.monitor is not None and region.monitor.pcap is not None:
+        dump["pcap"] = region.monitor.pcap.getvalue()
+    return dump
 
 
 def layout_from_scenario(scenario: "Scenario") -> ScaleLayout:
@@ -361,4 +435,5 @@ def layout_from_scenario(scenario: "Scenario") -> ScaleLayout:
         ping_rate_per_minute=scenario.mix[0].rate_per_minute,
         ping_payload_bytes=scenario.mix[0].payload_bytes,
         fault_plan=scenario.fault_plan,
+        observe=scenario.observe,
     )

@@ -31,21 +31,26 @@ pipe (``("window", barrier, inbound)`` -> outbound list,
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.merge import MergedFlightView, merge_pcaps
+from repro.obs.spans import SpanContext
 from repro.scale.regions import (
     Region,
     ScaleLayout,
     build_region,
-    region_metrics,
+    region_dump,
 )
 from repro.sim.clock import seconds
 
-#: (send_time, seq, next_hop, packet) as drained from a link outbox.
-OutboxEntry = Tuple[int, int, str, bytes]
+#: (send_time, seq, next_hop, packet, span_context) as drained from a
+#: link outbox; the context is None unless the layout is observed.
+OutboxEntry = Tuple[int, int, str, bytes, Optional[SpanContext]]
 
-#: (arrival_time, packet) ready to inject into a destination region.
-InboundEntry = Tuple[int, bytes]
+#: (arrival_time, packet, span_context) ready to inject into a
+#: destination region.
+InboundEntry = Tuple[int, bytes, Optional[SpanContext]]
 
 #: Metrics whose sum across regions is meaningless; they stay
 #: per-region and (for RTT) are averaged into the totals instead.
@@ -70,24 +75,24 @@ def _route(
     """
     table = layout.ip_to_region()
     keyed = []
-    for src, (send_time, seq, next_hop, packet) in outbound:
+    for src, (send_time, seq, next_hop, packet, context) in outbound:
         dest = table.get(next_hop)
         if dest is None or dest == src:
             # Unroutable next hops die on the link, like any wire.
             continue
-        keyed.append((send_time, src, seq, dest, packet))
+        keyed.append((send_time, src, seq, dest, packet, context))
     keyed.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
     inbound: Dict[int, List[InboundEntry]] = {}
-    for send_time, _src, _seq, dest, packet in keyed:
+    for send_time, _src, _seq, dest, packet, context in keyed:
         inbound.setdefault(dest, []).append(
-            (send_time + layout.link_latency, packet))
+            (send_time + layout.link_latency, packet, context))
     return inbound
 
 
 def _inject(region: Region, entries: Sequence[InboundEntry]) -> None:
     """Schedule a window's inbound packets; all arrivals are >= now."""
-    for arrival, packet in entries:
-        region.sim.at(arrival, region.link.inject, packet,
+    for arrival, packet, context in entries:
+        region.sim.at(arrival, region.link.inject, packet, context,
                       label=f"irl0 arrival region{region.index}")
 
 
@@ -128,6 +133,18 @@ def merge_metrics(
     if rtts:
         merged["total/ping_mean_rtt_s"] = sum(rtts) / len(rtts)
     merged["total/regions"] = float(layout.regions)
+    if "total/obs_born_total" in merged:
+        # The merged conservation invariant.  Per-region books balance
+        # by construction (born + adopted == delivered + dropped + shed
+        # + handed_off + in_flight); what can actually break across
+        # shards is a contradictory terminal or a handoff that no
+        # region adopted -- so that is what the gate metric checks, and
+        # the run-wide "born == delivered + dropped + shed + in_flight"
+        # identity follows.
+        ok = (merged.get("total/obs_conservation_violations", 0.0) == 0.0
+              and merged.get("total/obs_handed_off", 0.0)
+              == merged.get("total/obs_adopted", 0.0))
+        merged["total/obs_sharded_conservation_ok"] = 1.0 if ok else 0.0
     return merged
 
 
@@ -136,7 +153,7 @@ def merge_metrics(
 # ----------------------------------------------------------------------
 
 
-def _run_inline(layout: ScaleLayout) -> Dict[int, Dict[str, float]]:
+def _run_inline(layout: ScaleLayout) -> Dict[int, Dict[str, object]]:
     regions = [build_region(layout, index)
                for index in range(layout.regions)]
     inbound: Dict[int, List[InboundEntry]] = {}
@@ -148,7 +165,7 @@ def _run_inline(layout: ScaleLayout) -> Dict[int, Dict[str, float]]:
                 _step_window(region, barrier,
                              inbound.get(region.index, ())))
         inbound = _route(layout, outbound)
-    return {region.index: region_metrics(region) for region in regions}
+    return {region.index: region_dump(region) for region in regions}
 
 
 # ----------------------------------------------------------------------
@@ -170,7 +187,7 @@ def _worker_main(layout: ScaleLayout, owned: Tuple[int, ...], conn) -> None:
                                  inbound.get(index, ())))
             conn.send(outbound)
         elif message[0] == "finish":
-            conn.send({index: region_metrics(regions[index])
+            conn.send({index: region_dump(regions[index])
                        for index in owned})
             conn.close()
             return
@@ -179,7 +196,7 @@ def _worker_main(layout: ScaleLayout, owned: Tuple[int, ...], conn) -> None:
 
 
 def _run_processes(layout: ScaleLayout,
-                   procs: int) -> Dict[int, Dict[str, float]]:
+                   procs: int) -> Dict[int, Dict[str, object]]:
     workers = min(procs, layout.regions)
     ownership = [
         tuple(index for index in range(layout.regions)
@@ -207,7 +224,7 @@ def _run_processes(layout: ScaleLayout,
             for _owned, conn, _process in links:
                 outbound.extend(conn.recv())
             inbound = _route(layout, outbound)
-        per_region: Dict[int, Dict[str, float]] = {}
+        per_region: Dict[int, Dict[str, object]] = {}
         for _owned, conn, _process in links:
             conn.send(("finish",))
             per_region.update(conn.recv())
@@ -221,18 +238,51 @@ def _run_processes(layout: ScaleLayout,
     return per_region
 
 
-def run_sharded(layout: ScaleLayout, procs: int = 1) -> Dict[str, float]:
-    """Run a partitioned layout and return merged metrics.
+@dataclass
+class ShardedRun:
+    """Merged artifacts of one sharded run.
+
+    ``metrics`` is always populated; ``view`` (the cross-region span
+    view) exists when the layout observed, ``pcap`` (one time-ordered
+    merged capture) when it captured.
+    """
+
+    metrics: Dict[str, float]
+    view: Optional[MergedFlightView] = None
+    pcap: Optional[bytes] = None
+
+
+def run_sharded_full(layout: ScaleLayout, procs: int = 1) -> ShardedRun:
+    """Run a partitioned layout and return every merged artifact.
 
     ``procs`` caps the worker-process count (clamped to the region
     count); ``procs=1`` runs every region inline in this process.  The
     merged result is identical for every ``procs`` value -- that is the
-    contract the scale gate digests.
+    contract the scale gate digests -- and the same holds for the
+    merged trace view and capture, because workers ship picklable
+    per-region dumps and the merge is a sorted pure function of them.
     """
     if procs < 1:
         raise ValueError("procs must be at least 1")
     if procs == 1 or layout.regions == 1:
-        per_region = _run_inline(layout)
+        dumps = _run_inline(layout)
     else:
-        per_region = _run_processes(layout, procs)
-    return merge_metrics(layout, per_region)
+        dumps = _run_processes(layout, procs)
+    metrics = merge_metrics(
+        layout, {index: dump["metrics"]  # type: ignore[misc]
+                 for index, dump in dumps.items()})
+    view: Optional[MergedFlightView] = None
+    if layout.observe:
+        view = MergedFlightView(
+            {index: dump["spans"]  # type: ignore[misc]
+             for index, dump in dumps.items()})
+    pcap: Optional[bytes] = None
+    if layout.capture:
+        pcap = merge_pcaps([dumps[index]["pcap"]  # type: ignore[misc]
+                            for index in sorted(dumps)])
+    return ShardedRun(metrics=metrics, view=view, pcap=pcap)
+
+
+def run_sharded(layout: ScaleLayout, procs: int = 1) -> Dict[str, float]:
+    """Run a partitioned layout and return merged metrics only."""
+    return run_sharded_full(layout, procs).metrics

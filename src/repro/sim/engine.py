@@ -95,6 +95,9 @@ class Simulator:
         self._now = 0
         self._running = False
         self._events_executed = 0
+        #: Optional SimProfiler (repro.obs.profile); like tracer.flight,
+        #: a single attribute that keeps the off-cost to one None test.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # time
@@ -190,6 +193,8 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_executed += 1
+            if self.profiler is not None:
+                self.profiler.count(event)
             event.fn(*event.args, **event.kwargs)
             return True
         return False
@@ -219,6 +224,8 @@ class Simulator:
                 self._now = head.time
                 self._events_executed += 1
                 executed += 1
+                if self.profiler is not None:
+                    self.profiler.count(head)
                 head.fn(*head.args, **head.kwargs)
         finally:
             self._running = False

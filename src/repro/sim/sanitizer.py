@@ -176,7 +176,7 @@ class SimSanitizer:
         for span in self.recorder.iter_spans():
             if span.state != "in_flight":
                 continue
-            last = span.events[-1].time if span.events else span.born_at
+            last = span.last_seen or span.born_at
             if now - last <= self.stale_after:
                 continue
             self.stale_spans += 1

@@ -37,6 +37,7 @@ from repro.core.topology import (
 from repro.faults import FaultInjector, FaultPlan
 from repro.inet.tcp import AdaptiveRto, FixedRto, NoCongestion, PacedRate, Reno
 from repro.obs.spans import FlightRecorder
+from repro.obs.timeseries import TimeSeries
 from repro.radio.modem import ModemProfile
 from repro.radio.station import RadioStation
 from repro.scale.fidelity import validate_line_fidelity
@@ -115,6 +116,11 @@ class Scenario:
     #: Attach a packet flight recorder (repro.obs) to the shared tracer;
     #: adds ``obs_*`` span-conservation and latency metrics to results.
     observe: bool = False
+    #: Cadence (simulated seconds) of the TimeSeries instrument
+    #: snapshots taken when ``observe`` is on.  Only snapshot counts
+    #: enter the metric dict; the sampled values feed ``report
+    #: --timeline``.
+    snapshot_cadence_seconds: float = 10.0
     #: Attach the runtime SimSanitizer (repro.sim.sanitizer): live span
     #: conservation checks plus a stale-span census at the end of the
     #: run.  Implies a flight recorder; adds ``sanitizer_*`` metrics.
@@ -165,6 +171,8 @@ class Scenario:
             raise ValueError("flow_stations must be non-negative")
         if self.regions < 1:
             raise ValueError("regions must be at least 1")
+        if self.snapshot_cadence_seconds <= 0:
+            raise ValueError("snapshot cadence must be positive")
         validate_line_fidelity(self.fidelity)
 
     def with_seed(self, seed: int) -> "Scenario":
@@ -210,6 +218,7 @@ class ScenarioRun:
     recorder: Optional[object] = None  # FlightRecorder when observe=True
     sanitizer: Optional[SimSanitizer] = None  # when sanitize=True
     flow_cloud: Optional[FlowStationCloud] = None  # when flow_stations>0
+    timeseries: Optional[TimeSeries] = None  # when observe=True
 
     @property
     def sim(self):
@@ -303,6 +312,9 @@ class ScenarioRun:
         # metric sets of pre-existing scenarios are unchanged.
         if self.recorder is not None:
             for key, value in self.recorder.finalize_metrics().items():
+                out[f"obs_{key}"] = float(value)
+        if self.timeseries is not None:
+            for key, value in self.timeseries.metrics().items():
                 out[f"obs_{key}"] = float(value)
         if self.sanitizer is not None:
             out.update(self.sanitizer.finalize_metrics())
@@ -456,6 +468,11 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
         # whenever the hub's driver writes to the line.
         backlog_gauge = recorder.instruments.gauge("gateway_serial_backlog")
         primary.serial.a.on_backlog_sample = backlog_gauge.sample
+        if scenario.observe:
+            run.timeseries = TimeSeries(
+                sim, recorder.summary,
+                cadence=seconds(scenario.snapshot_cadence_seconds))
+            run.timeseries.start()
         if scenario.sanitize:
             run.sanitizer = SimSanitizer(sim, recorder)
             run.sanitizer.start()

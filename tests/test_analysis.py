@@ -218,6 +218,52 @@ def test_obs001_allowlists_cli_and_tools(tmp_path):
     assert report.allowlisted == 2
 
 
+def _lint_at(tmp_path, relative, source):
+    target = tmp_path / relative
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return LintEngine().lint_paths([tmp_path])
+
+
+def test_obs002_flags_unknown_literal_reason(tmp_path):
+    report = _lint_at(
+        tmp_path, "repro/scale/gateway_link.py",
+        "def relay(self, span, key):\n"
+        "    self.recorder.drop_key(key, 'gateway', 'GW0', 'oops_lost')\n")
+    assert [f.rule for f in report.new_findings] == ["OBS002"]
+    assert "oops_lost" in report.new_findings[0].message
+
+
+def test_obs002_flags_computed_reason(tmp_path):
+    report = _lint_at(
+        tmp_path, "repro/obs/merge.py",
+        "def close(self, span, why):\n"
+        "    self.recorder.shed_packet(span, 'ip', 'R1', reason=why)\n")
+    assert [f.rule for f in report.new_findings] == ["OBS002"]
+    assert "computed reason" in report.new_findings[0].message
+
+
+def test_obs002_allows_vocabulary_and_forwarding(tmp_path):
+    clean = (
+        "def relay(self, span, key, reason):\n"
+        "    self.recorder.drop(span, 'gateway', 'GW0', 'link_giveup')\n"
+        "    self.recorder.drop_key(key, 'gateway', 'GW0', reason)\n"
+        "    self.recorder.lost_key(key, 'serial', 'GW0',\n"
+        "                           reason='serial_backlog')\n")
+    report = _lint_at(tmp_path, "repro/scale/shard.py", clean)
+    assert report.new_findings == []
+
+
+def test_obs002_scope_is_scale_and_obs_only(tmp_path):
+    # Same unknown literal in a layer outside the OBS002 scope: the
+    # fast pass stays quiet (the --deep CONS001 pass covers it).
+    report = _lint_at(
+        tmp_path, "repro/tnc/kiss_tnc.py",
+        "def toss(self, span):\n"
+        "    self.recorder.drop(span, 'tnc', 'NT7GW', 'oops_lost')\n")
+    assert report.new_findings == []
+
+
 # ----------------------------------------------------------------------
 # framework: suppressions, baseline, JSON
 # ----------------------------------------------------------------------

@@ -5,6 +5,8 @@ from __future__ import annotations
 import struct
 from pathlib import Path
 
+import pytest
+
 from repro.apps.ping import Pinger
 from repro.ax25.address import AX25Address, AX25Path
 from repro.ax25.defs import PID_ARPA_IP, PID_NO_L3, FrameType
@@ -254,3 +256,134 @@ def test_channel_monitor_pcap_matches_golden_capture():
     # Every captured record decodes as an AX.25 frame carrying our traffic.
     times = [time for time, _frame in frames]
     assert times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# ring encoding
+# ----------------------------------------------------------------------
+
+def _run_recorded_ping(seed: int, ring: bool) -> FlightRecorder:
+    testbed = build_gateway_testbed(seed=seed)
+    recorder = FlightRecorder(testbed.tracer, ring=ring)
+    pinger = Pinger(testbed.ether_host)
+    pinger.send(testbed.PC_IP, count=2, interval=20 * SECOND)
+    testbed.sim.run(until=120 * SECOND)
+    return recorder
+
+
+def test_ring_and_object_recorders_are_equivalent():
+    """The flat ring is an encoding, not a behavior: identical output."""
+    ring = _run_recorded_ping(seed=3, ring=True)
+    objects = _run_recorded_ping(seed=3, ring=False)
+    assert ring.export_spans() == objects.export_spans()
+    assert ring.summary() == objects.summary()
+    assert ring.finalize_metrics() == objects.finalize_metrics()
+    for pkt_id in range(1, ring.born_total + 1):
+        assert ring.timeline(pkt_id) == objects.timeline(pkt_id)
+        assert ring.why_dropped(pkt_id) == objects.why_dropped(pkt_id)
+
+
+def test_ring_wrap_counts_overwritten_and_blocks_reports():
+    from repro.obs.report import ReportError, require_reportable
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+
+    sim = Simulator()
+    recorder = FlightRecorder(Tracer(sim), ring_slots=4)
+    datagram = IPv4Datagram(
+        source=IPv4Address.parse("44.24.0.28"),
+        destination=IPv4Address.parse("44.24.0.5"),
+        protocol=17, identification=9, ttl=15, payload=b"x")
+    recorder.born_datagram("sta0", datagram)
+    key = (IPv4Address.parse("44.24.0.28").value, 9)
+    for _ in range(9):
+        recorder.enter_key(key, "radio.tx", "sta0")
+    recorder.finalize()
+    # 10 events into 4 slots: the oldest 6 are gone, the span keeps the
+    # youngest 4, and the loss is visible in the metrics.
+    assert recorder.events_overwritten == 6
+    span = recorder.span(recorder.born_total)
+    assert span is not None and len(span.events) == 4
+    with pytest.raises(ReportError, match="ring truncated"):
+        require_reportable(recorder)
+
+
+def test_require_reportable_rejects_unobserved_runs():
+    from repro.obs.report import ReportError, require_reportable
+
+    with pytest.raises(ReportError, match="observability is disabled"):
+        require_reportable(None)
+
+
+# ----------------------------------------------------------------------
+# time series + profiler
+# ----------------------------------------------------------------------
+
+def test_timeseries_samples_on_cadence():
+    from repro.obs.timeseries import TimeSeries
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    state = {"delivered": 0.0}
+
+    def work():
+        state["delivered"] += 1.0
+        sim.schedule(3 * SECOND, work)
+
+    sim.schedule(0, work)
+    series = TimeSeries(sim, lambda: state, cadence=10 * SECOND)
+    series.start()
+    series.start()  # idempotent: no doubled snapshots
+    sim.run(until=35 * SECOND)
+    assert [time for time, _ in series.snapshots] == [
+        10 * SECOND, 20 * SECOND, 30 * SECOND]
+    # work fires at 0,3,...; each snapshot event was scheduled a full
+    # cadence earlier, so at t=30s it runs before the t=30s work tick.
+    assert series.series("delivered") == [
+        (10 * SECOND, 4.0), (20 * SECOND, 7.0), (30 * SECOND, 10.0)]
+    assert series.deltas("delivered") == [
+        (10 * SECOND, 4.0), (20 * SECOND, 3.0), (30 * SECOND, 3.0)]
+    assert series.metrics() == {"timeseries_snapshots": 3.0,
+                                "timeseries_cadence_us": float(10 * SECOND)}
+    rendered = series.render(keys=("delivered",))
+    assert "delivered" in rendered and "#" in rendered
+    with pytest.raises(ValueError):
+        TimeSeries(sim, lambda: state, cadence=0)
+
+
+def test_scenario_exports_snapshot_cadence_metrics():
+    from repro.workload.scenario import Scenario, run_scenario
+
+    metrics = run_scenario(Scenario(
+        name="ts", topology="gateway", stations=2,
+        duration_seconds=45.0, seed=4, observe=True,
+        snapshot_cadence_seconds=10.0))
+    assert metrics["obs_timeseries_snapshots"] >= 4.0
+    assert metrics["obs_timeseries_cadence_us"] == float(10 * SECOND)
+
+
+def test_profiler_attributes_events_to_layers():
+    from repro.obs.profile import SimProfiler, attribute
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    profiler = SimProfiler()
+    sim.profiler = profiler
+    assert profiler.render_flame() == "profile: no events counted"
+
+    recorder = []  # drive a bound method and a closure through the loop
+    gauge = Gauge("g")
+    for _ in range(3):
+        sim.schedule(10, gauge.sample, 7)
+    sim.schedule(20, lambda: recorder.append(1))
+    sim.run_until_idle()
+
+    assert profiler.events == 4
+    layer, component, site = attribute(gauge.sample)
+    assert (layer, component) == ("obs", "instruments")
+    folded = profiler.folded()
+    assert f"obs;instruments;{site} 3" in folded
+    assert profiler.by_layer()["obs"] == 3
+    assert profiler.metrics() == {"profile_events": 4.0,
+                                  "profile_sites": 2.0}
+    assert "obs;instruments" in profiler.render_flame()

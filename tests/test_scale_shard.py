@@ -10,10 +10,14 @@ region's gateway over the windowed link).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.faults import FaultPlan, FaultSpec
 from repro.harness.results import metrics_digest
+from repro.obs.merge import merge_pcaps
+from repro.obs.pcap import PcapWriter, read_pcap
 from repro.scale.regions import (
     RegionGatewayLink,
     ScaleLayout,
@@ -22,15 +26,41 @@ from repro.scale.regions import (
     layout_from_scenario,
     region_metrics,
 )
-from repro.scale.shard import merge_metrics, run_sharded, window_count
+from repro.scale.shard import (
+    merge_metrics,
+    run_sharded,
+    run_sharded_full,
+    window_count,
+)
 from repro.sim.clock import SECOND
 from repro.sim.engine import Simulator
 from repro.workload.scenario import GeneratorMix, Scenario
+
+#: Golden merged two-region capture (layout OBS_LAYOUT below, procs=1).
+GOLDEN_SHARD_PCAP = Path(__file__).parent / "data" / "golden_shard_capture.pcap"
 
 #: Small but real: cross-region pings plus flow background in each
 #: region, short enough for CI, long enough for several sync windows.
 LAYOUT = ScaleLayout(regions=2, stations_per_region=2, flow_stations=40,
                      duration_seconds=40.0, drain_seconds=20.0, seed=13)
+
+#: The observed/captured chaos layout: faults in region 0, a
+#: FlightRecorder and pcap monitor in every region.
+OBS_LAYOUT = ScaleLayout(
+    regions=2, stations_per_region=2, duration_seconds=40.0,
+    drain_seconds=20.0, seed=17, observe=True, capture=True,
+    fault_plan=FaultPlan((
+        FaultSpec(kind="partition", target="GW0", peer="WL0",
+                  at=5 * SECOND, duration=15 * SECOND),
+        FaultSpec(kind="serial_noise", target="gateway",
+                  at=8 * SECOND, duration=10 * SECOND, probability=0.05),
+    )))
+
+
+@pytest.fixture(scope="module")
+def obs_run():
+    """One inline run of the observed chaos layout, shared by the tests."""
+    return run_sharded_full(OBS_LAYOUT, procs=1)
 
 
 def test_region_seeds_are_layout_independent():
@@ -79,6 +109,8 @@ def test_gateway_link_stamps_and_drains():
     first = link.drain_outbox()
     assert [(entry[1], entry[2], entry[3]) for entry in first] == [
         (1, "44.25.0.28", b"abc"), (2, "44.25.0.28", b"def")]
+    # Without a recorder the span-context slot stays empty.
+    assert [entry[4] for entry in first] == [None, None]
     assert link.drain_outbox() == []
     received = []
     link.input_handler = lambda packet, _iface, proto: received.append(
@@ -171,3 +203,68 @@ def test_layout_from_scenario_rejects_non_ping_mixes():
                         mix=(GeneratorMix("udp"),))
     with pytest.raises(ValueError, match="ping-only"):
         layout_from_scenario(scenario)
+
+
+# ----------------------------------------------------------------------
+# cross-shard tracing + merged capture
+# ----------------------------------------------------------------------
+
+
+def test_sharded_spans_conserve_across_regions(obs_run):
+    """The merged conservation invariant holds on a 2-region chaos run."""
+    metrics = obs_run.metrics
+    assert metrics["total/obs_sharded_conservation_ok"] == 1.0
+    assert metrics["total/obs_born_total"] > 0
+    assert metrics["total/obs_handed_off"] == metrics["total/obs_adopted"]
+    assert metrics["total/obs_conservation_violations"] == 0.0
+    # born == delivered + dropped + shed + in_flight, run-wide.
+    assert metrics["total/obs_born_total"] == (
+        metrics["total/obs_delivered"] + metrics["total/obs_dropped"]
+        + metrics["total/obs_shed"] + metrics["total/obs_in_flight"])
+    view = obs_run.view
+    assert view is not None and view.conservation_ok()
+    counts = view.counts()
+    assert counts["cross_region"] > 0
+    assert counts["spans"] == metrics["total/obs_born_total"]
+
+
+def test_sharded_timeline_reads_across_the_boundary(obs_run):
+    """A handed-off span renders as one trace spanning both regions."""
+    view = obs_run.view
+    crossing = next(span for span in view.iter_spans()
+                    if len(span.regions) > 1 and span.state == "delivered")
+    text = "\n".join(view.timeline(crossing.pkt_id))
+    assert "[r0]" in text and "[r1]" in text
+    assert "gateway.tx" in text and "gateway.rx" in text
+    assert "state=delivered" in text
+    assert "delivered after" in view.why_dropped(crossing.pkt_id)
+
+
+def test_sharded_observe_digest_parity_across_procs(obs_run):
+    """Merged metrics, traces and capture are byte-identical for 2/4 procs."""
+    base = metrics_digest(obs_run.metrics)
+    for procs in (2, 4):
+        run = run_sharded_full(OBS_LAYOUT, procs=procs)
+        assert metrics_digest(run.metrics) == base
+        assert run.pcap == obs_run.pcap
+        assert run.view.counts() == obs_run.view.counts()
+
+
+def test_merged_capture_is_time_ordered_and_golden(obs_run):
+    """Two regions' monitors merge into one clean capture."""
+    frames = list(read_pcap(obs_run.pcap))
+    assert frames, "merged capture is empty"
+    times = [time_us for time_us, _frame in frames]
+    assert times == sorted(times)
+    # No gateway frame is heard twice: inter-region packets travel the
+    # wireline link, never a radio channel.
+    assert len(set(frames)) == len(frames)
+    assert obs_run.pcap == GOLDEN_SHARD_PCAP.read_bytes()
+
+
+def test_merge_pcaps_rejects_duplicate_frames():
+    first, second = PcapWriter(), PcapWriter()
+    first.add_frame(1000, b"same-frame")
+    second.add_frame(1000, b"same-frame")
+    with pytest.raises(ValueError, match="duplicated frame"):
+        merge_pcaps([first.getvalue(), second.getvalue()])
