@@ -12,6 +12,7 @@ directory, so an installed copy of the library can demonstrate itself:
     python -m repro report ...     # packet flight recorder report / gate
     python -m repro scale ...      # multi-fidelity sharding digest gate
     python -m repro lint ...       # reprolint static-analysis gate
+    python -m repro mc ...         # reprocheck model-checking gate
     python -m repro list           # show this list
 
 ``sweep`` is the experiment harness: it fans a seed sweep of a named
@@ -59,6 +60,17 @@ determinism, sim-safety, and protocol invariants, exiting nonzero on
 any finding not baselined or inline-suppressed:
 
     python -m repro lint src --format json
+
+``mc`` is the reprocheck model-checking gate: bounded explicit-state
+exploration of the preset worlds (2-station LAPB handshake, 3-station
+hidden terminal, TCP transfer under lossy choice) with zero-violation
+gating, the partial-order-reduction ratio measured against a
+no-reduction baseline walk, and a mutation gate proving the checker
+finds three seeded protocol bugs with deterministically replayable
+counterexamples:
+
+    python -m repro mc
+    python -m repro mc --worlds lapb2 --counterexamples
 
 The fuller scenarios (BBS, emergency net, NET/ROM node network, ...)
 live as scripts in the repository's examples/ directory.
@@ -924,6 +936,191 @@ SCENARIOS: Dict[str, Callable[[], None]] = {
 }
 
 
+def _mc(argv: List[str]) -> int:
+    """``python -m repro mc``: the model-checking gate.
+
+    Explores every preset world to fixpoint (or budget) and requires
+    zero property violations; measures the partial-order-reduction
+    ratio on the lapb2 execution tree and requires >= 2x; runs the
+    mutation gate (three seeded bugs, each of which the checker must
+    find and replay deterministically).  Writes ``BENCH_mc.json``.
+    """
+    from repro.check import Budget, Explorer, build_world
+    from repro.check.mutations import MUTATIONS
+    from repro.check.replay import replay_violation
+    from repro.check.worlds import WORLDS
+    from repro.harness import bench_json_path, write_bench_json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro mc",
+        description="Bounded explicit-state model checking of the "
+                    "protocol stack: preset worlds, POR ratio, "
+                    "mutation gate.",
+    )
+    parser.add_argument("--worlds", default="lapb2,hidden3,tcpxfer",
+                        help="comma-separated preset worlds "
+                             "(default: lapb2,hidden3,tcpxfer; "
+                             f"known: {','.join(sorted(WORLDS))})")
+    parser.add_argument("--max-states", type=int, default=50_000,
+                        help="state budget per exploration "
+                             "(default: 50000)")
+    parser.add_argument("--max-depth", type=int, default=400,
+                        help="path depth budget (default: 400)")
+    parser.add_argument("--max-seconds", type=float, default=60.0,
+                        help="wall-clock budget per exploration "
+                             "(default: 60)")
+    parser.add_argument("--naive-cap", type=int, default=8000,
+                        help="state cap for the no-reduction baseline "
+                             "walk; hitting it makes the reported POR "
+                             "ratio a lower bound (default: 8000)")
+    parser.add_argument("--skip-por-ratio", action="store_true",
+                        help="skip the POR-vs-naive tree measurement")
+    parser.add_argument("--skip-mutation-gate", action="store_true",
+                        help="skip the seeded-bug mutation gate")
+    parser.add_argument("--counterexamples", action="store_true",
+                        help="print the shortest counterexample and "
+                             "replay timeline for any violation")
+    parser.add_argument("--out", default=None,
+                        help="results path (default: ./BENCH_mc.json)")
+    args = parser.parse_args(argv)
+
+    names = [name.strip() for name in args.worlds.split(",") if name.strip()]
+    unknown = [name for name in names if name not in WORLDS]
+    if unknown:
+        print(f"unknown world(s): {', '.join(unknown)} "
+              f"(known: {', '.join(sorted(WORLDS))})", file=sys.stderr)
+        return 2
+
+    def budget(max_states: int) -> Budget:
+        return Budget(max_states=max_states,
+                      max_depth=args.max_depth,
+                      max_wall_seconds=args.max_seconds)
+
+    failures: List[str] = []
+    presets = []
+    for name in names:
+        explorer = Explorer(lambda n=name: build_world(n), por=True,
+                            budget=budget(args.max_states))
+        result = explorer.run()
+        summary = result.summary()
+        presets.append(summary)
+        status = "fixpoint" if result.complete else "budget"
+        print(f"mc: {name}: {result.states} states, "
+              f"{result.transitions} transitions "
+              f"({result.states_per_second:.0f} states/s, {status}), "
+              f"{len(result.violations)} violation(s)")
+        for violation in result.violations:
+            failures.append(f"{name}: {violation.render().splitlines()[0]}")
+        shortest = result.shortest_violation()
+        if shortest is not None and args.counterexamples:
+            print(shortest.render())
+            confirmation = replay_violation(
+                lambda n=name: build_world(n), shortest)
+            print(confirmation.report())
+            print(confirmation.timeline())
+
+    por_ratio = None
+    if not args.skip_por_ratio:
+        tree = Explorer(lambda: build_world("lapb2"), por=True, dedup=False,
+                        budget=budget(args.max_states))
+        tree_result = tree.run()
+        naive = Explorer(lambda: build_world("lapb2"), por=False,
+                         dedup=False, budget=budget(args.naive_cap))
+        naive_result = naive.run()
+        ratio = (naive_result.states / tree_result.states
+                 if tree_result.states else 0.0)
+        por_ratio = {
+            "world": "lapb2",
+            "por_states": tree_result.states,
+            "por_transitions": tree_result.transitions,
+            "naive_states": naive_result.states,
+            "naive_transitions": naive_result.transitions,
+            "ratio": round(ratio, 2),
+            # A truncated baseline still proves the ratio's floor.
+            "lower_bound": not naive_result.complete,
+        }
+        bound = ">=" if not naive_result.complete else "="
+        print(f"mc: POR ratio on lapb2 tree: {bound} {ratio:.1f}x "
+              f"({naive_result.states} naive vs {tree_result.states} "
+              f"reduced states)")
+        if not tree_result.complete:
+            failures.append("POR tree walk of lapb2 hit its budget; "
+                            "ratio is not meaningful")
+        if ratio < 2.0:
+            failures.append(
+                f"POR ratio {ratio:.2f}x < 2x on lapb2")
+
+    mutation_rows = []
+    if not args.skip_mutation_gate:
+        for mutation in MUTATIONS.values():
+            with mutation.active():
+                explorer = Explorer(
+                    lambda m=mutation: build_world(m.world), por=True,
+                    budget=budget(args.max_states))
+                result = explorer.run()
+                found = result.shortest_violation()
+                replayed = False
+                if found is not None:
+                    confirmation = replay_violation(
+                        lambda m=mutation: build_world(m.world), found)
+                    replayed = confirmation.confirmed
+                    if args.counterexamples:
+                        print(found.render())
+            row = {
+                "mutation": mutation.name,
+                "world": mutation.world,
+                "expected_invariant": mutation.expected_invariant,
+                "found_invariant": found.invariant if found else None,
+                "counterexample_depth": found.depth if found else None,
+                "replay_confirmed": replayed,
+            }
+            mutation_rows.append(row)
+            if found is None:
+                failures.append(
+                    f"mutation {mutation.name}: no violation found "
+                    f"({mutation.description})")
+                print(f"mc: mutation {mutation.name}: MISSED")
+                continue
+            if found.invariant != mutation.expected_invariant:
+                failures.append(
+                    f"mutation {mutation.name}: expected "
+                    f"{mutation.expected_invariant}, caught by "
+                    f"{found.invariant}")
+            if not replayed:
+                failures.append(
+                    f"mutation {mutation.name}: counterexample did not "
+                    f"replay")
+            print(f"mc: mutation {mutation.name}: caught by "
+                  f"{found.invariant} in {found.depth} step(s), "
+                  f"replay {'confirmed' if replayed else 'DIVERGED'}")
+
+    document = {
+        "spec": {
+            "worlds": names,
+            "max_states": args.max_states,
+            "max_depth": args.max_depth,
+            "max_wall_seconds": args.max_seconds,
+            "naive_cap": args.naive_cap,
+        },
+        "presets": presets,
+        "por_ratio": por_ratio,
+        "mutation_gate": mutation_rows,
+        "failures": failures,
+    }
+    out = args.out or bench_json_path("mc")
+    path = write_bench_json(out, document, bench="mc")
+
+    if failures:
+        print("\nmc gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(f"wrote {path}")
+        return 1
+    print(f"\nmc gate passed: {len(names)} world(s) clean, "
+          f"{len(mutation_rows)} mutation(s) caught; wrote {path}")
+    return 0
+
+
 def main(argv: list) -> int:
     """Dispatch to a scenario; returns a process exit code."""
     name = argv[1] if len(argv) > 1 else "list"
@@ -940,6 +1137,8 @@ def main(argv: list) -> int:
     if name == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[2:])
+    if name == "mc":
+        return _mc(argv[2:])
     if name in SCENARIOS:
         SCENARIOS[name]()
         return 0
@@ -947,7 +1146,7 @@ def main(argv: list) -> int:
         print(f"unknown scenario {name!r}", file=sys.stderr)
     print(__doc__.strip())
     print("\nbuilt-in scenarios:", ", ".join(sorted(SCENARIOS)),
-          "+ sweep, chaos, tournament, report, scale, lint")
+          "+ sweep, chaos, tournament, report, scale, lint, mc")
     print("richer versions live in examples/*.py")
     return 0 if name in ("list", "-h", "--help") else 2
 

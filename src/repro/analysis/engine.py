@@ -63,13 +63,22 @@ DEFAULT_ALLOWLIST: Dict[str, Sequence[str]] = {
                "*/repro/__main__.py"),
     # Same boundary for the flow-sensitive variant: wall-clock values
     # stored by the harness/runner are diagnostic metadata by design.
+    # The model checker's explorer sits on the same side of that
+    # boundary: it reads the host clock only for its own wall budget
+    # and throughput report, never for anything a world fingerprints.
     "DETFLOW001": ("*/repro/harness/*", "*/repro/analysis/*",
                    "*/repro/__main__.py", "*/repro/sim/rand.py",
-                   "*/repro/sim/sanitizer.py"),
+                   "*/repro/sim/sanitizer.py",
+                   "*/repro/check/explorer.py"),
     # CLI front doors and operator tools print to a terminal on
     # purpose; everything simulated must speak through the tracer.
     "OBS001": ("*/repro/__main__.py", "*/repro/analysis/*",
                "*/repro/tools/*", "*/repro/harness/*"),
+    # Snapshot safety binds only what the model checker deepcopies:
+    # simulated objects.  Harness workers, analysis tooling, and CLI
+    # front doors are never captured, so their lambdas are harmless.
+    "SNAP001": ("*/repro/harness/*", "*/repro/analysis/*",
+                "*/repro/__main__.py", "*/repro/tools/*"),
     # The lint registries are decorator-populated module lists by
     # design, and the harness/tools run outside the simulated universe
     # (process-global caches there never reach a shard's wire bytes).

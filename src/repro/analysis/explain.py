@@ -29,6 +29,10 @@ class Explanation:
     rationale: str       #: why the rule exists (the invariant at stake)
     example: str         #: minimal source that trips the rule
     fix: str             #: the sanctioned pattern
+    #: Display path the example is linted under.  Scope-sensitive rules
+    #: (OBS002 only fires under repro/scale or repro/obs) need the
+    #: example to live at a path inside their scope.
+    display: str = "example.py"
 
 
 _EXPLANATIONS: Dict[str, Explanation] = {}
@@ -37,6 +41,70 @@ _EXPLANATIONS: Dict[str, Explanation] = {}
 def _register(entry: Explanation) -> None:
     _EXPLANATIONS[entry.rule] = entry
 
+
+_register(Explanation(
+    rule="SNAP001",
+    rationale="""
+        The model checker (repro.check) snapshots whole worlds with
+        deepcopy and branches execution from the copies.  Bound methods
+        rebind through the deepcopy memo, so a scheduled self._flush in
+        a snapshot points at the *copied* object — but lambdas and
+        generator expressions copy by reference: their closure cells
+        still point into the live world, so every "frozen" snapshot
+        silently aliases the state it was meant to freeze.  OS handles
+        (open files, threading primitives, sockets) either refuse to
+        deepcopy or duplicate kernel objects.  Anything stored on sim
+        state, or handed to the scheduler, must survive the copy.
+    """,
+    example="""
+        class CollisionHub:
+            def __init__(self, sim):
+                self.pending = (f for f in [])
+                self.arrival = lambda frame: self.pending
+            def defer(self, sim, frame):
+                sim.call_soon(lambda: self.flush(frame))
+    """,
+    fix="""
+        Store and schedule bound methods; materialise generators::
+
+            class CollisionHub:
+                def __init__(self, sim):
+                    self.pending = []
+                def defer(self, sim, frame):
+                    sim.call_soon(self.flush, frame, label="hub-flush")
+    """,
+))
+
+_register(Explanation(
+    rule="OBS002",
+    rationale="""
+        The sharding layer (repro/scale) and the observability layer
+        (repro/obs) aggregate other layers' drop terminals and re-emit
+        them across region boundaries.  The merged flight-recorder view
+        reconciles per-region histograms *by reason word*: an invented
+        literal in these layers splits a histogram row into two keys
+        the reconciliation cannot match, so the merge silently loses
+        conservation.  Every reason must be a literal from the live
+        repro.obs.spans.REASONS vocabulary — the one non-literal
+        allowed is forwarding a parameter named ``reason``, which keeps
+        the word chosen by the layer that owned the drop.
+    """,
+    example="""
+        class GatewaySeam:
+            def relay(self, span, key):
+                self.recorder.drop_key(key, 'gateway', 'GW0',
+                                       'vanished_in_transit')
+    """,
+    fix="""
+        Use the vocabulary (or forward the owning layer's reason)::
+
+            def relay(self, span, key, reason):
+                self.recorder.drop_key(key, 'gateway', 'GW0',
+                                       'link_giveup')
+                self.recorder.drop_key(key, 'gateway', 'GW0', reason)
+    """,
+    display="repro/obs/example.py",
+))
 
 _register(Explanation(
     rule="UNIT001",
@@ -178,7 +246,8 @@ _register(Explanation(
 ))
 
 
-def _live_findings(rule_id: str, example: str) -> List[Finding]:
+def _live_findings(rule_id: str, example: str,
+                   display: str = "example.py") -> List[Finding]:
     """Lint the example snippet for real and keep the rule's findings.
 
     Deep rules need a project index, so the snippet is wrapped in a
@@ -196,10 +265,10 @@ def _live_findings(rule_id: str, example: str) -> List[Finding]:
                   for rule in cls.rules}
     if rule_id not in deep_rules:
         report = LintEngine(allowlist={}).lint_source(example,
-                                                      display="example.py")
+                                                      display=display)
         return [f for f in report.new_findings if f.rule == rule_id]
 
-    module = ModuleInfo(path=Path("example.py"), display="example.py",
+    module = ModuleInfo(path=Path(display), display=display,
                         source=example, tree=ast.parse(example),
                         lines=example.splitlines())
     project = ProjectInfo.build([module])
@@ -237,7 +306,7 @@ def explain_rule(rule_id: str) -> Optional[str]:
     lines += ["", "Example that trips it:",
               textwrap.indent(example, "  ")]
 
-    findings = _live_findings(rule_id, example)
+    findings = _live_findings(rule_id, example, entry.display)
     if findings:
         lines += ["", "What the engine reports for that example:"]
         for finding in findings:

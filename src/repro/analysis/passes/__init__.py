@@ -9,6 +9,7 @@ from repro.analysis.passes.faulthandling import FaultHandlingPass
 from repro.analysis.passes.invariants import ProtocolInvariantPass
 from repro.analysis.passes.observability import ObservabilityPass
 from repro.analysis.passes.simsafety import SimSafetyPass
+from repro.analysis.passes.snapshot import SnapshotSafetyPass
 
 # Whole-program (deep) passes; they register into DEEP_PASS_REGISTRY
 # and run only under ``--deep``.
@@ -25,6 +26,7 @@ __all__ = [
     "FaultHandlingPass",
     "ObservabilityPass",
     "SimSafetyPass",
+    "SnapshotSafetyPass",
     "ProtocolInvariantPass",
     "ConservationPass",
     "DetFlowPass",

@@ -129,7 +129,8 @@ class _Collector:
     """Classifies every reference to a tracked machine's members.
 
     Context matters: a member inside any comparison (including the
-    tuple of an ``in (A, B)`` test) counts as *dispatch*; a member in
+    tuple of an ``in (A, B)`` test) or used as a dict-literal key (a
+    dispatch table) counts as *dispatch*; a member in
     any other expression position — assignment value, return, call
     argument, default — counts as a potential *transition into* the
     state.  Annotation subtrees and the enum's own declaration body are
@@ -196,6 +197,18 @@ class _Collector:
             self._visit_expr(node.test, in_compare=True)
             self._visit_expr(node.body, in_compare)
             self._visit_expr(node.orelse, in_compare)
+            return
+        if isinstance(node, ast.Dict):
+            # A dict literal keyed by members is a dispatch table --
+            # ``{LapbState.CONNECTED: on_frame, ...}[self.state]`` tests
+            # states exactly like an ``==`` chain would, so the keys
+            # count as dispatch; the values stay ordinary expressions
+            # (a transition table's value really does *enter* a state).
+            for key in node.keys:
+                if key is not None:  # None is a ``**splat`` entry
+                    self._visit_expr(key, in_compare=True)
+            for value in node.values:
+                self._visit_expr(value, in_compare)
             return
         if isinstance(node, ast.Attribute):
             if (isinstance(node.value, ast.Name)

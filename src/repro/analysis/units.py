@@ -245,6 +245,7 @@ EXACT_NAME_SEEDS: Dict[str, str] = {
 
 #: Name-suffix conventions, checked after the exact table.
 SUFFIX_SEEDS: Tuple[Tuple[str, str], ...] = (
+    ("_wall_seconds", "wall_seconds"),  # host-clock budgets (checked first)
     ("_us", "sim_us"),
     ("_at", "sim_us"),          # sent_at / born_at / _tx_free_at stamps
     ("_latency", "sim_us"),

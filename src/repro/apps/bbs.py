@@ -162,7 +162,7 @@ class BulletinBoard:
         )
         self.endpoint = LapbEndpoint(
             sim, self.callsign,
-            send_frame=lambda frame: self.station.send_frame(frame.encode()),
+            send_frame=self.station.send_frame_object,
             t1=5 * SECOND,
             timer_policy=timer_policy,
             tracer=tracer,

@@ -30,6 +30,10 @@ CALLBOOK_PORT = 8778
 _DIGIT_RE = re.compile(r"\d")
 
 
+def _ignore_record(_record: "Optional[CallbookRecord]") -> None:
+    """Default no-op lookup callback (a module-level def snapshots safely)."""
+
+
 def call_area(callsign: str) -> Optional[int]:
     """The district digit of a callsign (None if it has no digit)."""
     match = _DIGIT_RE.search(callsign.upper().split("-")[0])
@@ -141,7 +145,7 @@ class CallbookClient:
             if callback is not None:
                 callback(None)
             return False
-        self._pending[callsign] = callback or (lambda _record: None)
+        self._pending[callsign] = callback or _ignore_record
         self._tries[callsign] = 0
         self._send_query(callsign, server)
         return True

@@ -10,6 +10,7 @@ used the gateway for file transfer ... in both directions."
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional
 
 from repro.inet.ip import IPv4Address
@@ -48,8 +49,12 @@ class _FtpServerSession:
         self.username: Optional[str] = None
         self.data_port: Optional[int] = None
         self._stor_name: Optional[str] = None
-        control.on_data = lambda _d: self._pump()
+        self._stor_buffer = bytearray()
+        control.on_data = self._on_control_data
         self._reply(220, f"{server.stack.hostname} FTP ready")
+
+    def _on_control_data(self, _chunk: bytes) -> None:
+        self._pump()
 
     def _reply(self, code: int, text: str) -> None:
         self.control.send(f"{code} {text}\r\n".encode())
@@ -104,29 +109,33 @@ class _FtpServerSession:
         if socket is None:
             return
         self._reply(150, f"opening data connection for {arg} ({len(data)} bytes)")
+        socket.on_connect = partial(self._send_all, socket, data)
+        socket.on_close = self._transfer_complete
 
-        def send_all() -> None:
-            socket.send(data)
-            socket.close()
-        socket.on_connect = send_all
-        socket.on_close = lambda _r: self._reply(226, "transfer complete")
+    def _send_all(self, socket: TcpSocket, data: bytes) -> None:
+        socket.send(data)
+        socket.close()
+
+    def _transfer_complete(self, _reason: str) -> None:
+        self._reply(226, "transfer complete")
 
     def _stor(self, arg: str) -> None:
         socket = self._open_data()
         if socket is None:
             return
         self._reply(150, f"ready for {arg}")
-        received = bytearray()
+        self._stor_name = arg
+        self._stor_buffer = bytearray()
+        socket.on_data = partial(self._stor_data, socket)
+        socket.on_close = partial(self._stor_close, socket)
 
-        def on_data(_chunk: bytes) -> None:
-            received.extend(socket.recv())
+    def _stor_data(self, socket: TcpSocket, _chunk: bytes) -> None:
+        self._stor_buffer.extend(socket.recv())
 
-        def on_close(_reason: str) -> None:
-            self.server.store.put(arg, bytes(received))
-            socket.close()
-            self._reply(226, "transfer complete")
-        socket.on_data = on_data
-        socket.on_close = on_close
+    def _stor_close(self, socket: TcpSocket, _reason: str) -> None:
+        self.server.store.put(self._stor_name or "", bytes(self._stor_buffer))
+        socket.close()
+        self._reply(226, "transfer complete")
 
     def _list(self, _arg: str) -> None:
         socket = self._open_data()
@@ -134,8 +143,8 @@ class _FtpServerSession:
             return
         self._reply(150, "directory listing")
         listing = self.server.store.listing().encode() + b"\r\n"
-        socket.on_connect = lambda: (socket.send(listing), socket.close())
-        socket.on_close = lambda _r: self._reply(226, "transfer complete")
+        socket.on_connect = partial(self._send_all, socket, listing)
+        socket.on_close = self._transfer_complete
 
     def _quit(self, _arg: str) -> None:
         self._reply(221, "goodbye")
@@ -178,7 +187,7 @@ class FtpClient:
         self.transfers_complete = 0
 
         self.control = TcpSocket.connect(stack, remote, port, rto_policy=rto_policy)
-        self.control.on_data = lambda _d: self._pump()
+        self.control.on_data = self._on_control_data
         self._username = username
         self._data_port = stack.tcp.allocate_port()
 
@@ -200,6 +209,15 @@ class FtpClient:
         self._maybe_start()
 
     # -- control-connection machinery -------------------------------------
+
+    def _on_control_data(self, _chunk: bytes) -> None:
+        self._pump()
+
+    def _data_chunk(self, socket: TcpSocket, _chunk: bytes) -> None:
+        self._data_buffer.extend(socket.recv())
+
+    def _data_close(self, socket: TcpSocket, _reason: str) -> None:
+        socket.close()
 
     def _pump(self) -> None:
         while True:
@@ -239,10 +257,10 @@ class FtpClient:
             socket.send(payload)
             socket.close()
         else:
-            socket.on_data = lambda _d: self._data_buffer.extend(socket.recv())
+            socket.on_data = partial(self._data_chunk, socket)
             # Close our half once the sender finishes, so the sender's
             # FIN handshake (and its "226 transfer complete") completes.
-            socket.on_close = lambda _r: socket.close()
+            socket.on_close = partial(self._data_close, socket)
 
     def _maybe_start(self) -> None:
         if self._busy or self._active is not None or not self._queue:

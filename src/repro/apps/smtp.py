@@ -52,8 +52,11 @@ class _SmtpSession:
         self.recipients: List[str] = []
         self.in_data = False
         self.body_lines: List[str] = []
-        socket.on_data = lambda _d: self._pump()
+        socket.on_data = self._on_socket_data
         self._reply(220, f"{server.stack.hostname} SMTP ready")
+
+    def _on_socket_data(self, _chunk: bytes) -> None:
+        self._pump()
 
     def _reply(self, code: int, text: str) -> None:
         self.socket.send(f"{code} {text}\r\n".encode())
@@ -145,8 +148,11 @@ class SmtpClient:
         self._body_pending = body
         self._rcpt_index = 0
         self.socket = TcpSocket.connect(stack, remote, port, rto_policy=rto_policy)
-        self.socket.on_data = lambda _d: self._pump()
+        self.socket.on_data = self._on_socket_data
         self.socket.on_close = self._closed
+
+    def _on_socket_data(self, _chunk: bytes) -> None:
+        self._pump()
 
     def _pump(self) -> None:
         while True:

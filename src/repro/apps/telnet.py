@@ -26,8 +26,11 @@ class TelnetSession:
         self.server = server
         self.socket = socket
         self.username: Optional[str] = None
-        socket.on_data = lambda _data: self._pump()
+        socket.on_data = self._on_socket_data
         socket.send(f"{server.hostname} Ultrix 2.0\r\nlogin: ".encode())
+
+    def _on_socket_data(self, _chunk: bytes) -> None:
+        self._pump()
 
     def _pump(self) -> None:
         while True:
@@ -68,9 +71,9 @@ class TelnetServer:
         self.sessions: List[TelnetSession] = []
         #: command name -> f(session, args) -> output string
         self.commands: Dict[str, Callable[[TelnetSession, List[str]], str]] = {
-            "echo": lambda _session, args: " ".join(args),
-            "hostname": lambda _session, _args: self.hostname,
-            "date": lambda _session, _args: f"simtime {format_time(stack.sim.now)}",
+            "echo": self._cmd_echo,
+            "hostname": self._cmd_hostname,
+            "date": self._cmd_date,
             "who": self._cmd_who,
         }
         rto = rto_policy_factory() if rto_policy_factory is not None else None
@@ -82,6 +85,15 @@ class TelnetServer:
     def _cmd_who(self, _session: TelnetSession, _args: List[str]) -> str:
         users = [s.username or "?" for s in self.sessions if not s.socket.closed]
         return " ".join(users) if users else "nobody"
+
+    def _cmd_echo(self, _session: TelnetSession, args: List[str]) -> str:
+        return " ".join(args)
+
+    def _cmd_hostname(self, _session: TelnetSession, _args: List[str]) -> str:
+        return self.hostname
+
+    def _cmd_date(self, _session: TelnetSession, _args: List[str]) -> str:
+        return f"simtime {format_time(self.stack.sim.now)}"
 
 
 class TelnetClient:

@@ -194,6 +194,7 @@ class LapbConnection:
         # statistics for tests and benches
         self.stats = {
             "i_sent": 0,
+            "i_acked": 0,
             "i_rexmit": 0,
             "i_received": 0,
             "rej_sent": 0,
@@ -534,6 +535,7 @@ class LapbConnection:
             # ns is acknowledged if it lies in [va, nr) modulo 8.
             if _seq_in_range(entry.ns, self.va, nr):
                 self.unacked.popleft()
+                self.stats["i_acked"] += 1
                 self.va = (entry.ns + 1) % SEQUENCE_MODULO
                 self.retry_count = 0
                 if not entry.retransmitted:
@@ -544,7 +546,12 @@ class LapbConnection:
                     self._observe_recovery()
             else:
                 break
-        if not self.unacked:
+        # Only the CONNECTED state may retire T1 here: while awaiting
+        # connection or release, T1 guards the outstanding SABM/DISC,
+        # and a crossing RR/RNR/REJ acking the last I frame must not
+        # kill the only timer that can recover a lost UA.  (Found by
+        # reprocheck: RR crossing DISC left AWAITING_RELEASE timerless.)
+        if not self.unacked and self.state is LapbState.CONNECTED:
             self._stop_t1()
         self._pump()
 
@@ -552,7 +559,14 @@ class LapbConnection:
         self.vs = self.vr = self.va = 0
         self.peer_busy = False
         self.local_busy = False
-        self.unacked.clear()
+        # A link reset with I frames still in flight kills them: account
+        # each one (counter + span terminal) instead of clearing the
+        # deque silently, so every sent frame has a recorded fate --
+        #   i_sent == i_acked + in_flight + i_abandoned
+        # holds in *every* reachable state (the reprocheck LAPB
+        # conservation invariant).
+        if self.unacked:
+            self._abandon_unacked("link reset")
         self._rej_outstanding = False
 
     def _enter_disconnected(self, notify: bool, reason: str = "") -> None:

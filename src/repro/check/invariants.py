@@ -1,0 +1,114 @@
+"""Safety invariants checked at every explored state.
+
+Each invariant is a stateless predicate over a world; ``check``
+returns ``None`` when the state is fine and a human-readable
+diagnosis when it is not.  Statelessness matters: the explorer
+evaluates the same invariant objects against hundreds of restored
+world copies, so an invariant must never cache anything it read from
+one copy.
+
+These are the properties a single linear run can only sample but an
+exhaustive walk can actually prove (within bounds):
+
+* :class:`LapbConservation` -- every I frame a link ever sent is
+  acked, in flight, or accounted abandoned.  The bookkeeping identity
+  behind the flight recorder's census, promoted to an every-state law.
+* :class:`NoStuckFsm` -- a LAPB connection that is waiting on the
+  peer always has a live T1 to escape a lost reply.
+* :class:`BoundedQueues` -- no queue grows past its world's bound.
+* :class:`ControlNeverShed` -- the §4.1 graceful-degradation path
+  never sheds ARP/ICMP, under any schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ax25.lapb import LapbState
+
+
+class Invariant:
+    """One safety property; subclasses override :meth:`check`."""
+
+    name = "invariant"
+
+    def check(self, world) -> Optional[str]:
+        """None when the property holds, else a violation message."""
+        raise NotImplementedError
+
+
+class LapbConservation(Invariant):
+    """i_sent == i_acked + in_flight + i_abandoned, on every link."""
+
+    name = "lapb-conservation"
+
+    def check(self, world) -> Optional[str]:
+        for endpoint in world.lapb_endpoints:
+            for key, conn in endpoint.connections.items():
+                sent = conn.stats["i_sent"]
+                acked = conn.stats["i_acked"]
+                abandoned = conn.stats["i_abandoned"]
+                flight = len(conn.unacked)
+                if sent != acked + flight + abandoned:
+                    return (
+                        f"{endpoint.address}->{key}: i_sent={sent} != "
+                        f"i_acked={acked} + in_flight={flight} + "
+                        f"i_abandoned={abandoned}")
+        return None
+
+
+class NoStuckFsm(Invariant):
+    """Any LAPB state that awaits the peer must have a live T1 timer.
+
+    Without it, a single lost UA/ack wedges the link forever -- the
+    class of bug a lost-frame schedule exposes and a happy-path test
+    never sees.
+    """
+
+    name = "no-stuck-fsm"
+
+    def check(self, world) -> Optional[str]:
+        for endpoint in world.lapb_endpoints:
+            for key, conn in endpoint.connections.items():
+                waiting = (
+                    conn.state in (LapbState.AWAITING_CONNECTION,
+                                   LapbState.AWAITING_RELEASE)
+                    or (conn.state is LapbState.CONNECTED and conn.unacked))
+                if not waiting:
+                    continue
+                timer = conn._t1_event
+                if (timer is None or timer.cancelled
+                        or not endpoint.sim.is_queued(timer)):
+                    return (
+                        f"{endpoint.address}->{key} is {conn.state.value} "
+                        f"with {len(conn.unacked)} unacked but no live T1")
+        return None
+
+
+class BoundedQueues(Invariant):
+    """Every queue the world reports stays within its bound."""
+
+    name = "bounded-queues"
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+
+    def check(self, world) -> Optional[str]:
+        for label, depth in world.queue_depths().items():
+            if depth > self.limit:
+                return f"queue {label} depth {depth} exceeds bound {self.limit}"
+        return None
+
+
+class ControlNeverShed(Invariant):
+    """The backlog shed path must never claim a control (ARP/ICMP) frame."""
+
+    name = "control-never-shed"
+
+    def check(self, world) -> Optional[str]:
+        for driver in world.drivers:
+            if driver.sheds_control:
+                return (
+                    f"{driver.callsign}: {driver.sheds_control} control "
+                    f"frame(s) shed by the backlog guard")
+        return None

@@ -1,0 +1,124 @@
+"""State capture, restore, and canonical fingerprints.
+
+A world is an ordinary Python object graph: simulator, endpoints,
+queues, pending events.  :class:`StateCapturer` freezes it with
+``copy.deepcopy`` -- bound methods rebind ``__self__`` through the
+deepcopy memo, so every callback and scheduled event in the copy
+points at the *copied* component, never back into the live world.
+That property is what the SNAP001 lint protects: a lambda or
+generator stored on sim state deepcopies by reference and would
+silently alias the original.
+
+Classes that genuinely cannot be deepcopied (an mmap, a C handle)
+register a reducer instead of poisoning every capture; none of the
+shipped sim state needs one, so the registry doubles as an inventory
+of known escape hatches.
+
+Fingerprints canonicalise a world's *behavioural* state vector --
+sorted dict items, deques as tuples, enums by value -- and hash it.
+Two states with equal fingerprints have identical futures, which is
+what lets the explorer merge them (see DESIGN §11 for the soundness
+argument about what the vector may omit).
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import hashlib
+from typing import Any, Callable, Dict, TypeVar
+
+T = TypeVar("T")
+
+#: class -> reducer, kept as an inventory of sanctioned escape hatches.
+#: Process-global by design, like the lint-pass registries: a reducer
+#: changes how a *class* deepcopies, which is already interpreter-wide
+#: state; nothing here ever reaches a shard's wire bytes.
+_REDUCERS: Dict[type, Callable[[Any, dict], Any]] = {}  # reprolint: disable=SHARD001 -- deepcopy-reducer registry, interpreter-wide by nature
+
+
+def register_reducer(cls: type, reducer: Callable[[Any, dict], Any]) -> None:
+    """Install ``reducer(obj, memo)`` as ``cls``'s deepcopy behaviour.
+
+    The escape hatch for state that cannot be deepcopied structurally.
+    The reducer must return an object with an equivalent future -- the
+    capturer trusts it blindly.
+    """
+
+    def _deepcopy_via_reducer(self: Any, memo: dict) -> Any:
+        replacement = reducer(self, memo)
+        memo[id(self)] = replacement
+        return replacement
+
+    cls.__deepcopy__ = _deepcopy_via_reducer  # type: ignore[attr-defined]
+    _REDUCERS[cls] = reducer
+
+
+def registered_reducers() -> Dict[type, Callable[[Any, dict], Any]]:
+    """The current reducer inventory (for tests and diagnostics)."""
+    return dict(_REDUCERS)
+
+
+class StateCapturer:
+    """Snapshot/restore for a world object graph.
+
+    ``capture`` returns a frozen deep copy; ``restore`` returns a fresh
+    live copy of that frozen snapshot.  Each restore is independent --
+    the explorer restores the same snapshot once per branch and mutates
+    each copy freely.  Objects passed to :meth:`share` are threaded
+    through unchanged (identity-preserved) in both directions; use it
+    for genuinely ambient things (an interner, a read-only table),
+    never for mutable sim state.
+    """
+
+    def __init__(self) -> None:
+        self._shared: list[Any] = []
+        self.captures = 0
+        self.restores = 0
+
+    def share(self, obj: Any) -> None:
+        """Exempt ``obj`` from copying: snapshots alias it directly."""
+        self._shared.append(obj)
+
+    def _memo(self) -> dict:
+        return {id(obj): obj for obj in self._shared}
+
+    def capture(self, world: T) -> T:
+        """Freeze the world: a deep copy sharing nothing mutable with it."""
+        self.captures += 1
+        return copy.deepcopy(world, self._memo())
+
+    def restore(self, frozen: T) -> T:
+        """A fresh live world from a frozen snapshot (never the snapshot)."""
+        self.restores += 1
+        return copy.deepcopy(frozen, self._memo())
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic, hashable structure.
+
+    Dicts become sorted item tuples, sets become sorted tuples, any
+    sequence becomes a tuple, enums collapse to their value.  Unordered
+    containers must canonicalise to the same result regardless of
+    insertion history or the states would never merge.
+    """
+    if isinstance(value, enum.Enum):
+        return canonical(value.value)
+    if isinstance(value, dict):
+        return tuple(sorted(
+            (repr(key), canonical(item)) for key, item in value.items()))
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(canonical(item)) for item in value))
+    if isinstance(value, (list, tuple)) or value.__class__.__name__ == "deque":
+        return tuple(canonical(item) for item in value)
+    if isinstance(value, (str, bytes, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"state vector contains un-canonicalisable {type(value).__name__}: "
+        f"{value!r} -- reduce it to primitives in state_vector()")
+
+
+def fingerprint(state_vector: Any) -> str:
+    """A stable hash of a canonicalised state vector."""
+    digest = hashlib.sha256(repr(canonical(state_vector)).encode())
+    return digest.hexdigest()[:32]

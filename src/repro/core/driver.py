@@ -88,7 +88,7 @@ class PacketRadioInterface(NetworkInterface):
             sim,
             hardware_type=HRD_AX25,
             my_hw=self.callsign.encode(last=True),
-            my_ip_getter=lambda: self.address,
+            my_ip_getter=self._my_ip,
             send_arp=self._send_arp,
             send_resolved=self._send_resolved,
             name=f"{name}.arp",
@@ -117,6 +117,11 @@ class PacketRadioInterface(NetworkInterface):
         #: Installed by :meth:`start_watchdog`.
         self.watchdog: Optional["TncWatchdog"] = None
 
+        #: Control frames (ARP/ICMP) shed by the backlog guard.  The shed
+        #: path is gated on ``priority != PRIO_CONTROL`` so this must stay
+        #: zero in every reachable state; reprocheck asserts exactly that.
+        self.sheds_control = 0
+
         # driver statistics (imitating if_data plus driver-specific ones)
         self.rx_char_interrupts = 0
         self.processing_ops = 0          # unit work items (ablation A1 metric)
@@ -138,6 +143,10 @@ class PacketRadioInterface(NetworkInterface):
         """The attached flight recorder, if any (see repro.obs.spans)."""
         tracer = self.tracer
         return tracer.flight if tracer is not None else None
+
+    def _my_ip(self):
+        """ARP's view of our address (re-read on every use: ifconfig moves it)."""
+        return self.address
 
     def _arp_obs_drop(self, packet: bytes, reason: str) -> None:
         recorder = self._obs()
@@ -333,6 +342,8 @@ class PacketRadioInterface(NetworkInterface):
             # point; shed bulk output rather than queueing unboundedly,
             # but keep ARP/ICMP flowing so the link stays diagnosable.
             self.count_shed()
+            if priority == PRIO_CONTROL:
+                self.sheds_control += 1  # reprolint: disable=CONS001 -- shed site below emits driver.shed + recorder terminal
             if self.tracer is not None:
                 self.tracer.log("driver.shed", str(self.callsign),
                                 "bulk output shed under backlog",

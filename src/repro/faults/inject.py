@@ -10,18 +10,136 @@ stream named after the fault and its target (``fault/serial/<name>``,
 ``fault/fade/<port>`` itself), so injecting faults never perturbs the
 RNG sequence of healthy components and metrics stay a pure function of
 (plan, seed).
+
+Two design rules matter here beyond the fault semantics themselves:
+
+* **No closures in live state.**  Everything the injector installs on a
+  component or schedules on the simulator is a bound method, a
+  :func:`functools.partial` over bound methods, or a small callable
+  object (:class:`LineNoiseFilter`).  A lambda or nested ``def`` caught
+  in an event queue or an ``rx_fault`` slot deepcopies by *reference*,
+  so a model-checker snapshot restored from it would silently mutate
+  the original world (SNAP001 in reprolint guards this repo-wide).
+* **Nondeterminism is interceptable.**  When a :class:`ChoiceOracle` is
+  installed, the coarse binary fault decisions (apply a fade or skip
+  it, wedge now or later) become enumerable :class:`ChoicePoint` draws
+  instead of RNG draws, which is how :mod:`repro.check` explores every
+  fault schedule instead of sampling one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.netif.ifnet import NetworkInterface
 from repro.radio.channel import RadioChannel
+from repro.sim.clock import SECOND
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
 from repro.sim.trace import Tracer
+
+
+@dataclass
+class ChoicePoint:
+    """One resolved nondeterministic decision.
+
+    ``arms`` is how many alternatives existed; ``chosen`` is the arm
+    taken.  A sequence of these is a complete, replayable schedule of
+    every decision a run made.
+    """
+
+    name: str
+    arms: int
+    chosen: int
+
+
+class ChoiceOracle:
+    """Resolves nondeterministic choices from a script, recording all.
+
+    The model checker's enumeration engine: components ask
+    :meth:`choose` at each decision; scripted positions replay the
+    given arm, unscripted positions default to arm 0 and are recorded
+    in :attr:`trace` so the explorer can enumerate the siblings.
+
+    The oracle deliberately holds only plain data (lists of ints and
+    :class:`ChoicePoint` records), so it rides along with a deepcopy
+    snapshot of whatever world owns it.
+    """
+
+    def __init__(self) -> None:
+        self.script: List[int] = []
+        self.trace: List[ChoicePoint] = []
+        self._cursor = 0
+
+    def begin(self, script: Sequence[int] = ()) -> None:
+        """Reset for one transition, replaying ``script`` as a prefix."""
+        self.script = list(script)
+        self.trace = []
+        self._cursor = 0
+
+    def choose(self, name: str, arms: int) -> int:
+        """Resolve one decision with ``arms`` alternatives."""
+        if arms <= 1:
+            return 0
+        if self._cursor < len(self.script):
+            chosen = self.script[self._cursor]
+            if not 0 <= chosen < arms:
+                raise ValueError(
+                    f"scripted arm {chosen} out of range for {name!r} ({arms} arms)")
+        else:
+            chosen = 0
+        self._cursor += 1
+        self.trace.append(ChoicePoint(name, arms, chosen))
+        return chosen
+
+    @property
+    def choices_taken(self) -> List[int]:
+        """The arm sequence this transition actually took."""
+        return [point.chosen for point in self.trace]
+
+
+@dataclass
+class LineNoiseFilter:
+    """The serial RX fault filter, as a snapshot-safe callable object.
+
+    Installed on ``SerialEndpoint.rx_fault``; a deepcopy of the
+    endpoint carries a deepcopy of this filter (injector and RNG
+    rebound through the memo), unlike a closure which would keep
+    pointing at the original world.
+    """
+
+    injector: "FaultInjector"
+    spec: FaultSpec
+    rng: object
+    drop: bool
+
+    def __call__(self, byte: int) -> Optional[int]:
+        if self.rng.random() >= self.spec.probability:
+            return byte
+        if self.drop:
+            self.injector.bytes_dropped += 1
+            return None
+        self.injector.bytes_corrupted += 1
+        return byte ^ (1 << int(self.rng.random() * 8))
+
+
+@dataclass
+class _Partition:
+    """Undoable partition bookkeeping (both directions of one pair)."""
+
+    channel: RadioChannel
+    pairs: tuple
+
+    def apply(self) -> None:
+        for pair in self.pairs:
+            self.channel.blocked_pairs.add(pair)
+
+    def undo(self) -> None:
+        for pair in self.pairs:
+            self.channel.blocked_pairs.discard(pair)
 
 
 class FaultInjector:
@@ -32,6 +150,10 @@ class FaultInjector:
         self.sim = sim
         self.streams = streams
         self.tracer = tracer
+        #: When set, coarse fault decisions are drawn from this oracle
+        #: instead of being applied unconditionally -- the model
+        #: checker's hook (see :meth:`choice`).
+        self.oracle: Optional[ChoiceOracle] = None
 
         # accounting (all deterministic given the plan + seed)
         self.faults_injected = 0
@@ -39,6 +161,17 @@ class FaultInjector:
         self.bytes_corrupted = 0
         self.bytes_dropped = 0
         self.garbage_bytes = 0
+
+    def choice(self, name: str, arms: int) -> int:
+        """One enumerable decision: oracle-driven when installed, else arm 0.
+
+        Without an oracle the injector is fully deterministic (the plan
+        says what happens; arm 0 is "apply as scheduled"), so chaos-run
+        metrics stay a pure function of (plan, seed).
+        """
+        if self.oracle is None:
+            return 0
+        return self.oracle.choose(name, arms)
 
     def install(
         self,
@@ -72,11 +205,9 @@ class FaultInjector:
                  interfaces: Dict[str, NetworkInterface]) -> Callable[[], None]:
         """Bind a spec to its victim; raises KeyError for unknown targets."""
         if spec.kind in ("serial_noise", "serial_drop"):
-            attachment = attachments[spec.target]
-            return lambda: self._serial_fault(spec, attachment)
+            return partial(self._serial_fault, spec, attachments[spec.target])
         if spec.kind in ("tnc_wedge", "tnc_reboot", "tnc_garbage"):
-            attachment = attachments[spec.target]
-            return lambda: self._tnc_fault(spec, attachment)
+            return partial(self._tnc_fault, spec, attachments[spec.target])
         if spec.kind in ("channel_fade", "partition"):
             if channel is None:
                 raise ValueError(f"{spec.kind} needs a channel")
@@ -84,10 +215,9 @@ class FaultInjector:
                 raise KeyError(spec.target)
             if spec.kind == "partition" and spec.peer not in channel.ports:
                 raise KeyError(spec.peer)
-            return lambda: self._channel_fault(spec, channel)
+            return partial(self._channel_fault, spec, channel)
         if spec.kind == "iface_flap":
-            interface = interfaces[spec.target]
-            return lambda: self._flap(spec, interface)
+            return partial(self._flap, spec, interfaces[spec.target])
         raise ValueError(f"unhandled fault kind {spec.kind!r}")  # pragma: no cover
 
     def _fire(self, spec: FaultSpec, apply: Callable[[], None]) -> None:
@@ -98,12 +228,14 @@ class FaultInjector:
         apply()
 
     def _clear(self, spec: FaultSpec, undo: Callable[[], None]) -> None:
-        def run() -> None:
-            self.faults_cleared += 1
-            if self.tracer is not None:
-                self.tracer.log("fault.clear", spec.target, spec.kind)
-            undo()
-        self.sim.at(spec.end, run, label=f"fault-clear {spec.kind} {spec.target}")
+        self.sim.at(spec.end, self._run_clear, spec, undo,
+                    label=f"fault-clear {spec.kind} {spec.target}")
+
+    def _run_clear(self, spec: FaultSpec, undo: Callable[[], None]) -> None:
+        self.faults_cleared += 1
+        if self.tracer is not None:
+            self.tracer.log("fault.clear", spec.target, spec.kind)
+        undo()
 
     # ------------------------------------------------------------------
     # serial-line faults
@@ -113,20 +245,14 @@ class FaultInjector:
         # Host-side endpoint: bytes arriving from the TNC, i.e. the §2.2
         # receive path the paper's driver must survive.
         endpoint = attachment.serial.a
-        rng = self.streams.stream(f"fault/serial/{spec.target}")
-        drop = spec.kind == "serial_drop"
-
-        def line_noise(byte: int) -> Optional[int]:
-            if rng.random() >= spec.probability:
-                return byte
-            if drop:
-                self.bytes_dropped += 1
-                return None
-            self.bytes_corrupted += 1
-            return byte ^ (1 << int(rng.random() * 8))
-
+        line_noise = LineNoiseFilter(
+            injector=self,
+            spec=spec,
+            rng=self.streams.stream(f"fault/serial/{spec.target}"),
+            drop=spec.kind == "serial_drop",
+        )
         endpoint.rx_fault = line_noise
-        self._clear(spec, lambda: self._remove_filter(endpoint, line_noise))
+        self._clear(spec, partial(self._remove_filter, endpoint, line_noise))
 
     @staticmethod
     def _remove_filter(endpoint: object, installed: Callable) -> None:
@@ -142,7 +268,13 @@ class FaultInjector:
     def _tnc_fault(self, spec: FaultSpec, attachment: object) -> None:
         tnc = attachment.tnc
         if spec.kind == "tnc_wedge":
-            tnc.wedge()
+            # Wedge now, or (under exploration) defer one second -- the
+            # "wedge now/later" race the paper's §3 lockup hinges on.
+            if self.choice(f"wedge-later:{spec.target}", 2) == 1:
+                self.sim.schedule(1 * SECOND, tnc.wedge,
+                                  label=f"fault tnc_wedge {spec.target}")
+            else:
+                tnc.wedge()
         elif spec.kind == "tnc_reboot":
             tnc.reboot()
         else:  # tnc_garbage: the firmware hiccups and spews noise upline
@@ -157,20 +289,18 @@ class FaultInjector:
 
     def _channel_fault(self, spec: FaultSpec, channel: RadioChannel) -> None:
         if spec.kind == "channel_fade":
+            # Under exploration, a fade window is itself a choice: the
+            # checker explores both the faded and the clean schedule.
+            if self.choice(f"fade-on:{spec.target}", 2) == 1:
+                return
             channel.fade_probability[spec.target] = spec.probability
-
-            def undo() -> None:
-                channel.fade_probability.pop(spec.target, None)
+            self._clear(spec, partial(channel.fade_probability.pop,
+                                      spec.target, None))
         else:  # partition
-            pair_a = (spec.target, spec.peer)
-            pair_b = (spec.peer, spec.target)
-            channel.blocked_pairs.add(pair_a)
-            channel.blocked_pairs.add(pair_b)
-
-            def undo() -> None:
-                channel.blocked_pairs.discard(pair_a)
-                channel.blocked_pairs.discard(pair_b)
-        self._clear(spec, undo)
+            partition = _Partition(channel, ((spec.target, spec.peer),
+                                             (spec.peer, spec.target)))
+            partition.apply()
+            self._clear(spec, partition.undo)
 
     # ------------------------------------------------------------------
     # interface faults
@@ -178,4 +308,4 @@ class FaultInjector:
 
     def _flap(self, spec: FaultSpec, interface: NetworkInterface) -> None:
         interface.if_ioctl("down")
-        self._clear(spec, lambda: interface.if_ioctl("up"))
+        self._clear(spec, partial(interface.if_ioctl, "up"))

@@ -519,6 +519,45 @@ def run_perf(seed: int = 0, loop_events: int = 100_000) -> Dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# mc -- the model checker as software (wall-clock; not seed-deterministic)
+# ----------------------------------------------------------------------
+
+def run_mc(seed: int = 0, world: str = "lapb2", por: bool = True,
+           dedup: bool = True, max_states: int = 50_000,
+           max_depth: int = 400,
+           max_wall_seconds: float = 60.0) -> Dict[str, float]:
+    """One bounded exploration of a preset world, as flat metrics.
+
+    The worlds are closed systems -- every branch is an explicit choice
+    point, not a seeded draw -- so ``seed`` is accepted for harness
+    compatibility and ignored.  Throughput numbers are wall-clock, which
+    is why the experiment is registered non-deterministic.
+    """
+    from repro.check import Budget, Explorer, build_world
+
+    del seed  # exploration is exhaustive, not sampled
+    explorer = Explorer(
+        lambda: build_world(world), por=por, dedup=dedup,
+        budget=Budget(max_states=max_states, max_depth=max_depth,
+                      max_wall_seconds=max_wall_seconds))
+    result = explorer.run()
+    return {
+        "states": float(result.states),
+        "transitions": float(result.transitions),
+        "revisits": float(result.revisits),
+        "sleep_skips": float(result.sleep_skips),
+        "terminal_states": float(result.terminal_states),
+        "cycles": float(result.cycles),
+        "truncated": float(result.truncated),
+        "max_depth_seen": float(result.max_depth_seen),
+        "complete": 1.0 if result.complete else 0.0,
+        "violations": float(len(result.violations)),
+        "elapsed_s": result.elapsed,
+        "states_per_second": result.states_per_second,
+    }
+
+
+# ----------------------------------------------------------------------
 # the registry
 # ----------------------------------------------------------------------
 
@@ -618,6 +657,16 @@ EXPERIMENTS: Dict[str, Experiment] = {
                 {"rto": "adaptive", "cc": "paced", "plan": "storm"},
             ),
             default_seed_count=3,
+        ),
+        Experiment(
+            name="mc",
+            description="bounded model checking of the preset worlds "
+                        "(wall-clock rates; not seed-deterministic)",
+            fn=run_mc,
+            grid=({"world": "lapb2"}, {"world": "hidden3"},
+                  {"world": "tcpxfer"}),
+            default_seed_count=1,
+            deterministic=False,
         ),
         Experiment(
             name="perf",

@@ -39,11 +39,15 @@ class EthernetInterface(NetworkInterface):
             sim,
             hardware_type=HRD_ETHERNET,
             my_hw=deqna.mac.octets,
-            my_ip_getter=lambda: self.address,
+            my_ip_getter=self._my_ip,
             send_arp=self._send_arp,
             send_resolved=self._send_resolved,
             name=f"{name}.arp",
         )
+
+    def _my_ip(self):
+        """ARP's view of our address (re-read on every use: ifconfig moves it)."""
+        return self.address
 
     # ------------------------------------------------------------------
     # output

@@ -1395,14 +1395,13 @@ class TcpListener:
         self.port = port
         # Resolve the protocol defaults lazily so listeners opened before
         # a scenario swaps default_*_factory still honour the swap.
-        self.rto_policy_factory = (
-            (lambda: rto_policy) if rto_policy is not None
-            else (lambda: protocol.default_rto_factory())
-        )
-        self.cc_policy_factory = (
-            cc_policy if cc_policy is not None
-            else (lambda: protocol.default_cc_factory())
-        )
+        # Stored as None-or-override plus bound-method factories rather
+        # than closures: a lambda here would sit in sim state and break
+        # deepcopy snapshot isolation (SNAP001).
+        self._rto_policy_override = rto_policy
+        self._cc_policy_override = cc_policy
+        self.rto_policy_factory = self._make_rto_policy
+        self.cc_policy_factory = self._make_cc_policy
         self.on_accept = on_accept
         self.accepted: List[TcpConnection] = []
         # The template is what sits in the listeners map; it never carries
@@ -1410,6 +1409,16 @@ class TcpListener:
         self.template = TcpConnection(protocol, port, None, None)
         self.template.state = TcpState.LISTEN
         self.template.listener = self  # type: ignore[attr-defined]
+
+    def _make_rto_policy(self) -> RtoPolicy:
+        if self._rto_policy_override is not None:
+            return self._rto_policy_override
+        return self.protocol.default_rto_factory()
+
+    def _make_cc_policy(self) -> CongestionPolicy:
+        if self._cc_policy_override is not None:
+            return self._cc_policy_override()
+        return self.protocol.default_cc_factory()
 
     def spawn(self) -> TcpConnection:
         """Create a fresh connection for an incoming SYN."""

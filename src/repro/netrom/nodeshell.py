@@ -23,6 +23,7 @@ circuits both implement it, which is what lets sessions chain.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional
 
 from repro.ax25.address import AX25Address, AddressError
@@ -232,7 +233,7 @@ class NodeShell:
         station = node._ports[user_port].station
         self.endpoint = LapbEndpoint(
             node.sim, node.callsign,
-            send_frame=lambda frame: station.send_frame(frame.encode()),
+            send_frame=station.send_frame_object,
             t1=5 * SECOND,
             tracer=node.tracer,
         )
@@ -311,8 +312,11 @@ class NodeShell:
         self._sessions[id(circuit)] = session
         self.sessions_started += 1
         circuit.on_data = session.data
-        circuit.on_close = lambda _reason: self._circuit_closed(circuit)
+        circuit.on_close = partial(self._circuit_close_cb, circuit)
         return True
+
+    def _circuit_close_cb(self, circuit: Circuit, _reason: str) -> None:
+        self._circuit_closed(circuit)
 
     def _circuit_closed(self, circuit: Circuit) -> None:
         session = self._sessions.pop(id(circuit), None)

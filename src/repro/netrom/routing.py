@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.ax25.address import AX25Address, is_broadcast
@@ -109,7 +110,7 @@ class NetRomNode:
             f"{self.callsign}#{index}",
             modem=modem,
             csma=csma,
-            on_frame=lambda payload, port_index=index: self._from_air(payload, port_index),
+            on_frame=partial(self._from_air, port_index=index),
         )
         self._ports.append(_Port(station=station, neighbours={}))
         return station

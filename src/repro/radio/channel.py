@@ -118,6 +118,12 @@ class RadioChannel:
         #: other regardless of the hearing relation (a partition).
         self.fade_probability: Dict[str, float] = {}
         self.blocked_pairs: Set[Tuple[str, str]] = set()
+        #: Optional deterministic loss hook consulted before fade/BER:
+        #: ``loss_gate(payload, port_name) -> bool`` returning False drops
+        #: the frame.  reprocheck's worlds install a choice-oracle-driven
+        #: gate here to make frame loss an explorable branch instead of a
+        #: random draw.
+        self.loss_gate: Optional[Callable[[bytes, str], bool]] = None
         self.frames_faded = 0
         self.total_transmissions = 0
         self.total_collisions = 0
@@ -314,6 +320,9 @@ class RadioChannel:
 
     def _maybe_corrupt(self, payload: bytes, port: ChannelPort) -> Optional[bytes]:
         """Apply the receiver modem's bit-error model (channel-level BER)."""
+        if self.loss_gate is not None and not self.loss_gate(payload, port.name):
+            self.frames_faded += 1
+            return None
         fade = self.fade_probability.get(port.name, 0.0)
         if fade > 0.0:
             rng = self.streams.stream(f"fault/fade/{port.name}")

@@ -53,6 +53,15 @@ class RadioStation:
     # transmit path
     # ------------------------------------------------------------------
 
+    def send_frame_object(self, frame) -> bool:
+        """Encode and queue a structured frame (LAPB endpoints use this).
+
+        A bound-method adapter so LAPB/NET-ROM owners can hand the
+        endpoint ``station.send_frame_object`` directly instead of an
+        encoding lambda (which would break snapshot isolation, SNAP001).
+        """
+        return self.send_frame(frame.encode())
+
     def send_frame(self, payload: bytes) -> bool:
         """Queue a frame for transmission; False if the queue is full."""
         if len(self._queue) >= self.queue_limit:

@@ -179,6 +179,71 @@ class Simulator:
         return self.schedule(0, fn, *args, label=label, **kwargs)
 
     # ------------------------------------------------------------------
+    # exploration hooks (repro.check drives these)
+    # ------------------------------------------------------------------
+
+    def head_events(self) -> "list[Event]":
+        """All pending events at the earliest queued timestamp, in seq order.
+
+        These are exactly the schedules a real kernel could execute next:
+        the engine's default is FIFO (lowest ``seq`` first), but any of
+        them firing first is a legal interleaving.  The model checker
+        (:mod:`repro.check`) enumerates them; normal runs never call this.
+        Cancelled events are pruned from the head of the queue as a side
+        effect, exactly as :meth:`step` would.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return []
+        head_time = self._queue[0].time
+        chosen = [event for event in self._queue
+                  if not event.cancelled and event.time == head_time]
+        chosen.sort(key=lambda event: event.seq)
+        return chosen
+
+    def pending_events(self) -> "list[Event]":
+        """Every not-yet-cancelled queued event, in no particular order.
+
+        Read-only diagnostics: reprocheck folds the pending set (as
+        now-relative times plus labels) into its state fingerprint.
+        """
+        return [event for event in self._queue if not event.cancelled]
+
+    def is_queued(self, event: Event) -> bool:
+        """True while ``event`` sits in this simulator's queue.
+
+        Identity-based on purpose: a fired event keeps ``cancelled ==
+        False`` but leaves the queue, and reprocheck's stuck-FSM
+        invariant needs to tell "armed timer" apart from "stale
+        reference to a timer that already fired".
+        """
+        return any(queued is event for queued in self._queue)
+
+    def step_event(self, event: Event) -> None:
+        """Execute one specific pending head event (exploration only).
+
+        ``event`` must come from :meth:`head_events` on this simulator.
+        The queue is small at the head (a handful of same-instant
+        events), so remove + re-heapify is cheap; correctness matters
+        more than speed on this path.
+        """
+        if event.cancelled:
+            raise SimulationError(f"cannot step cancelled event {event!r}")
+        try:
+            self._queue.remove(event)
+        except ValueError:
+            raise SimulationError(f"event {event!r} is not queued here") from None
+        heapq.heapify(self._queue)
+        if event.time < self._now:
+            raise SimulationError(f"event {event!r} lies in the past")
+        self._now = event.time
+        self._events_executed += 1
+        if self.profiler is not None:
+            self.profiler.count(event)
+        event.fn(*event.args, **event.kwargs)
+
+    # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
 

@@ -265,6 +265,75 @@ def test_obs002_scope_is_scale_and_obs_only(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# snapshot pass
+# ----------------------------------------------------------------------
+
+def test_snap001_flags_lambda_and_generator_on_self():
+    assert "SNAP001" in rules_hit(
+        "class Port:\n"
+        "    def __init__(self):\n"
+        "        self.on_frame = lambda frame: frame\n")
+    assert "SNAP001" in rules_hit(
+        "class Port:\n"
+        "    def __init__(self, frames):\n"
+        "        self.pending = (f for f in frames)\n")
+
+
+def test_snap001_flags_os_handles_on_self():
+    assert "SNAP001" in rules_hit(
+        "class Log:\n"
+        "    def __init__(self):\n"
+        "        self.sink = open('trace.log', 'w')\n")
+    assert "SNAP001" in rules_hit(  # from-import resolves to threading.Lock
+        "from threading import Lock\n"
+        "class Queue:\n"
+        "    def __init__(self):\n"
+        "        self.lock = Lock()\n")
+
+
+def test_snap001_flags_lambda_scheduled_as_event():
+    assert "SNAP001" in rules_hit(
+        "class Hub:\n"
+        "    def kick(self, sim):\n"
+        "        sim.schedule(10, lambda: self.flush())\n")
+    assert "SNAP001" in rules_hit(
+        "class Hub:\n"
+        "    def kick(self, sim):\n"
+        "        sim.call_soon(lambda: self.flush(), label='flush')\n")
+
+
+def test_snap001_quiet_on_snapshot_safe_idioms():
+    # Bound methods rebind through the deepcopy memo: the safe idiom.
+    assert rules_hit(
+        "class Hub:\n"
+        "    def kick(self, sim):\n"
+        "        sim.schedule(10, self.flush, label='hub-flush')\n") == []
+    # Storing a passed-in callable is the caller's problem, not this
+    # assignment's; and the repo's own Event class is not threading's.
+    assert rules_hit(
+        "from repro.sim.engine import Event\n"
+        "class Hub:\n"
+        "    def __init__(self, callback):\n"
+        "        self.callback = callback\n"
+        "        self.marker = Event(0, 0, None, (), {})\n") == []
+    # sorted(key=lambda) is not a scheduler call.
+    assert rules_hit(
+        "def order(frames):\n"
+        "    return sorted(frames, key=lambda f: f.seq)\n") == []
+
+
+def test_snap001_allowlists_harness_and_cli(tmp_path):
+    noisy = ("class Worker:\n"
+             "    def __init__(self):\n"
+             "        self.progress = lambda record: None\n")
+    report = _lint_at(tmp_path, "repro/harness/pool.py", noisy)
+    assert report.new_findings == []
+    assert report.allowlisted == 1
+    report = _lint_at(tmp_path, "repro/radio/switchboard.py", noisy)
+    assert [f.rule for f in report.new_findings] == ["SNAP001"]
+
+
+# ----------------------------------------------------------------------
 # framework: suppressions, baseline, JSON
 # ----------------------------------------------------------------------
 
@@ -367,7 +436,7 @@ def test_rule_table_covers_all_four_passes():
     assert {"DET001", "DET002", "DET003",
             "SIM001", "SIM002",
             "PROTO001", "PROTO002",
-            "FAULT001"} <= set(table)
+            "FAULT001", "SNAP001"} <= set(table)
     for rule in table.values():
         assert rule.severity in ("error", "warning")
         assert rule.summary
@@ -700,6 +769,51 @@ def test_fsm001_quiet_on_fully_covered_machine(tmp_path):
         "        if self.state is LinkState.GHOST:\n"
         "            return -1\n")})
     assert "FSM001" not in rules
+
+
+def test_fsm001_dict_dispatch_counts_as_handling(tmp_path):
+    # ``{state: handler}[self.state]`` is dispatch, not a transition:
+    # every key here must register as *compared* so a fully-covered
+    # table-driven machine lints clean.
+    rules = _deep_rules(tmp_path, {"link.py": (
+        _FSM_PREAMBLE +
+        "class Link:\n"
+        "    def __init__(self):\n"
+        "        self.state = LinkState.UP\n"
+        "    def fail(self):\n"
+        "        self.state = LinkState.DOWN\n"
+        "    def haunt(self):\n"
+        "        self.state = LinkState.GHOST\n"
+        "    def poll(self):\n"
+        "        handlers = {\n"
+        "            LinkState.UP: self._up,\n"
+        "            LinkState.DOWN: self._down,\n"
+        "            LinkState.GHOST: self._spook,\n"
+        "        }\n"
+        "        return handlers[self.state]()\n")})
+    assert "FSM001" not in rules
+
+
+def test_fsm001_dict_dispatch_values_still_enter_states(tmp_path):
+    # A transition table's *values* are entries, not dispatch: a state
+    # that only ever appears as a dict value must still be flagged as
+    # unhandled (no branch or key ever tests for it).
+    findings = _deep_findings(tmp_path, {"link.py": (
+        _FSM_PREAMBLE +
+        "class Link:\n"
+        "    def __init__(self):\n"
+        "        self.state = LinkState.UP\n"
+        "    def step(self):\n"
+        "        table = {\n"
+        "            LinkState.UP: LinkState.DOWN,\n"
+        "            LinkState.GHOST: LinkState.DOWN,\n"
+        "        }\n"
+        "        self.state = table[self.state]\n"
+        "    def haunt(self):\n"
+        "        self.state = LinkState.GHOST\n")})
+    messages = [f.message for f in findings if f.rule == "FSM001"]
+    assert any("unhandled state" in m and "DOWN" in m for m in messages)
+    assert not any("GHOST" in m for m in messages)
 
 
 def test_fsm001_skips_machines_referenced_opaquely(tmp_path):

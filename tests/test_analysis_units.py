@@ -292,7 +292,8 @@ def test_cli_explain_unknown_rule_is_usage_error():
 def test_cli_explain_covers_every_new_rule():
     from repro.analysis.explain import explain_rule, explained_rules
     assert set(explained_rules()) >= {"UNIT001", "UNIT002", "SHARD001",
-                                      "SHARD002", "FID001"}
+                                      "SHARD002", "FID001",
+                                      "SNAP001", "OBS002"}
     for rule in explained_rules():
         text = explain_rule(rule)
         assert "What the engine reports" in text, (
@@ -300,3 +301,13 @@ def test_cli_explain_covers_every_new_rule():
     # Uncurated rules degrade to the registry summary, never None.
     assert explain_rule("DET001") is not None
     assert explain_rule("ZZZ999") is None
+
+
+def test_cli_explain_scoped_rule_lints_inside_its_scope():
+    # OBS002 only fires under repro/scale or repro/obs; the curated
+    # example must be linted at a display path inside that scope or
+    # the live finding silently vanishes.
+    from repro.analysis.explain import explain_rule
+    text = explain_rule("OBS002")
+    assert "repro/obs/example.py" in text
+    assert "OBS002" in text.split("What the engine reports")[1]

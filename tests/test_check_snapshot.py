@@ -1,0 +1,168 @@
+"""Snapshot capture/restore is behaviourally invisible.
+
+The model checker's whole correctness story rests on one property:
+running a world to completion is indistinguishable from freezing it
+mid-run, thawing the frozen copy, and running *that* to completion.
+These tests prove it on a chaos-flavoured Figure-1 scenario -- fading
+radio channel (seeded RNG draws in flight), a TCP transfer mid
+-handshake, an ICMP ping train, per-char serial timing -- by capturing
+at three different mid-run points and requiring byte-identical metric
+digests from every resumed copy.
+
+The scenario holder stores only bound-method callbacks (the SNAP001
+discipline), so deepcopy rebinds every callback through its memo and
+the copies share nothing mutable with the original.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ping import Pinger
+from repro.check.snapshot import StateCapturer, canonical, fingerprint
+from repro.core.topology import build_figure1_testbed
+from repro.harness import metrics_digest
+from repro.inet.sockets import TcpServerSocket, TcpSocket
+from repro.sim.clock import SECOND
+
+END = 120 * SECOND
+CHECKPOINTS = (17 * SECOND, 43 * SECOND, 71 * SECOND)
+
+
+class ChaosScenario:
+    """A self-contained noisy run whose metrics live on the object graph."""
+
+    PAYLOAD = 600
+
+    def __init__(self, seed: int = 11) -> None:
+        self.testbed = build_figure1_testbed(seed=seed, fidelity="per_char")
+        sim = self.testbed.sim
+        # Both radios fade: every frame consults a seeded stream, so a
+        # snapshot must preserve RNG internals exactly or the resumed
+        # run diverges on the first post-restore transmission.
+        for name in self.testbed.channel.ports:
+            self.testbed.channel.fade_probability[name] = 0.12
+        self.pinger = Pinger(self.testbed.host.stack)
+        self.pinger.send("44.24.0.5", count=8, interval=9 * SECOND)
+        self.server_bytes = 0
+        self.client_done = False
+        self.client = None
+        self.server = TcpServerSocket(self.testbed.peer.stack, 7,
+                                      self._accept)
+        sim.at(2 * SECOND, self._connect, label="tcp-connect")
+
+    # -- callbacks (bound methods only; see module docstring) ----------
+
+    def _connect(self) -> None:
+        self.client = TcpSocket.connect(self.testbed.host.stack,
+                                        "44.24.0.5", 7)
+        self.client.on_connect = self._client_up
+
+    def _client_up(self) -> None:
+        self.client.send(b"snapshot me " * (self.PAYLOAD // 12))
+        self.client.close()
+        self.client_done = True
+
+    def _accept(self, sock) -> None:
+        sock.on_data = self._server_data
+
+    def _server_data(self, data: bytes) -> None:
+        self.server_bytes += len(data)
+
+    # -- observation ---------------------------------------------------
+
+    def run_until(self, when: int) -> None:
+        self.testbed.sim.run(until=when)
+
+    def metrics(self) -> dict:
+        channel = self.testbed.channel
+        host_if = self.testbed.host.interface
+        return {
+            "pings_sent": float(self.pinger.sent),
+            "pings_received": float(self.pinger.received),
+            "rtt_total_us": float(sum(self.pinger.rtts_us)),
+            "tcp_server_bytes": float(self.server_bytes),
+            "tcp_client_done": 1.0 if self.client_done else 0.0,
+            "frames_faded": float(channel.frames_faded),
+            "host_frames_rx": float(host_if.frames_from_tnc),
+            "host_frames_tx": float(host_if.frames_to_tnc),
+            "events_executed": float(self.testbed.sim.events_executed),
+            "now_us": float(self.testbed.sim.now),
+        }
+
+
+def _uninterrupted_digest() -> str:
+    scenario = ChaosScenario()
+    scenario.run_until(END)
+    metrics = scenario.metrics()
+    # The run must actually be chaotic and actually deliver: fades
+    # eat some pings but the TCP transfer retransmits its way through.
+    assert metrics["frames_faded"] > 0
+    assert 0 < metrics["pings_received"] < metrics["pings_sent"]
+    assert metrics["tcp_server_bytes"] == float(
+        len(b"snapshot me ") * (ChaosScenario.PAYLOAD // 12))
+    return metrics_digest(metrics)
+
+
+def test_mid_run_snapshots_resume_byte_identically():
+    baseline = _uninterrupted_digest()
+    capturer = StateCapturer()
+    scenario = ChaosScenario()
+    frozen = []
+    for checkpoint in CHECKPOINTS:
+        scenario.run_until(checkpoint)
+        frozen.append(capturer.capture(scenario))
+    # Capturing must not have perturbed the original run.
+    scenario.run_until(END)
+    assert metrics_digest(scenario.metrics()) == baseline
+
+    # Every thawed copy, resumed to completion, matches byte-for-byte.
+    for snapshot, checkpoint in zip(frozen, CHECKPOINTS):
+        resumed = capturer.restore(snapshot)
+        assert resumed.testbed.sim.now == checkpoint
+        resumed.run_until(END)
+        assert metrics_digest(resumed.metrics()) == baseline, (
+            f"resume from t={checkpoint} diverged")
+
+
+def test_restores_are_independent_of_each_other():
+    capturer = StateCapturer()
+    scenario = ChaosScenario()
+    scenario.run_until(CHECKPOINTS[0])
+    frozen = capturer.capture(scenario)
+
+    first = capturer.restore(frozen)
+    first.run_until(END)
+    first_metrics = first.metrics()
+
+    # Running one copy must leave the frozen snapshot untouched.
+    second = capturer.restore(frozen)
+    second.run_until(END)
+    assert metrics_digest(second.metrics()) == metrics_digest(first_metrics)
+
+
+def test_snapshot_shares_nothing_mutable_with_the_live_world():
+    capturer = StateCapturer()
+    scenario = ChaosScenario()
+    scenario.run_until(CHECKPOINTS[0])
+    frozen = capturer.capture(scenario)
+    assert frozen.testbed.sim is not scenario.testbed.sim
+    assert frozen.pinger is not scenario.pinger
+    # The frozen pinger's stack is the frozen stack, not the live one:
+    # bound methods rebound through the deepcopy memo.
+    assert frozen.pinger.stack is frozen.testbed.host.stack
+    assert frozen.pinger.stack is not scenario.testbed.host.stack
+    # Advancing the live world leaves the snapshot's clock alone.
+    scenario.run_until(CHECKPOINTS[1])
+    assert frozen.testbed.sim.now == CHECKPOINTS[0]
+
+
+def test_canonical_merges_insertion_orders():
+    assert canonical({"b": 2, "a": 1}) == canonical({"a": 1, "b": 2})
+    assert canonical({1, 2, 3}) == canonical({3, 1, 2})
+    assert fingerprint(("x", {"b": 2, "a": 1})) == \
+        fingerprint(("x", {"a": 1, "b": 2}))
+
+
+def test_canonical_rejects_opaque_objects():
+    import pytest
+    with pytest.raises(TypeError):
+        canonical(("ok", object()))
